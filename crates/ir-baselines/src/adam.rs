@@ -1,0 +1,134 @@
+//! The ADAM baseline.
+//!
+//! ADAM (on Apache Spark, Scala) is "the most optimized open-source
+//! software implementation of the alignment refinement pipeline" the paper
+//! compares against (§V-B): same algorithm, tighter columnar inner loops,
+//! plus Spark job overheads. The paper measures IRACC at 30.2–69.1×
+//! (average 41.4×) over ADAM, i.e. ADAM ≈ 2× GATK3.
+
+use ir_genome::{RealignmentTarget, TargetShape};
+
+use crate::calibration::{
+    ADAM_CYCLES_PER_COMPARISON, ADAM_STARTUP_S, ADAM_TARGET_OVERHEAD_S, GATK3_MAX_THREADS,
+};
+use crate::cpu::CpuModel;
+use crate::software::SoftwareRun;
+
+/// Cost model of ADAM's realigner on the r3.2xlarge (ADAM 0.22.0 /
+/// Spark 2.1.0 in the paper).
+///
+/// # Example
+///
+/// ```
+/// use ir_baselines::{adam::AdamModel, gatk::GatkModel};
+/// use ir_workloads::{WorkloadConfig, WorkloadGenerator};
+///
+/// let generator = WorkloadGenerator::new(WorkloadConfig {
+///     scale: 1e-5, read_len: 60, min_consensus_len: 80, max_consensus_len: 512,
+///     ..WorkloadConfig::default()
+/// });
+/// let targets = generator.targets(10, 1);
+/// let adam = AdamModel::default().run(&targets);
+/// let gatk = GatkModel::default().run(&targets);
+/// // ADAM's compute is ~2× faster (Spark startup aside).
+/// assert!(adam.wall_time_s - 12.0 < gatk.wall_time_s);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamModel {
+    cpu: CpuModel,
+    threads: usize,
+    cycles_per_comparison: f64,
+    target_overhead_s: f64,
+    startup_s: f64,
+}
+
+impl AdamModel {
+    /// The paper's single-node configuration: 8 Spark executor threads on
+    /// the r3.2xlarge.
+    pub fn new() -> Self {
+        AdamModel {
+            cpu: CpuModel::r3_2xlarge(),
+            threads: GATK3_MAX_THREADS,
+            cycles_per_comparison: ADAM_CYCLES_PER_COMPARISON,
+            target_overhead_s: ADAM_TARGET_OVERHEAD_S,
+            startup_s: ADAM_STARTUP_S,
+        }
+    }
+
+    /// Drops the fixed Spark startup cost (for per-chromosome marginal
+    /// comparisons where one job covers many chromosomes).
+    pub fn without_startup(mut self) -> Self {
+        self.startup_s = 0.0;
+        self
+    }
+
+    /// Models a run over full targets.
+    pub fn run(&self, targets: &[RealignmentTarget]) -> SoftwareRun {
+        let shapes: Vec<TargetShape> = targets.iter().map(RealignmentTarget::shape).collect();
+        self.run_shapes(&shapes)
+    }
+
+    /// Models a run from shapes alone.
+    pub fn run_shapes(&self, shapes: &[TargetShape]) -> SoftwareRun {
+        let comparisons: u64 = shapes.iter().map(TargetShape::worst_case_comparisons).sum();
+        let compute_s =
+            self.cpu
+                .time_for_ops(comparisons, self.cycles_per_comparison, self.threads);
+        let overhead_s = shapes.len() as f64 * self.target_overhead_s / self.threads as f64;
+        SoftwareRun {
+            wall_time_s: self.startup_s + compute_s + overhead_s,
+            comparisons,
+            targets: shapes.len(),
+            threads: self.threads,
+        }
+    }
+}
+
+impl Default for AdamModel {
+    fn default() -> Self {
+        AdamModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gatk::GatkModel;
+
+    fn big_shapes(n: usize) -> Vec<TargetShape> {
+        (0..n)
+            .map(|i| TargetShape {
+                num_consensuses: 4,
+                num_reads: 64,
+                consensus_lens: vec![1024 + 16 * (i % 8); 4],
+                read_lens: vec![250; 64],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adam_is_about_twice_gatk_on_compute_bound_work() {
+        let shapes = big_shapes(2000);
+        let adam = AdamModel::default().without_startup().run_shapes(&shapes);
+        let gatk = GatkModel::default().run_shapes(&shapes);
+        let ratio = gatk.wall_time_s / adam.wall_time_s;
+        assert!((1.7..=2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn startup_cost_is_fixed() {
+        let shapes = big_shapes(10);
+        let with = AdamModel::default().run_shapes(&shapes);
+        let without = AdamModel::default().without_startup().run_shapes(&shapes);
+        assert!((with.wall_time_s - without.wall_time_s - ADAM_STARTUP_S).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparisons_match_gatk_naive_count() {
+        // Both software baselines execute the naive algorithm — same work.
+        let shapes = big_shapes(5);
+        let adam = AdamModel::default().run_shapes(&shapes);
+        let gatk = GatkModel::default().run_shapes(&shapes);
+        assert_eq!(adam.comparisons, gatk.comparisons);
+    }
+}

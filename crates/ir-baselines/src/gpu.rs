@@ -1,0 +1,154 @@
+//! The GPU what-if model (§V-B "Comparison with GPU-based Systems").
+//!
+//! No GPU INDEL realigner exists, so the paper argues qualitatively: the
+//! Zipf-like read distribution "will likely trigger significant thread
+//! divergence when run on a GPU, resulting in poor performance", and cites
+//! comparable genomics GPU ports achieving 1.4–14.6× over CPUs (rarely
+//! above 20×). This module turns that argument into arithmetic: SIMT warps
+//! process 32 work items in lockstep, so a warp's cost is the *maximum*
+//! item cost within it, and the efficiency loss is computable directly
+//! from the workload's imbalance.
+
+use ir_genome::TargetShape;
+
+use crate::calibration::{GPU_PEAK_COMPARISONS_PER_S, GPU_WARP_WIDTH};
+use crate::gatk::GatkModel;
+use crate::software::SoftwareRun;
+
+/// A SIMT divergence model of a V100-class GPU (the AWS p3 generation the
+/// paper prices at $3.06/h).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Peak coherent comparison throughput.
+    pub peak_comparisons_per_s: f64,
+    /// Warp width (work items in lockstep).
+    pub warp_width: usize,
+}
+
+impl GpuModel {
+    /// The default V100-class model.
+    pub fn new() -> Self {
+        GpuModel {
+            peak_comparisons_per_s: GPU_PEAK_COMPARISONS_PER_S,
+            warp_width: GPU_WARP_WIDTH,
+        }
+    }
+
+    /// SIMT efficiency on a workload: total useful work divided by the
+    /// lockstep cost `Σ_warps (warp_width × max_item_work)`, with one
+    /// target per lane (target-level parallelism, the natural GPU mapping
+    /// for IR's independent targets).
+    pub fn simt_efficiency(&self, shapes: &[TargetShape]) -> f64 {
+        if shapes.is_empty() {
+            return 1.0;
+        }
+        let work: Vec<u64> = shapes
+            .iter()
+            .map(TargetShape::worst_case_comparisons)
+            .collect();
+        let useful: u64 = work.iter().sum();
+        let lockstep: u64 = work
+            .chunks(self.warp_width)
+            .map(|chunk| {
+                let max = chunk.iter().copied().max().unwrap_or(0);
+                max * self.warp_width as u64
+            })
+            .sum();
+        if lockstep == 0 {
+            1.0
+        } else {
+            useful as f64 / lockstep as f64
+        }
+    }
+
+    /// Models a GPU run over the workload.
+    pub fn run_shapes(&self, shapes: &[TargetShape]) -> SoftwareRun {
+        let comparisons: u64 = shapes.iter().map(TargetShape::worst_case_comparisons).sum();
+        let eff = self.simt_efficiency(shapes);
+        let wall_time_s = comparisons as f64 / (self.peak_comparisons_per_s * eff);
+        SoftwareRun {
+            wall_time_s,
+            comparisons,
+            targets: shapes.len(),
+            threads: 0,
+        }
+    }
+
+    /// Speedup of the modeled GPU over the GATK3 baseline on the same
+    /// workload — the number the paper expects in the 1.4–14.6× band
+    /// (and needing 148.36× to match the F1 instance's cost-performance).
+    pub fn speedup_over_gatk(&self, shapes: &[TargetShape]) -> f64 {
+        let gatk = GatkModel::default().run_shapes(shapes);
+        let gpu = self.run_shapes(shapes);
+        if gpu.wall_time_s == 0.0 {
+            return f64::INFINITY;
+        }
+        gatk.wall_time_s / gpu.wall_time_s
+    }
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_shapes(n: usize, work: usize) -> Vec<TargetShape> {
+        (0..n)
+            .map(|_| TargetShape {
+                num_consensuses: 2,
+                num_reads: 8,
+                consensus_lens: vec![work; 2],
+                read_lens: vec![64; 8],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_work_has_full_efficiency() {
+        let gpu = GpuModel::new();
+        let eff = gpu.simt_efficiency(&uniform_shapes(64, 512));
+        assert!((eff - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_work_diverges() {
+        let gpu = GpuModel::new();
+        let mut shapes = uniform_shapes(32, 128);
+        shapes[0].consensus_lens = vec![2048; 2]; // one straggler per warp
+        let eff = gpu.simt_efficiency(&shapes);
+        assert!(eff < 0.25, "efficiency {eff}");
+    }
+
+    #[test]
+    fn empty_workload_is_fully_efficient() {
+        assert_eq!(GpuModel::new().simt_efficiency(&[]), 1.0);
+    }
+
+    #[test]
+    fn speedup_lands_in_papers_band_on_zipf_workload() {
+        use ir_genome::RealignmentTarget;
+        use ir_workloads::{WorkloadConfig, WorkloadGenerator};
+        let generator = WorkloadGenerator::new(WorkloadConfig {
+            scale: 1e-5,
+            read_len: 60,
+            min_consensus_len: 80,
+            max_consensus_len: 1024,
+            ..WorkloadConfig::default()
+        });
+        let shapes: Vec<TargetShape> = generator
+            .targets(256, 11)
+            .iter()
+            .map(RealignmentTarget::shape)
+            .collect();
+        let speedup = GpuModel::new().speedup_over_gatk(&shapes);
+        assert!(
+            (1.0..=20.0).contains(&speedup),
+            "GPU speedup {speedup} outside the paper's expected band"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Software baselines and cost models for the IR accelerator evaluation.
+//!
+//! The paper compares its FPGA system against:
+//!
+//! - **GATK3** (`gatk`), the de facto standard toolkit — a naive
+//!   (unpruned) realigner in Java that does not scale past 8 threads,
+//!   measured on an EC2 r3.2xlarge;
+//! - **ADAM** (`adam`), "the most optimized open-source software
+//!   implementation of the alignment refinement pipeline", roughly 2×
+//!   faster than GATK3 on the same hardware;
+//! - a **GPU** what-if (`gpu`) — no GPU IR implementation exists, so the
+//!   paper argues from the Zipf-like read imbalance that SIMT execution
+//!   would diverge badly; [`gpu::GpuModel`] quantifies that argument;
+//! - the **pipeline profile** (`pipeline`) behind Figures 2 and 3: how the
+//!   three genomic-analysis pipelines split their execution time, and IR's
+//!   53–67% share of alignment refinement.
+//!
+//! The software baselines are *cost models driven by exact operation
+//! counts* (the algorithms themselves run in [`ir_core`]); all calibrated
+//! constants live in [`calibration`] with their provenance.
+//!
+//! # Example
+//!
+//! ```
+//! use ir_baselines::gatk::GatkModel;
+//! use ir_workloads::figure4_target;
+//!
+//! let gatk = GatkModel::default();
+//! let run = gatk.run(std::slice::from_ref(&figure4_target()));
+//! assert!(run.wall_time_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod calibration;
+pub mod cpu;
+pub mod gatk;
+pub mod gpu;
+pub mod parallel;
+pub mod pipeline;
+mod software;
+
+pub use cpu::CpuModel;
+pub use software::SoftwareRun;

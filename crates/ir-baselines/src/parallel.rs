@@ -1,0 +1,131 @@
+//! An executable multi-threaded software realigner.
+//!
+//! The GATK3/ADAM entries elsewhere in this crate are *cost models*; this
+//! module actually runs the realignment across OS threads, the way GATK3
+//! shards work across its ≤ 8 threads. It exists so the Criterion
+//! harness can measure real software wall-clock on this machine, and so
+//! thread-scaling behaviour (dynamic work distribution over wildly
+//! uneven targets) is demonstrable rather than assumed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crossbeam::thread;
+
+use ir_core::{IndelRealigner, OpCounts, RealignmentResult};
+use ir_genome::RealignmentTarget;
+
+/// Realigns `targets` on `threads` OS threads with dynamic (work-stealing
+/// counter) distribution, returning per-target results in input order
+/// plus summed operation counts.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+///
+/// # Example
+///
+/// ```
+/// use ir_baselines::parallel::realign_parallel;
+/// use ir_core::IndelRealigner;
+/// use ir_workloads::figure4_target;
+///
+/// let targets = vec![figure4_target(); 4];
+/// let (results, ops) = realign_parallel(&targets, 2, IndelRealigner::new());
+/// assert_eq!(results.len(), 4);
+/// assert!(ops.base_comparisons > 0);
+/// ```
+pub fn realign_parallel(
+    targets: &[RealignmentTarget],
+    threads: usize,
+    realigner: IndelRealigner,
+) -> (Vec<RealignmentResult>, OpCounts) {
+    assert!(threads > 0, "at least one thread required");
+    let slots: Vec<Option<RealignmentResult>> = (0..targets.len()).map(|_| None).collect();
+    let total_ops = Mutex::new(OpCounts::default());
+    let next = AtomicUsize::new(0);
+    let slots_mutex = Mutex::new(slots);
+
+    thread::scope(|scope| {
+        let (next, slots, total_ops) = (&next, &slots_mutex, &total_ops);
+        for _ in 0..threads {
+            scope.spawn(move |_| {
+                let mut local_ops = OpCounts::default();
+                let mut local: Vec<(usize, RealignmentResult)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= targets.len() {
+                        break;
+                    }
+                    let result = realigner.realign(&targets[i]);
+                    local_ops += result.ops();
+                    local.push((i, result));
+                }
+                let mut slots = slots.lock().expect("no worker panicked");
+                for (i, result) in local {
+                    slots[i] = Some(result);
+                }
+                *total_ops.lock().expect("no worker panicked") += local_ops;
+            });
+        }
+    })
+    .expect("worker threads join");
+
+    let results = slots_mutex
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("every target processed"))
+        .collect();
+    let ops = *total_ops.lock().expect("workers joined");
+    (results, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_workloads::{WorkloadConfig, WorkloadGenerator};
+
+    fn targets() -> Vec<RealignmentTarget> {
+        WorkloadGenerator::new(WorkloadConfig {
+            read_len: 40,
+            min_consensus_len: 56,
+            max_consensus_len: 256,
+            ..WorkloadConfig::default()
+        })
+        .targets(24, 0x9a11)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let targets = targets();
+        let realigner = IndelRealigner::new();
+        let (serial, serial_ops) = realigner.realign_all(&targets);
+        let (parallel, parallel_ops) = realign_parallel(&targets, 4, realigner);
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel_ops, serial_ops);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let targets = targets();
+        let (results, _) = realign_parallel(&targets, 1, IndelRealigner::new());
+        assert_eq!(results.len(), targets.len());
+    }
+
+    #[test]
+    fn results_keep_input_order() {
+        let targets = targets();
+        let realigner = IndelRealigner::new();
+        let (parallel, _) = realign_parallel(&targets, 8, realigner);
+        for (result, target) in parallel.iter().zip(&targets) {
+            assert_eq!(result.outcomes().len(), target.num_reads());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = realign_parallel(&[], 0, IndelRealigner::new());
+    }
+}

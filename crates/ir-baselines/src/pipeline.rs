@@ -1,0 +1,246 @@
+//! The genomic-analysis pipeline profile behind Figures 2 and 3.
+//!
+//! Figure 2 breaks the three pipelines down by stage: primary alignment
+//! (~17 h, < 15% of the total), alignment refinement (~72 h, ~60%) and
+//! variant calling (~36 h). Figure 3 shows IR consuming 53–67% (average
+//! 58%) of the refinement pipeline per chromosome. The stage shares here
+//! reproduce the published percentages; the per-chromosome IR share is
+//! *computed* from the GATK model plus a per-read cost for the other
+//! refinement stages.
+
+use serde::{Deserialize, Serialize};
+
+use ir_genome::TargetShape;
+
+use crate::calibration::REFINEMENT_OTHER_CYCLES_PER_READ;
+use crate::cpu::CpuModel;
+use crate::gatk::GatkModel;
+
+/// Wall-clock hours of the three pipelines on the paper's NA12878 run
+/// (Figure 2 caption: primary ~17 h, refinement ~72 h, variant calling
+/// ~36 h).
+pub const PAPER_PIPELINE_HOURS: [(&str, f64); 3] = [
+    ("Primary Alignment (BWA-MEM)", 17.0),
+    ("Alignment Refinement (GATK3)", 72.0),
+    ("Variant Calling (GATK3)", 36.0),
+];
+
+/// One pipeline's stage-level breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineProfile {
+    /// Pipeline name.
+    pub name: &'static str,
+    /// Total hours.
+    pub hours: f64,
+    /// `(stage, fraction of this pipeline)`, fractions summing to 1.
+    pub stages: Vec<(&'static str, f64)>,
+}
+
+impl PipelineProfile {
+    /// Hours spent in one stage.
+    pub fn stage_hours(&self, stage: &str) -> f64 {
+        self.hours
+            * self
+                .stages
+                .iter()
+                .find(|(name, _)| *name == stage)
+                .map(|(_, f)| *f)
+                .unwrap_or(0.0)
+    }
+}
+
+/// The three pipelines of Figure 2 with their stage shares.
+///
+/// Primary-alignment shares follow the BWA-MEM breakdown the paper cites
+/// (its reference \[10\]); refinement shares put IR at the measured 58% average;
+/// variant calling is a single stage.
+pub fn paper_pipelines() -> [PipelineProfile; 3] {
+    [
+        PipelineProfile {
+            name: "Primary Alignment",
+            hours: 17.0,
+            stages: vec![
+                ("SMEM Generation", 0.32),
+                ("Suffix Array Lookup", 0.10),
+                ("Seed Extension (Smith-Waterman)", 0.33),
+                ("Output", 0.15),
+                ("Other", 0.10),
+            ],
+        },
+        PipelineProfile {
+            name: "Alignment Refinement",
+            hours: 72.0,
+            stages: vec![
+                ("Sort", 0.12),
+                ("Duplicate Marking", 0.12),
+                ("INDEL Realignment", 0.58),
+                ("Base Quality Score Recalibration", 0.18),
+            ],
+        },
+        PipelineProfile {
+            name: "Variant Calling",
+            hours: 36.0,
+            stages: vec![("Variant Calling", 1.0)],
+        },
+    ]
+}
+
+/// Fraction of total genomic-analysis time spent in one stage of one
+/// pipeline.
+pub fn stage_fraction_of_total(pipeline: &str, stage: &str) -> f64 {
+    let pipelines = paper_pipelines();
+    let total: f64 = pipelines.iter().map(|p| p.hours).sum();
+    pipelines
+        .iter()
+        .find(|p| p.name == pipeline)
+        .map(|p| p.stage_hours(stage) / total)
+        .unwrap_or(0.0)
+}
+
+/// Amdahl's-law speedup of the whole genomic-analysis flow when one stage
+/// occupying `fraction` of total time is accelerated by `stage_speedup`.
+///
+/// The paper motivates targeting IR precisely this way: accelerating IR
+/// (~34% of total) pays far more than accelerating Smith-Waterman (~5%)
+/// or suffix-array lookup (~1.5%), no matter how large the kernel speedup.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ fraction ≤ 1` and `stage_speedup > 0`.
+pub fn amdahl_speedup(fraction: f64, stage_speedup: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
+    assert!(stage_speedup > 0.0, "stage speedup must be positive");
+    1.0 / ((1.0 - fraction) + fraction / stage_speedup)
+}
+
+/// Modeled per-chromosome refinement breakdown: IR time from the GATK
+/// model, everything else priced per read.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefinementBreakdown {
+    /// Seconds in INDEL realignment.
+    pub ir_s: f64,
+    /// Seconds in the remaining refinement stages (sort, duplicate
+    /// marking, BQSR).
+    pub other_s: f64,
+}
+
+impl RefinementBreakdown {
+    /// IR's fraction of the refinement pipeline — the quantity Figure 3
+    /// plots per chromosome (53%–67%, average 58%).
+    pub fn ir_fraction(&self) -> f64 {
+        let total = self.ir_s + self.other_s;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.ir_s / total
+        }
+    }
+}
+
+/// Computes the refinement breakdown for one chromosome's target shapes.
+pub fn refinement_breakdown(shapes: &[TargetShape]) -> RefinementBreakdown {
+    let gatk = GatkModel::default();
+    let ir_s = gatk.run_shapes(shapes).wall_time_s;
+    let reads: u64 = shapes.iter().map(|s| s.num_reads as u64).sum();
+    let cpu = CpuModel::r3_2xlarge();
+    let other_s = cpu.time_for_ops(reads, REFINEMENT_OTHER_CYCLES_PER_READ, cpu.threads);
+    RefinementBreakdown { ir_s, other_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_fractions_sum_to_one() {
+        for p in paper_pipelines() {
+            let sum: f64 = p.stages.iter().map(|(_, f)| f).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", p.name);
+        }
+    }
+
+    #[test]
+    fn figure2_headline_shares() {
+        let total: f64 = paper_pipelines().iter().map(|p| p.hours).sum();
+        // Primary alignment accounts for less than 15% of execution time.
+        assert!(17.0 / total < 0.15);
+        // Refinement is roughly 60%.
+        assert!((72.0 / total - 0.6).abs() < 0.05);
+        // IR is roughly one third of the total.
+        let ir = stage_fraction_of_total("Alignment Refinement", "INDEL Realignment");
+        assert!((ir - 0.334).abs() < 0.01, "IR share {ir}");
+    }
+
+    #[test]
+    fn smith_waterman_is_about_five_percent() {
+        let sw = stage_fraction_of_total("Primary Alignment", "Seed Extension (Smith-Waterman)");
+        assert!((sw - 0.05).abs() < 0.01, "SW share {sw}");
+        let sa = stage_fraction_of_total("Primary Alignment", "Suffix Array Lookup");
+        assert!((sa - 0.015).abs() < 0.005, "suffix-array share {sa}");
+    }
+
+    #[test]
+    fn unknown_stage_is_zero() {
+        assert_eq!(
+            stage_fraction_of_total("Primary Alignment", "Nonexistent"),
+            0.0
+        );
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        // No acceleration → no speedup; infinite-ish stage speedup →
+        // 1/(1−f).
+        assert!((amdahl_speedup(0.34, 1.0) - 1.0).abs() < 1e-12);
+        assert!((amdahl_speedup(0.34, 1e12) - 1.0 / 0.66).abs() < 1e-6);
+        // The paper's configuration: IR at 34% of total, accelerated 81×.
+        let total = amdahl_speedup(0.34, 81.0);
+        assert!((1.4..1.55).contains(&total), "pipeline speedup {total}");
+        // Accelerating Smith-Waterman even infinitely buys almost nothing.
+        assert!(amdahl_speedup(0.05, 1e12) < 1.06);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn amdahl_rejects_bad_fraction() {
+        let _ = amdahl_speedup(1.2, 10.0);
+    }
+
+    #[test]
+    fn ir_fraction_behaves() {
+        let b = RefinementBreakdown {
+            ir_s: 58.0,
+            other_s: 42.0,
+        };
+        assert!((b.ir_fraction() - 0.58).abs() < 1e-12);
+        assert_eq!(
+            RefinementBreakdown {
+                ir_s: 0.0,
+                other_s: 0.0
+            }
+            .ir_fraction(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn breakdown_is_ir_dominated_on_typical_shapes() {
+        let shapes: Vec<TargetShape> = (0..50)
+            .map(|i| TargetShape {
+                num_consensuses: 4,
+                num_reads: 64,
+                consensus_lens: vec![900 + (i % 7) * 64; 4],
+                read_lens: vec![250; 64],
+            })
+            .collect();
+        let b = refinement_breakdown(&shapes);
+        assert!(
+            (0.40..=0.80).contains(&b.ir_fraction()),
+            "IR fraction {} outside the plausible band",
+            b.ir_fraction()
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Shared result type for software baseline runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Modeled outcome of running a workload through a software baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoftwareRun {
+    /// Modeled wall-clock seconds.
+    pub wall_time_s: f64,
+    /// Base comparisons the implementation executes (naive — software
+    /// baselines do not prune).
+    pub comparisons: u64,
+    /// Number of targets processed.
+    pub targets: usize,
+    /// Threads used.
+    pub threads: usize,
+}
+
+impl SoftwareRun {
+    /// Effective comparisons per second achieved.
+    pub fn comparisons_per_second(&self) -> f64 {
+        if self.wall_time_s == 0.0 {
+            0.0
+        } else {
+            self.comparisons as f64 / self.wall_time_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_ops_over_time() {
+        let run = SoftwareRun {
+            wall_time_s: 2.0,
+            comparisons: 1_000,
+            targets: 3,
+            threads: 8,
+        };
+        assert!((run.comparisons_per_second() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_rate_is_zero() {
+        let run = SoftwareRun {
+            wall_time_s: 0.0,
+            comparisons: 10,
+            targets: 1,
+            threads: 1,
+        };
+        assert_eq!(run.comparisons_per_second(), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the cycle-level accelerator simulator itself:
+//! per-target unit simulation and whole-system scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ir_fpga::unit::simulate_target;
+use ir_fpga::{AcceleratedSystem, FpgaParams, IrUnit, Scheduling};
+use ir_workloads::{scheduling_toy_targets, WorkloadConfig, WorkloadGenerator};
+
+fn bench_unit_simulation(c: &mut Criterion) {
+    let generator = WorkloadGenerator::new(WorkloadConfig {
+        read_len: 62,
+        min_consensus_len: 80,
+        max_consensus_len: 510,
+        ..WorkloadConfig::default()
+    });
+    let target = generator.targets(1, 7).pop().expect("one target");
+
+    let mut group = c.benchmark_group("unit_simulate_target");
+    group.bench_function("serial", |b| {
+        let params = FpgaParams::serial();
+        b.iter(|| simulate_target(black_box(&target), &params))
+    });
+    group.bench_function("data_parallel", |b| {
+        let params = FpgaParams::iracc();
+        b.iter(|| simulate_target(black_box(&target), &params))
+    });
+    group.finish();
+}
+
+fn bench_command_path(c: &mut Criterion) {
+    let target = ir_workloads::figure4_target();
+    c.bench_function("rocc_command_sequence", |b| {
+        b.iter(|| {
+            let mut unit = IrUnit::new(0);
+            for cmd in IrUnit::command_sequence(black_box(&target), 0) {
+                unit.apply(cmd).expect("valid command");
+            }
+            unit
+        })
+    });
+}
+
+fn bench_system_scheduling(c: &mut Criterion) {
+    let targets = scheduling_toy_targets();
+    let mut group = c.benchmark_group("system_schedule_toy8");
+    for (name, scheduling) in [
+        ("synchronous", Scheduling::Synchronous),
+        ("asynchronous", Scheduling::Asynchronous),
+    ] {
+        group.bench_function(name, |b| {
+            let system = AcceleratedSystem::new(
+                FpgaParams {
+                    num_units: 4,
+                    ..FpgaParams::serial()
+                },
+                scheduling,
+            )
+            .expect("4-unit config fits");
+            b.iter(|| system.run(black_box(&targets)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_unit_simulation,
+    bench_command_path,
+    bench_system_scheduling
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the full per-target realignment pipeline
+//! (the golden software model): grid → scoring → realignment.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use ir_core::{IndelRealigner, PruningMode};
+use ir_workloads::{figure4_target, WorkloadConfig, WorkloadGenerator};
+
+fn bench_figure4(c: &mut Criterion) {
+    let target = figure4_target();
+    c.bench_function("realign_figure4", |b| {
+        let realigner = IndelRealigner::new();
+        b.iter(|| realigner.realign(black_box(&target)))
+    });
+}
+
+fn bench_generated_target(c: &mut Criterion) {
+    let generator = WorkloadGenerator::new(WorkloadConfig {
+        read_len: 62,
+        min_consensus_len: 80,
+        max_consensus_len: 510,
+        ..WorkloadConfig::default()
+    });
+    let target = generator
+        .targets(16, 42)
+        .into_iter()
+        .max_by_key(|t| t.shape().worst_case_comparisons())
+        .expect("sixteen targets");
+    let work = target.shape().worst_case_comparisons();
+
+    let mut group = c.benchmark_group("realign_generated_target");
+    group.throughput(Throughput::Elements(work));
+    group.bench_function("pruned", |b| {
+        let realigner = IndelRealigner::with_pruning(PruningMode::On);
+        b.iter(|| realigner.realign(black_box(&target)))
+    });
+    group.bench_function("naive", |b| {
+        let realigner = IndelRealigner::with_pruning(PruningMode::Off);
+        b.iter(|| realigner.realign(black_box(&target)))
+    });
+    group.finish();
+}
+
+fn bench_parallel_software(c: &mut Criterion) {
+    // Real wall-clock thread scaling of the executable software realigner
+    // (the GATK3-role implementation) on this machine.
+    let generator = WorkloadGenerator::new(WorkloadConfig {
+        read_len: 62,
+        min_consensus_len: 80,
+        max_consensus_len: 510,
+        ..WorkloadConfig::default()
+    });
+    let targets = generator.targets(32, 0x7788);
+    let mut group = c.benchmark_group("software_realigner_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                ir_baselines::parallel::realign_parallel(
+                    black_box(&targets),
+                    threads,
+                    IndelRealigner::new(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure4,
+    bench_generated_target,
+    bench_parallel_software
+);
+criterion_main!(benches);

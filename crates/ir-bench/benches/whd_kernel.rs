@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks of the weighted-Hamming-distance kernel —
+//! the operation the accelerator performs billions of times per target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ir_core::{calc_whd, calc_whd_bounded};
+use ir_fpga::hdc::{run_pair, HdcConfig};
+use ir_genome::{Base, Qual, Sequence};
+
+fn sequence(len: usize, salt: usize) -> Sequence {
+    (0..len)
+        .map(|i| Base::from_index((i * 7 + salt).wrapping_mul(2654435761) >> 8 & 3))
+        .collect()
+}
+
+fn bench_calc_whd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calc_whd");
+    for (m, n) in [(510usize, 62usize), (2048, 250)] {
+        let cons = sequence(m, 1);
+        let read = sequence(n, 2);
+        let quals = Qual::uniform(35, n).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("full", format!("m{m}_n{n}")),
+            &(),
+            |b, ()| b.iter(|| calc_whd(black_box(&cons), black_box(&read), black_box(&quals), 17)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bounded", format!("m{m}_n{n}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    calc_whd_bounded(
+                        black_box(&cons),
+                        black_box(&read),
+                        black_box(&quals),
+                        17,
+                        100,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hdc_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdc_pair_scan");
+    let (m, n) = (510usize, 62usize);
+    let cons = sequence(m, 3);
+    // A read sampled from the consensus: realistic pruning behaviour.
+    let read = cons.slice(100, 100 + n);
+    let quals = Qual::uniform(35, n).unwrap();
+    group.throughput(Throughput::Elements(((m - n + 1) * n) as u64));
+    for (name, cfg) in [
+        ("serial_pruned", HdcConfig::serial()),
+        (
+            "serial_naive",
+            HdcConfig {
+                pruning: false,
+                ..HdcConfig::serial()
+            },
+        ),
+        ("data_parallel", HdcConfig::data_parallel()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| run_pair(black_box(&cons), black_box(&read), black_box(&quals), cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_calc_whd, bench_hdc_scan);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! §IV ablation: task-parallel scaling with unit count.
+//!
+//! Paper anchor: "the available parallelism trivially scales up with the
+//! volume of hardware … the computation time scales (almost) linearly
+//! with the number of units available", until the 32-unit block-RAM
+//! ceiling.
+
+use ir_bench::{bench_workload, scale_from_env, Table};
+use ir_fpga::resources::max_units;
+use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling};
+use ir_genome::Chromosome;
+
+fn main() {
+    let scale = scale_from_env();
+    let generator = bench_workload(scale);
+    let workload = generator.chromosome(Chromosome::Autosome(20));
+    println!("Unit-count scaling (scale {scale}, Ch20, async, data-parallel units)\n");
+
+    let mut table = Table::new(vec![
+        "units",
+        "wall s",
+        "speedup vs 1 unit",
+        "scaling efficiency",
+    ]);
+    let mut one_unit_wall = 0.0;
+    for units in [1usize, 2, 4, 8, 16, 32] {
+        let params = FpgaParams {
+            num_units: units,
+            ..FpgaParams::iracc()
+        };
+        let run = AcceleratedSystem::new(params, Scheduling::Asynchronous)
+            .expect("fits")
+            .run(&workload.targets);
+        if units == 1 {
+            one_unit_wall = run.wall_time_s;
+        }
+        let speedup = one_unit_wall / run.wall_time_s;
+        table.row(vec![
+            units.to_string(),
+            format!("{:.4}", run.wall_time_s),
+            format!("{speedup:.1}×"),
+            format!("{:.0}%", speedup / units as f64 * 100.0),
+        ]);
+    }
+    table.emit("ablation_units");
+
+    println!("\npaper anchor: near-linear scaling up to the BRAM-limited 32 units");
+    println!(
+        "floorplan ceiling: {} units (routability bound)",
+        max_units(32)
+    );
+}

@@ -1,0 +1,147 @@
+//! Figure 9 (left): per-chromosome speedup of the accelerated IR system
+//! over GATK3, for the three accelerator configurations —
+//! `IRAcc-TaskP` (32 serial units, synchronous flush),
+//! `IRAcc-TaskP-Async` (asynchronous dispatch) and
+//! `IR ACC` (asynchronous + 32-lane data parallelism) — plus the ADAM
+//! comparison of §V-B.
+//!
+//! Paper anchors: IRACC 66.7×–115.4× over GATK3 (gmean 81.3×); TaskP
+//! 0.7×–1.3×; Async ≈ 6.2× over TaskP; ADAM speedup 30.2×–69.1×
+//! (avg 41.4×).
+//!
+//! Run with `IR_SCALE` (default 1e-4) to trade accuracy for time.
+
+use crossbeam::thread;
+
+use ir_baselines::{adam::AdamModel, gatk::GatkModel};
+use ir_bench::{bench_workload, fmt_duration, gmean, scale_from_env, Table};
+use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling};
+use ir_genome::Chromosome;
+
+struct ChromosomeRow {
+    chromosome: Chromosome,
+    gatk_s: f64,
+    adam_s: f64,
+    taskp_s: f64,
+    async_s: f64,
+    iracc_s: f64,
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let generator = bench_workload(scale);
+    println!("Figure 9 (left): hardware-accelerated INDEL realignment vs software");
+    println!("workload scale: {scale} of the paper's NA12878 run\n");
+
+    let chromosomes: Vec<Chromosome> = Chromosome::autosomes().collect();
+    let rows: Vec<Option<ChromosomeRow>> = (0..chromosomes.len()).map(|_| None).collect();
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(11);
+    let chunks: Vec<(usize, Chromosome)> = chromosomes.iter().copied().enumerate().collect();
+    let rows_mutex = std::sync::Mutex::new(rows);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    thread::scope(|scope| {
+        let (chunks, rows, next, generator) = (&chunks, &rows_mutex, &next, &generator);
+        for _ in 0..workers {
+            scope.spawn(move |_| {
+                let taskp = AcceleratedSystem::new(FpgaParams::serial(), Scheduling::Synchronous)
+                    .expect("serial config fits");
+                let taskp_async =
+                    AcceleratedSystem::new(FpgaParams::serial(), Scheduling::Asynchronous)
+                        .expect("serial config fits");
+                let iracc = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous)
+                    .expect("iracc config fits");
+                let gatk = GatkModel::default();
+                let adam = AdamModel::default().without_startup();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if i >= chunks.len() {
+                        break;
+                    }
+                    let (idx, chromosome) = chunks[i];
+                    let workload = generator.chromosome(chromosome);
+                    let shapes: Vec<_> = workload.targets.iter().map(|t| t.shape()).collect();
+                    let row = ChromosomeRow {
+                        chromosome,
+                        gatk_s: gatk.run_shapes(&shapes).wall_time_s,
+                        adam_s: adam.run_shapes(&shapes).wall_time_s,
+                        taskp_s: taskp.run(&workload.targets).wall_time_s,
+                        async_s: taskp_async.run(&workload.targets).wall_time_s,
+                        iracc_s: iracc.run(&workload.targets).wall_time_s,
+                    };
+                    rows.lock().unwrap()[idx] = Some(row);
+                }
+            });
+        }
+    })
+    .expect("worker threads join");
+
+    let rows: Vec<ChromosomeRow> = rows_mutex
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("all rows filled"))
+        .collect();
+
+    let mut table = Table::new(vec![
+        "chromosome",
+        "IRAcc-TaskP ×",
+        "IRAcc-TaskP-Async ×",
+        "IR ACC ×",
+        "IR ACC vs ADAM ×",
+    ]);
+    let mut taskp_x = Vec::new();
+    let mut async_x = Vec::new();
+    let mut iracc_x = Vec::new();
+    let mut adam_x = Vec::new();
+    for r in &rows {
+        let tp = r.gatk_s / r.taskp_s;
+        let ta = r.gatk_s / r.async_s;
+        let ir = r.gatk_s / r.iracc_s;
+        let ad = r.adam_s / r.iracc_s;
+        taskp_x.push(tp);
+        async_x.push(ta);
+        iracc_x.push(ir);
+        adam_x.push(ad);
+        table.row(vec![
+            r.chromosome.to_string(),
+            format!("{tp:.2}"),
+            format!("{ta:.1}"),
+            format!("{ir:.1}"),
+            format!("{ad:.1}"),
+        ]);
+    }
+    table.row(vec![
+        "GMEAN".to_string(),
+        format!("{:.2}", gmean(&taskp_x)),
+        format!("{:.1}", gmean(&async_x)),
+        format!("{:.1}", gmean(&iracc_x)),
+        format!("{:.1}", gmean(&adam_x)),
+    ]);
+    table.emit("fig9_speedup");
+
+    let total_gatk: f64 = rows.iter().map(|r| r.gatk_s).sum();
+    let total_iracc: f64 = rows.iter().map(|r| r.iracc_s).sum();
+    println!("\nextrapolated full-genome (Ch1–22) wall times at scale 1.0:");
+    println!("  GATK3  : {}", fmt_duration(total_gatk / scale));
+    println!("  IR ACC : {}", fmt_duration(total_iracc / scale));
+    println!(
+        "\npaper anchors: IRACC 66.7–115.4× (gmean 81.3×); TaskP 0.7–1.3×; \
+         Async gain ≈ 6.2×; vs ADAM 30.2–69.1× (avg 41.4×)"
+    );
+    println!(
+        "measured     : IRACC {:.1}–{:.1}× (gmean {:.1}×); TaskP gmean {:.2}×; \
+         Async gain {:.1}×; vs ADAM {:.1}–{:.1}× (gmean {:.1}×)",
+        iracc_x.iter().cloned().fold(f64::INFINITY, f64::min),
+        iracc_x.iter().cloned().fold(0.0, f64::max),
+        gmean(&iracc_x),
+        gmean(&taskp_x),
+        gmean(&async_x) / gmean(&taskp_x),
+        adam_x.iter().cloned().fold(f64::INFINITY, f64::min),
+        adam_x.iter().cloned().fold(0.0, f64::max),
+        gmean(&adam_x),
+    );
+}

@@ -1,0 +1,48 @@
+//! §V-B "Comparison with GPU-based Systems": the SIMT divergence
+//! argument, quantified.
+//!
+//! Paper anchors: to match the F1 system's cost-performance, a $3.06/h
+//! GPU instance would need 148.36× over GATK3; comparable genomics GPU
+//! ports achieve 1.4–14.6×, and GPUs rarely exceed 20× over optimized
+//! CPUs. The Zipf-like read imbalance triggers thread divergence.
+
+use ir_baselines::gpu::GpuModel;
+use ir_bench::{bench_workload, scale_from_env, Table};
+use ir_cloud::gpu_speedup_needed;
+use ir_genome::Chromosome;
+
+fn main() {
+    let scale = scale_from_env();
+    let generator = bench_workload(scale);
+    println!("GPU what-if: SIMT divergence on the IR workload (scale {scale})\n");
+
+    let gpu = GpuModel::default();
+    let mut table = Table::new(vec![
+        "chromosome",
+        "SIMT efficiency",
+        "modeled GPU × vs GATK3",
+    ]);
+    let mut speedups = Vec::new();
+    for chromosome in Chromosome::autosomes().take(8) {
+        let workload = generator.chromosome(chromosome);
+        let shapes: Vec<_> = workload.targets.iter().map(|t| t.shape()).collect();
+        let eff = gpu.simt_efficiency(&shapes);
+        let speedup = gpu.speedup_over_gatk(&shapes);
+        speedups.push(speedup);
+        table.row(vec![
+            chromosome.to_string(),
+            format!("{:.2}", eff),
+            format!("{speedup:.1}"),
+        ]);
+    }
+    table.emit("gpu_comparison");
+
+    let needed = gpu_speedup_needed(80.0); // the paper quotes the bar at 80×
+    let max = speedups.iter().cloned().fold(0.0f64, f64::max);
+    println!("\npaper anchors: GPU needs {needed:.1}× over GATK3 to match F1 cost-performance;");
+    println!("comparable GPU genomics ports deliver 1.4–14.6×, rarely >20×");
+    println!(
+        "measured     : modeled GPU reaches at most {max:.1}× — {:.0}× short of the {needed:.0}× bar",
+        needed / max
+    );
+}

@@ -1,0 +1,92 @@
+//! The abstract's headline claims, measured end to end:
+//!
+//! 1. a sea of 32 IR accelerators processes **up to 4 billion base-pair
+//!    comparisons per second** (serial units; the data-parallel design
+//!    peaks at 128 G/s);
+//! 2. IR for chromosomes 1–22 takes **a little more than 31 minutes and
+//!    costs less than $1** on an F1 instance, vs **more than 42 hours and
+//!    $28** for GATK3;
+//! 3. **81× speedup** over 8-thread software at **32× lower cost**.
+//!
+//! Methodology as in `fig9_cost`: software baselines priced analytically
+//! on paper-geometry shapes; the accelerator's sustained throughput
+//! measured by simulation at `IR_SCALE` and applied to the same work.
+
+use ir_baselines::gatk::GatkModel;
+use ir_bench::{bench_workload, default_workload, fmt_duration, scale_from_env};
+use ir_cloud::{run_cost_usd, Instance};
+use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Headline claims (accelerator measured at scale {scale})\n");
+
+    println!("claim 1 — peak comparison throughput:");
+    println!(
+        "  32 serial units × 125 MHz            = {:.1e} comparisons/s (paper: 'up to 4 billion')",
+        FpgaParams::serial().peak_comparisons_per_second() as f64
+    );
+    println!(
+        "  32 × 32-lane units × 125 MHz         = {:.1e} comparisons/s peak",
+        FpgaParams::iracc().peak_comparisons_per_second() as f64
+    );
+
+    // Paper-geometry full-genome work.
+    let shape_scale = scale.min(5e-4);
+    let paper_gen = default_workload(shape_scale);
+    let mut paper_shapes = Vec::new();
+    for workload in paper_gen.autosomes() {
+        paper_shapes.extend(workload.targets.iter().map(|t| t.shape()));
+    }
+    let upscale = 1.0 / shape_scale;
+    let paper_naive: u64 = paper_shapes
+        .iter()
+        .map(|s| s.worst_case_comparisons())
+        .sum();
+    let gatk_full = GatkModel::default().run_shapes(&paper_shapes).wall_time_s * upscale;
+
+    // Accelerator throughput from the simulated bench workload.
+    let bench_gen = bench_workload(scale);
+    let iracc =
+        AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous).expect("iracc fits");
+    let mut bench_naive = 0u64;
+    let mut bench_executed = 0u64;
+    let mut bench_wall = 0.0f64;
+    for workload in bench_gen.autosomes() {
+        bench_naive += workload
+            .targets
+            .iter()
+            .map(|t| t.shape().worst_case_comparisons())
+            .sum::<u64>();
+        let run = iracc.run(&workload.targets);
+        bench_wall += run.wall_time_s;
+        bench_executed += run.comparisons;
+    }
+    let throughput = bench_naive as f64 / bench_wall;
+    let iracc_full = paper_naive as f64 * upscale / throughput;
+
+    let gatk_cost = run_cost_usd(&Instance::r3_2xlarge(), gatk_full);
+    let iracc_cost = run_cost_usd(&Instance::f1_2xlarge(), iracc_full);
+
+    println!("\nclaim 2 — Ch1–22 INDEL realignment, full-genome extrapolation:");
+    println!(
+        "  IR ACC : {}  costing ${iracc_cost:.2}  (paper: ~31 min, <$1)",
+        fmt_duration(iracc_full)
+    );
+    println!(
+        "  GATK3  : {}  costing ${gatk_cost:.2}  (paper: >42 h, $28)",
+        fmt_duration(gatk_full)
+    );
+
+    println!("\nclaim 3 — speedup and cost efficiency:");
+    println!(
+        "  speedup      : {:.1}× (paper: 81×)   cost efficiency: {:.0}× (paper: 32×)",
+        gatk_full / iracc_full,
+        gatk_cost / iracc_cost
+    );
+    println!(
+        "\nsustained fabric rates during the measured run: {:.2e} executed cmp/s, \
+         {throughput:.2e} naive-equivalent cmp/s",
+        bench_executed as f64 / bench_wall
+    );
+}

@@ -1,0 +1,92 @@
+//! Extension experiment: scaling the sea of accelerators across the
+//! f1.16xlarge's eight FPGAs.
+//!
+//! The paper deploys one VU9P (f1.2xlarge); AWS also offered an 8-FPGA
+//! f1.16xlarge at exactly 8× the price. This harness shards one
+//! chromosome's targets across 1–8 simulated FPGAs (longest-processing-
+//! time on worst-case work) and reports scaling efficiency and cost per
+//! unit of work — quantifying whether the "sea of seas" pays.
+
+use ir_bench::{bench_workload, scale_from_env, Table};
+use ir_cloud::{run_cost_usd, schedule_jobs, Instance};
+use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling};
+
+fn main() {
+    // Each FPGA-count point re-runs the whole pool, so cap the scale to
+    // keep the four-point sweep affordable.
+    let scale = scale_from_env().min(2e-3);
+    let generator = bench_workload(scale);
+    // Whole-genome target pool: sharding granularity matters only when
+    // each shard still holds enough targets to amortize stragglers.
+    let mut targets = Vec::new();
+    for workload in generator.autosomes() {
+        targets.extend(workload.targets);
+    }
+    let total_work: f64 = targets
+        .iter()
+        .map(|t| t.shape().worst_case_comparisons() as f64)
+        .sum();
+    println!(
+        "Multi-FPGA sharding (scale {scale}, Ch1–22 pool of {} targets)\n",
+        targets.len()
+    );
+
+    let system =
+        AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous).expect("iracc fits");
+
+    let mut table = Table::new(vec![
+        "FPGAs",
+        "wall s",
+        "speedup",
+        "scaling efficiency",
+        "instance",
+        "cost $/Tcmp",
+    ]);
+    let mut one_fpga_wall = 0.0f64;
+    for fpgas in [1usize, 2, 4, 8] {
+        // LPT-shard targets by worst-case work, then run each shard.
+        let work: Vec<f64> = targets
+            .iter()
+            .map(|t| t.shape().worst_case_comparisons() as f64)
+            .collect();
+        let schedule = schedule_jobs(&work, fpgas);
+        let mut shards: Vec<Vec<ir_genome::RealignmentTarget>> = vec![Vec::new(); fpgas];
+        for (t, &fpga) in schedule.assignments.iter().enumerate() {
+            shards[fpga].push(targets[t].clone());
+        }
+        let wall = shards
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|shard| system.run(shard).wall_time_s)
+            .fold(0.0f64, f64::max);
+        if fpgas == 1 {
+            one_fpga_wall = wall;
+        }
+        let speedup = one_fpga_wall / wall;
+        let instance = if fpgas == 1 {
+            Instance::f1_2xlarge()
+        } else {
+            Instance::f1_16xlarge()
+        };
+        // Sub-8 shard counts on the 16xlarge still pay for the whole box;
+        // cost is normalized per tera-comparison of naive-equivalent work
+        // so it is scale-independent.
+        let cost = run_cost_usd(&instance, wall) / (total_work / 1e12);
+        table.row(vec![
+            fpgas.to_string(),
+            format!("{wall:.4}"),
+            format!("{speedup:.2}×"),
+            format!("{:.0}%", speedup / fpgas as f64 * 100.0),
+            instance.name.to_string(),
+            format!("{cost:.4}"),
+        ]);
+    }
+    table.emit("multi_fpga");
+
+    println!(
+        "\ntargets are independent, so sharding scales near-linearly until per-shard\n\
+         target counts get small; at 8× the price, the f1.16xlarge only pays when all\n\
+         eight FPGAs stay busy — elastic fleets of f1.2xlarge match it at equal cost\n\
+         with finer-grained scaling (the paper's FPGAs-as-a-service argument)."
+    );
+}

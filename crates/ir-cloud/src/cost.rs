@@ -1,0 +1,111 @@
+//! Run-cost arithmetic (Figure 9-right).
+
+use serde::Serialize;
+
+use crate::instances::Instance;
+
+/// Dollar cost of occupying `instance` for `wall_time_s` seconds.
+///
+/// EC2 bills per-second for most instances today; the paper's arithmetic
+/// (price × hours) is reproduced exactly.
+pub fn run_cost_usd(instance: &Instance, wall_time_s: f64) -> f64 {
+    instance.price_per_hour_usd * wall_time_s / 3600.0
+}
+
+/// A named system's wall time and cost, one bar of Figure 9-right.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CostedRun {
+    /// System label (`"GATK3"`, `"ADAM"`, `"IR ACC"`).
+    pub system: String,
+    /// Instance the system runs on.
+    pub instance: Instance,
+    /// Wall-clock seconds.
+    pub wall_time_s: f64,
+}
+
+impl CostedRun {
+    /// Creates a costed run.
+    pub fn new(system: impl Into<String>, instance: Instance, wall_time_s: f64) -> Self {
+        CostedRun {
+            system: system.into(),
+            instance,
+            wall_time_s,
+        }
+    }
+
+    /// The run's dollar cost.
+    pub fn cost_usd(&self) -> f64 {
+        run_cost_usd(&self.instance, self.wall_time_s)
+    }
+}
+
+/// How many times more cost-efficient `fast` is than `slow`
+/// (cost ratio; the paper reports IRACC 32× vs GATK3 and 17× vs ADAM).
+pub fn cost_efficiency_ratio(slow: &CostedRun, fast: &CostedRun) -> f64 {
+    let fast_cost = fast.cost_usd();
+    if fast_cost == 0.0 {
+        f64::INFINITY
+    } else {
+        slow.cost_usd() / fast_cost
+    }
+}
+
+/// Speedup over GATK3 a GPU instance must reach to match the accelerated
+/// F1 system's cost-performance: `iracc_speedup × gpu_price / f1_price`.
+///
+/// With the paper's numbers (≈ 80×, $3.06/h, $1.65/h) this is the quoted
+/// 148.36×.
+pub fn gpu_speedup_needed(iracc_speedup_over_gatk: f64) -> f64 {
+    iracc_speedup_over_gatk * Instance::p3_2xlarge().price_per_hour_usd
+        / Instance::f1_2xlarge().price_per_hour_usd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_gatk3_cost() {
+        // 42 hours on the r3.2xlarge ≈ $28 (§I / Figure 9-right).
+        let cost = run_cost_usd(&Instance::r3_2xlarge(), 42.0 * 3600.0);
+        assert!((cost - 27.93).abs() < 0.1, "cost {cost}");
+    }
+
+    #[test]
+    fn paper_iracc_cost() {
+        // "A little more than 31 minutes ... costs less than $1".
+        let cost = run_cost_usd(&Instance::f1_2xlarge(), 31.5 * 60.0);
+        assert!(cost < 1.0, "cost {cost}");
+        assert!((cost - 0.87).abs() < 0.05, "cost {cost}");
+    }
+
+    #[test]
+    fn paper_adam_cost() {
+        // ADAM: $14.5 on the r3.2xlarge → ≈ 21.8 hours.
+        let hours = 14.5 / Instance::r3_2xlarge().price_per_hour_usd;
+        assert!((hours - 21.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn cost_efficiency_paper_ratio() {
+        let gatk = CostedRun::new("GATK3", Instance::r3_2xlarge(), 42.0 * 3600.0);
+        let iracc = CostedRun::new("IR ACC", Instance::f1_2xlarge(), 31.5 * 60.0);
+        let ratio = cost_efficiency_ratio(&gatk, &iracc);
+        // Paper: "32× more cost efficient".
+        assert!((25.0..=40.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn gpu_needed_speedup_matches_paper() {
+        // Paper: a GPU system needs 148.36× over GATK3 at 80× IRACC.
+        let needed = gpu_speedup_needed(80.0);
+        assert!((needed - 148.36).abs() < 0.1, "needed {needed}");
+    }
+
+    #[test]
+    fn zero_cost_ratio_is_infinite() {
+        let slow = CostedRun::new("a", Instance::r3_2xlarge(), 10.0);
+        let fast = CostedRun::new("b", Instance::f1_2xlarge(), 0.0);
+        assert!(cost_efficiency_ratio(&slow, &fast).is_infinite());
+    }
+}

@@ -1,0 +1,212 @@
+//! Fleet deployment: scaling the sea of accelerators across instances.
+//!
+//! The paper's motivation is immense-scale genomics — up to a billion
+//! genomes sequenced by 2025. One F1 instance realigns one genome's
+//! chromosomes 1–22 in ~31 minutes; this module sizes a fleet of such
+//! instances against a target genome throughput and prices it, the
+//! capacity-planning exercise an FPGAs-as-a-service operator would run.
+
+use serde::Serialize;
+
+use crate::cost::run_cost_usd;
+use crate::instances::Instance;
+
+/// A sizing request: how many genomes per day the fleet must sustain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FleetSizing {
+    /// Genomes to process per day.
+    pub genomes_per_day: f64,
+    /// Wall-clock seconds one instance needs per genome.
+    pub seconds_per_genome: f64,
+}
+
+/// A sized and priced fleet.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetPlan {
+    /// Instance type used.
+    pub instance: Instance,
+    /// Instances required (ceiling of the fractional requirement).
+    pub instances: usize,
+    /// Cost per genome in dollars.
+    pub cost_per_genome_usd: f64,
+    /// Total fleet cost per day in dollars, assuming full utilization.
+    pub cost_per_day_usd: f64,
+}
+
+impl FleetSizing {
+    /// Sizes a fleet of `instance`s for this demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either field is non-positive.
+    pub fn plan(&self, instance: Instance) -> FleetPlan {
+        assert!(self.genomes_per_day > 0.0, "demand must be positive");
+        assert!(
+            self.seconds_per_genome > 0.0,
+            "per-genome time must be positive"
+        );
+        let genomes_per_instance_day = 86_400.0 / self.seconds_per_genome;
+        let instances = (self.genomes_per_day / genomes_per_instance_day).ceil() as usize;
+        let cost_per_genome_usd = run_cost_usd(&instance, self.seconds_per_genome);
+        let cost_per_day_usd = cost_per_genome_usd * self.genomes_per_day;
+        FleetPlan {
+            instance,
+            instances: instances.max(1),
+            cost_per_genome_usd,
+            cost_per_day_usd,
+        }
+    }
+}
+
+/// A concrete assignment of jobs (e.g. per-chromosome runs) to instances.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JobSchedule {
+    /// Wall-clock seconds until the last instance finishes.
+    pub makespan_s: f64,
+    /// `assignments[j]` is the instance job `j` runs on.
+    pub assignments: Vec<usize>,
+    /// Busy seconds per instance.
+    pub instance_busy_s: Vec<f64>,
+}
+
+impl JobSchedule {
+    /// Mean instance utilization over the makespan.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_s == 0.0 || self.instance_busy_s.is_empty() {
+            return 0.0;
+        }
+        self.instance_busy_s.iter().sum::<f64>()
+            / (self.makespan_s * self.instance_busy_s.len() as f64)
+    }
+}
+
+/// Schedules independent jobs across `instances` identical machines with
+/// the longest-processing-time greedy rule — how a driver spreads the 22
+/// chromosome runs over a small F1 fleet.
+///
+/// # Panics
+///
+/// Panics if `instances` is zero or any duration is negative.
+pub fn schedule_jobs(durations_s: &[f64], instances: usize) -> JobSchedule {
+    assert!(instances > 0, "need at least one instance");
+    assert!(
+        durations_s.iter().all(|&d| d >= 0.0),
+        "durations must be non-negative"
+    );
+    let mut order: Vec<usize> = (0..durations_s.len()).collect();
+    order.sort_by(|&a, &b| durations_s[b].total_cmp(&durations_s[a]));
+
+    let mut busy = vec![0.0f64; instances];
+    let mut assignments = vec![0usize; durations_s.len()];
+    for job in order {
+        let (instance, _) = busy
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("at least one instance");
+        assignments[job] = instance;
+        busy[instance] += durations_s[job];
+    }
+    let makespan_s = busy.iter().cloned().fold(0.0, f64::max);
+    JobSchedule {
+        makespan_s,
+        assignments,
+        instance_busy_s: busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpt_spreads_chromosome_jobs() {
+        // Four jobs on two machines: LPT pairs 8 with 2 and 5 with 4.
+        let schedule = schedule_jobs(&[8.0, 5.0, 4.0, 2.0], 2);
+        assert!((schedule.makespan_s - 10.0).abs() < 1e-12);
+        assert!(schedule.utilization() > 0.9);
+        assert_ne!(schedule.assignments[0], schedule.assignments[1]);
+    }
+
+    #[test]
+    fn single_instance_serializes() {
+        let schedule = schedule_jobs(&[1.0, 2.0, 3.0], 1);
+        assert!((schedule.makespan_s - 6.0).abs() < 1e-12);
+        assert!((schedule.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_instances_than_jobs() {
+        let schedule = schedule_jobs(&[5.0, 1.0], 8);
+        assert!((schedule.makespan_s - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_jobs_are_free() {
+        let schedule = schedule_jobs(&[], 4);
+        assert_eq!(schedule.makespan_s, 0.0);
+        assert_eq!(schedule.utilization(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn zero_instances_panics() {
+        let _ = schedule_jobs(&[1.0], 0);
+    }
+
+    #[test]
+    fn one_instance_covers_light_demand() {
+        // ~31 min/genome → ~46 genomes/day/instance.
+        let plan = FleetSizing {
+            genomes_per_day: 40.0,
+            seconds_per_genome: 31.0 * 60.0,
+        }
+        .plan(Instance::f1_2xlarge());
+        assert_eq!(plan.instances, 1);
+        assert!(plan.cost_per_genome_usd < 1.0);
+    }
+
+    #[test]
+    fn fleet_scales_linearly() {
+        let small = FleetSizing {
+            genomes_per_day: 100.0,
+            seconds_per_genome: 1860.0,
+        }
+        .plan(Instance::f1_2xlarge());
+        let big = FleetSizing {
+            genomes_per_day: 10_000.0,
+            seconds_per_genome: 1860.0,
+        }
+        .plan(Instance::f1_2xlarge());
+        assert_eq!(small.instances, 3);
+        assert_eq!(big.instances, 216);
+        assert!((big.cost_per_day_usd / small.cost_per_day_usd - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn software_fleet_costs_an_order_of_magnitude_more() {
+        // GATK3: 42 h/genome on r3 vs IRACC: ~31 min on F1.
+        let sw = FleetSizing {
+            genomes_per_day: 1000.0,
+            seconds_per_genome: 42.0 * 3600.0,
+        }
+        .plan(Instance::r3_2xlarge());
+        let hw = FleetSizing {
+            genomes_per_day: 1000.0,
+            seconds_per_genome: 31.5 * 60.0,
+        }
+        .plan(Instance::f1_2xlarge());
+        assert!(sw.cost_per_day_usd > 25.0 * hw.cost_per_day_usd);
+        assert!(sw.instances > 30 * hw.instances);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand must be positive")]
+    fn zero_demand_panics() {
+        let _ = FleetSizing {
+            genomes_per_day: 0.0,
+            seconds_per_genome: 60.0,
+        }
+        .plan(Instance::f1_2xlarge());
+    }
+}

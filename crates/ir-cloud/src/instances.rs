@@ -1,0 +1,161 @@
+//! The EC2 instance catalogue (paper Table II plus the GPU comparison
+//! point).
+
+use serde::Serialize;
+
+/// Attached accelerator hardware, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Accelerator {
+    /// No accelerator (plain CPU instance).
+    None,
+    /// One Xilinx Virtex UltraScale+ VU9P FPGA with 64 GB of DDR4.
+    XilinxVu9p,
+    /// One NVIDIA V100-class GPU.
+    NvidiaV100,
+}
+
+/// One EC2 instance type with its 2018-era on-demand price.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Instance {
+    /// API name, e.g. `"f1.2xlarge"`.
+    pub name: &'static str,
+    /// Host CPU description (Table II).
+    pub cpu: &'static str,
+    /// Hardware threads.
+    pub vcpus: usize,
+    /// Host memory in GiB.
+    pub memory_gib: f64,
+    /// Attached accelerator.
+    pub accelerator: Accelerator,
+    /// On-demand price in dollars per hour at the time of the paper.
+    pub price_per_hour_usd: f64,
+}
+
+impl Instance {
+    /// The f1.2xlarge the accelerated system deploys on: Broadwell host,
+    /// one VU9P FPGA, $1.65/h (Table II, §V-B).
+    pub fn f1_2xlarge() -> Self {
+        Instance {
+            name: "f1.2xlarge",
+            cpu: "Intel Xeon E5-2686 v4 (Broadwell) 4C/8T, 2.2 GHz",
+            vcpus: 8,
+            memory_gib: 122.0,
+            accelerator: Accelerator::XilinxVu9p,
+            price_per_hour_usd: 1.65,
+        }
+    }
+
+    /// The r3.2xlarge the software baselines run on: Ivy Bridge, 66.5¢/h —
+    /// chosen because GATK3 does not scale past 8 threads, making this the
+    /// most cost-efficient host for it (Table II, §V-B).
+    pub fn r3_2xlarge() -> Self {
+        Instance {
+            name: "r3.2xlarge",
+            cpu: "Intel Xeon E5-2670 v2 (Ivy Bridge) 4C/8T, 2.5 GHz",
+            vcpus: 8,
+            memory_gib: 61.0,
+            accelerator: Accelerator::None,
+            price_per_hour_usd: 0.665,
+        }
+    }
+
+    /// The eight-FPGA f1.16xlarge — the scale-up path for a sea of seas
+    /// of accelerators (2017-era on-demand price).
+    pub fn f1_16xlarge() -> Self {
+        Instance {
+            name: "f1.16xlarge",
+            cpu: "Intel Xeon E5-2686 v4 (Broadwell) 32C/64T, 2.2 GHz",
+            vcpus: 64,
+            memory_gib: 976.0,
+            accelerator: Accelerator::XilinxVu9p,
+            price_per_hour_usd: 13.20,
+        }
+    }
+
+    /// The single-GPU p3 instance the GPU what-if prices at $3.06/h
+    /// (§V-B).
+    pub fn p3_2xlarge() -> Self {
+        Instance {
+            name: "p3.2xlarge",
+            cpu: "Intel Xeon E5-2686 v4 (Broadwell) 4C/8T, 2.3 GHz",
+            vcpus: 8,
+            memory_gib: 61.0,
+            accelerator: Accelerator::NvidiaV100,
+            price_per_hour_usd: 3.06,
+        }
+    }
+
+    /// The Table II machine table: the two instances the paper deploys
+    /// and measures on.
+    pub fn paper_machines() -> [Instance; 2] {
+        [Instance::f1_2xlarge(), Instance::r3_2xlarge()]
+    }
+
+    /// Whether the instance carries an FPGA.
+    pub fn has_fpga(&self) -> bool {
+        self.accelerator == Accelerator::XilinxVu9p
+    }
+
+    /// Number of FPGAs on the instance (8 on the f1.16xlarge, else 0/1).
+    pub fn fpga_count(&self) -> usize {
+        match (self.accelerator, self.name) {
+            (Accelerator::XilinxVu9p, "f1.16xlarge") => 8,
+            (Accelerator::XilinxVu9p, _) => 1,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_prices() {
+        assert!((Instance::f1_2xlarge().price_per_hour_usd - 1.65).abs() < 1e-9);
+        assert!((Instance::r3_2xlarge().price_per_hour_usd - 0.665).abs() < 1e-9);
+        assert!((Instance::p3_2xlarge().price_per_hour_usd - 3.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_shapes() {
+        let f1 = Instance::f1_2xlarge();
+        assert!(f1.has_fpga());
+        assert_eq!(f1.vcpus, 8);
+        assert!((f1.memory_gib - 122.0).abs() < 1e-9);
+
+        let r3 = Instance::r3_2xlarge();
+        assert_eq!(r3.accelerator, Accelerator::None);
+        assert!((r3.memory_gib - 61.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f1_costs_more_per_hour_than_r3() {
+        // The cost win must come from speed, not from cheaper hardware.
+        assert!(
+            Instance::f1_2xlarge().price_per_hour_usd
+                > 2.0 * Instance::r3_2xlarge().price_per_hour_usd
+        );
+    }
+
+    #[test]
+    fn fpga_counts() {
+        assert_eq!(Instance::f1_2xlarge().fpga_count(), 1);
+        assert_eq!(Instance::f1_16xlarge().fpga_count(), 8);
+        assert_eq!(Instance::r3_2xlarge().fpga_count(), 0);
+        // The 8-FPGA box costs exactly 8× the single-FPGA box (AWS's
+        // TCO-proportional pricing at the time).
+        assert!(
+            (Instance::f1_16xlarge().price_per_hour_usd
+                - 8.0 * Instance::f1_2xlarge().price_per_hour_usd)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn paper_machines_are_f1_and_r3() {
+        let names: Vec<_> = Instance::paper_machines().iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["f1.2xlarge", "r3.2xlarge"]);
+    }
+}

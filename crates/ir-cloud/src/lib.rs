@@ -1,0 +1,29 @@
+//! AWS EC2 instance catalogue, pricing and fleet model.
+//!
+//! The paper's cost methodology (§V-B "Cost Comparison"): "Amazon has
+//! priced out AWS EC2 instances proportional to the TCO of running
+//! different types of systems, so we can simply use that as the true cost"
+//! — run cost = hourly price × wall-clock hours. This crate provides the
+//! Table II machine catalogue, that cost arithmetic (Figure 9-right), and
+//! a fleet model for scaling the "sea of accelerators" across instances.
+//!
+//! # Example
+//!
+//! ```
+//! use ir_cloud::{Instance, run_cost_usd};
+//!
+//! // The paper's headline: Ch1–22 in ~31 minutes for under a dollar.
+//! let cost = run_cost_usd(&Instance::f1_2xlarge(), 31.0 * 60.0);
+//! assert!(cost < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod fleet;
+mod instances;
+
+pub use cost::{cost_efficiency_ratio, gpu_speedup_needed, run_cost_usd, CostedRun};
+pub use fleet::{schedule_jobs, FleetPlan, FleetSizing, JobSchedule};
+pub use instances::{Accelerator, Instance};

@@ -1,0 +1,86 @@
+//! Analytical complexity bounds for the IR algorithm (paper §II-C).
+
+use ir_genome::TargetShape;
+
+/// The hardware limits the paper quotes its worst-case analysis against.
+pub const MAX_CONSENSUSES: usize = 32;
+/// Maximum reads per target.
+pub const MAX_READS: usize = 256;
+/// Maximum consensus length in bases.
+pub const MAX_CONSENSUS_LEN: usize = 2048;
+/// Typical Illumina short-read length (paper appendix: "around 250 base
+/// pairs"); the §II-C worst-case arithmetic uses this value.
+pub const TYPICAL_READ_LEN: usize = 250;
+
+/// Worst-case base comparisons for one (consensus, read) pair:
+/// `(m − n + 1) · n` comparisons across all sliding offsets.
+pub fn pair_comparisons(consensus_len: usize, read_len: usize) -> u64 {
+    if consensus_len < read_len {
+        return 0;
+    }
+    ((consensus_len - read_len + 1) as u64) * read_len as u64
+}
+
+/// Worst-case comparisons for a whole target: `C · R · (m − n + 1) · n`.
+///
+/// With the paper's maxima (C = 32, R = 256, m = 2048, n = 250) this is
+/// 3,684,352,000 comparisons for a single target.
+pub fn target_comparisons(c: usize, r: usize, m: usize, n: usize) -> u64 {
+    (c as u64) * (r as u64) * pair_comparisons(m, n)
+}
+
+/// The paper's headline worst case: 3,684,352,000 comparisons per target.
+pub fn paper_worst_case() -> u64 {
+    target_comparisons(
+        MAX_CONSENSUSES,
+        MAX_READS,
+        MAX_CONSENSUS_LEN,
+        TYPICAL_READ_LEN,
+    )
+}
+
+/// Bytes per cycle the WHD kernel needs to stay compute-bound: one
+/// consensus base, one read base and one quality score per comparison
+/// (paper §II-C: "at least 3 bytes per cycle").
+pub const BYTES_PER_COMPARISON: u64 = 3;
+
+/// Exact worst-case comparisons for a concrete target shape (delegates to
+/// [`TargetShape::worst_case_comparisons`]).
+pub fn shape_comparisons(shape: &TargetShape) -> u64 {
+    shape.worst_case_comparisons()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_comparisons_basics() {
+        assert_eq!(pair_comparisons(7, 4), 16);
+        assert_eq!(pair_comparisons(4, 4), 4);
+        assert_eq!(pair_comparisons(3, 4), 0);
+    }
+
+    #[test]
+    fn paper_worst_case_value() {
+        assert_eq!(paper_worst_case(), 3_684_352_000);
+    }
+
+    #[test]
+    fn target_comparisons_scales_linearly_in_c_and_r() {
+        let one = target_comparisons(1, 1, 2048, 250);
+        assert_eq!(target_comparisons(2, 1, 2048, 250), 2 * one);
+        assert_eq!(target_comparisons(1, 3, 2048, 250), 3 * one);
+    }
+
+    #[test]
+    fn shape_comparisons_matches_formula_for_uniform_shape() {
+        let shape = TargetShape {
+            num_consensuses: 4,
+            num_reads: 8,
+            consensus_lens: vec![100; 4],
+            read_lens: vec![20; 8],
+        };
+        assert_eq!(shape_comparisons(&shape), target_comparisons(4, 8, 100, 20));
+    }
+}

@@ -1,0 +1,275 @@
+//! Candidate consensus construction from primary alignments.
+//!
+//! "Consensuses are constructed using insertions and deletions present in
+//! the original alignment and reads spanning at this site given a certain
+//! heuristic" (paper appendix). The accelerator consumes ready-made
+//! consensuses; this module provides the GATK-style construction step a
+//! complete pipeline needs: every INDEL observed in a read's CIGAR
+//! proposes one candidate haplotype — the reference with that INDEL
+//! applied — and candidates are ranked by how many reads support them.
+
+use std::collections::HashMap;
+
+use ir_genome::{Base, CigarOp, Read, Sequence};
+
+/// One INDEL hypothesis observed in a read's primary alignment, in
+/// target-relative reference coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndelHypothesis {
+    /// Insertion of `bases` immediately before reference position `pos`.
+    Insertion {
+        /// Target-relative reference position.
+        pos: usize,
+        /// The inserted bases (from the read).
+        bases: Vec<Base>,
+    },
+    /// Deletion of `len` reference bases starting at `pos`.
+    Deletion {
+        /// Target-relative reference position.
+        pos: usize,
+        /// Deleted length.
+        len: usize,
+    },
+}
+
+impl IndelHypothesis {
+    /// Extracts every INDEL a read's CIGAR asserts, in target-relative
+    /// reference coordinates.
+    pub fn from_read(read: &Read) -> Vec<IndelHypothesis> {
+        let mut hypotheses = Vec::new();
+        let mut ref_pos = read.start_offset() as usize;
+        let mut read_pos = 0usize;
+        for &(len, op) in read.cigar().elements() {
+            let len = len as usize;
+            match op {
+                CigarOp::Match => {
+                    ref_pos += len;
+                    read_pos += len;
+                }
+                CigarOp::SoftClip => read_pos += len,
+                CigarOp::Insertion => {
+                    let bases = read.bases().bases()[read_pos..read_pos + len].to_vec();
+                    hypotheses.push(IndelHypothesis::Insertion {
+                        pos: ref_pos,
+                        bases,
+                    });
+                    read_pos += len;
+                }
+                CigarOp::Deletion => {
+                    hypotheses.push(IndelHypothesis::Deletion { pos: ref_pos, len });
+                    ref_pos += len;
+                }
+            }
+        }
+        hypotheses
+    }
+
+    /// Applies the hypothesis to `reference`, producing the candidate
+    /// haplotype, or `None` if the coordinates fall outside the reference.
+    pub fn apply(&self, reference: &Sequence) -> Option<Sequence> {
+        let mut bases: Vec<Base> = reference.bases().to_vec();
+        match self {
+            IndelHypothesis::Insertion { pos, bases: ins } => {
+                if *pos > bases.len() {
+                    return None;
+                }
+                for (i, b) in ins.iter().enumerate() {
+                    bases.insert(pos + i, *b);
+                }
+            }
+            IndelHypothesis::Deletion { pos, len } => {
+                if pos + len > bases.len() {
+                    return None;
+                }
+                bases.drain(*pos..*pos + *len);
+            }
+        }
+        Some(Sequence::new(bases))
+    }
+}
+
+/// A candidate consensus with its read support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateConsensus {
+    /// The candidate haplotype.
+    pub sequence: Sequence,
+    /// Number of reads whose alignment asserts this candidate.
+    pub support: usize,
+}
+
+/// Constructs candidate consensuses from the INDELs in `reads`' primary
+/// alignments against `reference`, ranked by read support (ties broken
+/// deterministically by sequence), capped at `max_candidates`.
+///
+/// Candidates identical to the reference are dropped — the reference is
+/// always consensus 0 of a target.
+///
+/// # Example
+///
+/// ```
+/// use ir_core::consensus::consensuses_from_reads;
+/// use ir_genome::{Qual, Read, Sequence};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let reference: Sequence = "ACGTACGTACGT".parse()?;
+/// // A read whose alignment asserts a 2-base deletion at position 6.
+/// let read = Read::with_alignment(
+///     "r0", "ACGTGT".parse()?, Qual::uniform(30, 6)?, 2, "4M2D2M".parse()?, 60,
+/// )?;
+/// let candidates = consensuses_from_reads(&reference, &[read], 32);
+/// assert_eq!(candidates.len(), 1);
+/// assert_eq!(candidates[0].sequence.to_string(), "ACGTACACGT");
+/// # Ok(())
+/// # }
+/// ```
+pub fn consensuses_from_reads(
+    reference: &Sequence,
+    reads: &[Read],
+    max_candidates: usize,
+) -> Vec<CandidateConsensus> {
+    let mut support: HashMap<Sequence, usize> = HashMap::new();
+    for read in reads {
+        for hypothesis in IndelHypothesis::from_read(read) {
+            if let Some(candidate) = hypothesis.apply(reference) {
+                if &candidate != reference {
+                    *support.entry(candidate).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut candidates: Vec<CandidateConsensus> = support
+        .into_iter()
+        .map(|(sequence, support)| CandidateConsensus { sequence, support })
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then_with(|| a.sequence.bases().cmp(b.sequence.bases()))
+    });
+    candidates.truncate(max_candidates);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_genome::Qual;
+
+    fn read_with(cigar: &str, bases: &str, offset: u64) -> Read {
+        let seq: Sequence = bases.parse().unwrap();
+        let quals = Qual::uniform(30, seq.len()).unwrap();
+        Read::with_alignment("r", seq, quals, offset, cigar.parse().unwrap(), 60).unwrap()
+    }
+
+    #[test]
+    fn extracts_insertion_with_bases() {
+        let read = read_with("2M3I2M", "ACTTTGT", 4);
+        let hyps = IndelHypothesis::from_read(&read);
+        assert_eq!(hyps.len(), 1);
+        match &hyps[0] {
+            IndelHypothesis::Insertion { pos, bases } => {
+                assert_eq!(*pos, 6);
+                assert_eq!(bases.len(), 3);
+                assert!(bases.iter().all(|&b| b == Base::T));
+            }
+            other => panic!("expected insertion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extracts_deletion_past_soft_clip() {
+        let read = read_with("2S3M2D3M", "ACGTACGT", 10);
+        let hyps = IndelHypothesis::from_read(&read);
+        assert_eq!(hyps, vec![IndelHypothesis::Deletion { pos: 13, len: 2 }]);
+    }
+
+    #[test]
+    fn full_match_reads_propose_nothing() {
+        let read = read_with("8M", "ACGTACGT", 0);
+        assert!(IndelHypothesis::from_read(&read).is_empty());
+    }
+
+    #[test]
+    fn apply_deletion_and_insertion() {
+        let reference: Sequence = "AACCGGTT".parse().unwrap();
+        let del = IndelHypothesis::Deletion { pos: 2, len: 2 };
+        assert_eq!(del.apply(&reference).unwrap().to_string(), "AAGGTT");
+        let ins = IndelHypothesis::Insertion {
+            pos: 4,
+            bases: vec![Base::T, Base::T],
+        };
+        assert_eq!(ins.apply(&reference).unwrap().to_string(), "AACCTTGGTT");
+    }
+
+    #[test]
+    fn apply_rejects_out_of_range() {
+        let reference: Sequence = "ACGT".parse().unwrap();
+        assert!(IndelHypothesis::Deletion { pos: 3, len: 2 }
+            .apply(&reference)
+            .is_none());
+        assert!(IndelHypothesis::Insertion {
+            pos: 5,
+            bases: vec![Base::A]
+        }
+        .apply(&reference)
+        .is_none());
+    }
+
+    #[test]
+    fn support_ranks_candidates() {
+        let reference: Sequence = "ACGTACGTACGTACGT".parse().unwrap();
+        // Two reads assert the same deletion at 4; one asserts another at 8.
+        let reads = vec![
+            read_with("4M2D2M", "ACGTGT", 0),
+            read_with("2M2D4M", "GTGTAC", 2),
+            read_with("4M1D3M", "ACGTCGT", 4),
+        ];
+        let candidates = consensuses_from_reads(&reference, &reads, 32);
+        assert_eq!(candidates.len(), 2);
+        assert_eq!(candidates[0].support, 2, "the shared deletion wins");
+        assert_eq!(candidates[1].support, 1);
+        // The shared candidate: delete positions 4..6.
+        assert_eq!(candidates[0].sequence.to_string(), "ACGTGTACGTACGT");
+    }
+
+    #[test]
+    fn cap_keeps_best_supported() {
+        let reference: Sequence = "ACGTACGTACGTACGT".parse().unwrap();
+        let reads = vec![
+            read_with("4M2D2M", "ACGTGT", 0),
+            read_with("2M2D4M", "GTGTAC", 2),
+            read_with("4M1D3M", "ACGTCGT", 4),
+        ];
+        let candidates = consensuses_from_reads(&reference, &reads, 1);
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].support, 2);
+    }
+
+    #[test]
+    fn constructed_consensus_realigns_its_carriers() {
+        // End-to-end: reads carrying a deletion propose a consensus; the
+        // realigner then picks it and realigns them consistently.
+        use crate::{IndelRealigner, SelectionRule};
+        use ir_genome::RealignmentTarget;
+
+        let reference: Sequence = "ACGGTTCAACGGTTCAACGG".parse().unwrap();
+        // True haplotype: delete positions 8..10 ("AC").
+        let carrier1 = read_with("8M2D4M", "ACGGTTCAGGTT", 0);
+        let carrier2 = read_with("4M2D6M", "TTCAGGTTCAAC", 4);
+        let reads = vec![carrier1.clone(), carrier2.clone()];
+
+        let candidates = consensuses_from_reads(&reference, &reads, 32);
+        assert_eq!(candidates[0].support, 2);
+
+        let target = RealignmentTarget::builder(0)
+            .reference(reference)
+            .consensuses(candidates.into_iter().map(|c| c.sequence))
+            .reads(reads)
+            .build()
+            .unwrap();
+        let result = IndelRealigner::new()
+            .with_selection_rule(SelectionRule::TotalMinWhd)
+            .realign(&target);
+        assert_eq!(result.best_consensus(), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! The high-level realigner tying Algorithms 1 and 2 together.
+
+use serde::{Deserialize, Serialize};
+
+use ir_genome::RealignmentTarget;
+
+use crate::grid::MinWhdGrid;
+use crate::realign::{realign_reads, ReadOutcome};
+use crate::score::{score_consensuses_with, select_best, SelectionRule};
+use crate::stats::OpCounts;
+
+/// Whether the weighted-Hamming-distance scan abandons evaluations whose
+/// running sum already exceeds the pair's current minimum.
+///
+/// Pruning never changes results (see [`crate::whd::calc_whd_bounded`]);
+/// it only changes how much work is done. The paper measures > 50% of
+/// comparisons eliminated on its input set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PruningMode {
+    /// Evaluate every (i, j, k) triple fully — the GATK3 software behaviour.
+    Off,
+    /// Stop an evaluation as soon as it can no longer become the minimum —
+    /// the accelerator behaviour (paper §III-A "Computation Pruning").
+    #[default]
+    On,
+}
+
+impl PruningMode {
+    /// Returns `true` when pruning is enabled.
+    pub fn is_enabled(self) -> bool {
+        matches!(self, PruningMode::On)
+    }
+}
+
+/// The INDEL realigner: runs the full per-target pipeline
+/// (min-WHD grid → consensus scoring → read realignment).
+///
+/// This is the golden reference model the cycle-level FPGA simulator and
+/// the software baselines are validated against.
+///
+/// # Example
+///
+/// ```
+/// use ir_core::{IndelRealigner, PruningMode};
+///
+/// let realigner = IndelRealigner::with_pruning(PruningMode::Off);
+/// assert!(!realigner.pruning().is_enabled());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndelRealigner {
+    pruning: PruningMode,
+    rule: SelectionRule,
+}
+
+impl IndelRealigner {
+    /// Creates a realigner with pruning enabled (the accelerator default).
+    pub fn new() -> Self {
+        IndelRealigner::default()
+    }
+
+    /// Creates a realigner with an explicit pruning mode.
+    pub fn with_pruning(pruning: PruningMode) -> Self {
+        IndelRealigner {
+            pruning,
+            rule: SelectionRule::default(),
+        }
+    }
+
+    /// Overrides the consensus-selection rule (defaults to the paper's
+    /// [`SelectionRule::AbsDiffVsReference`]).
+    pub fn with_selection_rule(mut self, rule: SelectionRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Returns the configured pruning mode.
+    pub fn pruning(&self) -> PruningMode {
+        self.pruning
+    }
+
+    /// Returns the configured selection rule.
+    pub fn selection_rule(&self) -> SelectionRule {
+        self.rule
+    }
+
+    /// Realigns one target, returning the full result (grid, scores, best
+    /// consensus, per-read outcomes and operation counts).
+    pub fn realign(&self, target: &RealignmentTarget) -> RealignmentResult {
+        let mut ops = OpCounts::default();
+        let grid = MinWhdGrid::compute(target, self.pruning.is_enabled(), &mut ops);
+        let scores = score_consensuses_with(&grid, self.rule, &mut ops);
+        let best = select_best(&scores);
+        let outcomes = realign_reads(&grid, best, target.start_pos());
+        RealignmentResult {
+            grid,
+            scores,
+            best,
+            outcomes,
+            ops,
+        }
+    }
+
+    /// Realigns a batch of targets, summing the operation counts.
+    pub fn realign_all<'a, I>(&self, targets: I) -> (Vec<RealignmentResult>, OpCounts)
+    where
+        I: IntoIterator<Item = &'a RealignmentTarget>,
+    {
+        let mut total = OpCounts::default();
+        let results: Vec<_> = targets
+            .into_iter()
+            .map(|t| {
+                let r = self.realign(t);
+                total += r.ops;
+                r
+            })
+            .collect();
+        (results, total)
+    }
+}
+
+/// The complete result of realigning one target.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RealignmentResult {
+    grid: MinWhdGrid,
+    scores: Vec<u64>,
+    best: usize,
+    outcomes: Vec<ReadOutcome>,
+    ops: OpCounts,
+}
+
+impl RealignmentResult {
+    /// The min-WHD grid (Algorithm 1 output).
+    pub fn grid(&self) -> &MinWhdGrid {
+        &self.grid
+    }
+
+    /// Per-consensus scores; index 0 (the reference) is always 0.
+    pub fn scores(&self) -> &[u64] {
+        &self.scores
+    }
+
+    /// Index of the picked consensus (0 only when the target has no
+    /// alternative consensuses).
+    pub fn best_consensus(&self) -> usize {
+        self.best
+    }
+
+    /// Per-read realignment outcomes, in read order.
+    pub fn outcomes(&self) -> &[ReadOutcome] {
+        &self.outcomes
+    }
+
+    /// The outcome for read `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn read_outcome(&self, j: usize) -> ReadOutcome {
+        self.outcomes[j]
+    }
+
+    /// Number of reads whose alignment changed.
+    pub fn realigned_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.realigned()).count()
+    }
+
+    /// Operation counts for this target.
+    pub fn ops(&self) -> OpCounts {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_genome::{Qual, Read};
+
+    fn figure4_target() -> RealignmentTarget {
+        RealignmentTarget::builder(20)
+            .reference("CCTTAGA".parse().unwrap())
+            .consensus("ACCTGAA".parse().unwrap())
+            .consensus("TCTGCCT".parse().unwrap())
+            .read(
+                Read::new(
+                    "r0",
+                    "TGAA".parse().unwrap(),
+                    Qual::from_raw_scores(&[10, 20, 45, 10]).unwrap(),
+                    0,
+                )
+                .unwrap(),
+            )
+            .read(
+                Read::new(
+                    "r1",
+                    "CCTC".parse().unwrap(),
+                    Qual::from_raw_scores(&[10, 60, 30, 20]).unwrap(),
+                    0,
+                )
+                .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_figure4() {
+        let result = IndelRealigner::new().realign(&figure4_target());
+        assert_eq!(result.best_consensus(), 1);
+        assert_eq!(result.scores(), &[0, 30, 35]);
+        assert_eq!(result.realigned_count(), 1);
+        assert_eq!(result.read_outcome(0).new_pos(), Some(23));
+    }
+
+    #[test]
+    fn pruning_does_not_change_decisions() {
+        let target = figure4_target();
+        let pruned = IndelRealigner::with_pruning(PruningMode::On).realign(&target);
+        let naive = IndelRealigner::with_pruning(PruningMode::Off).realign(&target);
+        assert_eq!(pruned.grid(), naive.grid());
+        assert_eq!(pruned.scores(), naive.scores());
+        assert_eq!(pruned.best_consensus(), naive.best_consensus());
+        assert_eq!(pruned.outcomes(), naive.outcomes());
+        assert!(pruned.ops().base_comparisons <= naive.ops().base_comparisons);
+    }
+
+    #[test]
+    fn reference_only_target_realigns_nothing() {
+        let target = RealignmentTarget::builder(0)
+            .reference("ACGTACGT".parse().unwrap())
+            .read(
+                Read::new(
+                    "r",
+                    "ACGT".parse().unwrap(),
+                    Qual::uniform(30, 4).unwrap(),
+                    0,
+                )
+                .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let result = IndelRealigner::new().realign(&target);
+        assert_eq!(result.best_consensus(), 0);
+        assert_eq!(result.realigned_count(), 0);
+    }
+
+    #[test]
+    fn realign_all_sums_ops() {
+        let targets = vec![figure4_target(), figure4_target()];
+        let realigner = IndelRealigner::new();
+        let (results, total) = realigner.realign_all(&targets);
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            total.base_comparisons,
+            results[0].ops().base_comparisons * 2
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Consensus scoring and selection (`Score_n_Select`, Algorithm 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::MinWhdGrid;
+use crate::stats::OpCounts;
+
+/// Which consensus-scoring rule to apply.
+///
+/// The paper's Algorithm 2 scores each consensus by the **absolute
+/// difference** of its min-WHDs against the reference's, summed over
+/// reads, and picks the minimum — the rule the deployed hardware
+/// implements and this crate's default. GATK's software realigner instead
+/// minimizes the **total min-WHD** of the reads against the consensus.
+/// Both agree on the paper's Figure 4; they can disagree on loci with
+/// several plausible candidate haplotypes (see the `accuracy_eval`
+/// bench, which quantifies the difference against ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SelectionRule {
+    /// Algorithm 2 as published: `score[i] = Σ_j |whd[i,j] − whd[0,j]|`,
+    /// lowest wins.
+    #[default]
+    AbsDiffVsReference,
+    /// GATK-style: `score[i] = Σ_j whd[i,j]`, lowest wins (the reference
+    /// row participates, so a consensus must beat the reference outright).
+    TotalMinWhd,
+}
+
+/// Scores every alternative consensus against the reference.
+///
+/// The score of consensus `i ≥ 1` is `Σ_j |min_whd[i,j] − min_whd[0,j]|`
+/// (Algorithm 2, lines 14–17). Index 0 of the returned vector is the
+/// reference and is conventionally 0; the selector never picks it through
+/// this path.
+///
+/// # Example
+///
+/// ```
+/// use ir_genome::{Qual, Read, RealignmentTarget};
+/// use ir_core::{score, MinWhdGrid, OpCounts};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let target = RealignmentTarget::builder(20)
+///     .reference("CCTTAGA".parse()?)
+///     .consensus("ACCTGAA".parse()?)
+///     .consensus("TCTGCCT".parse()?)
+///     .read(Read::new("r0", "TGAA".parse()?, Qual::from_raw_scores(&[10, 20, 45, 10])?, 0)?)
+///     .read(Read::new("r1", "CCTC".parse()?, Qual::from_raw_scores(&[10, 60, 30, 20])?, 0)?)
+///     .build()?;
+/// let mut ops = OpCounts::default();
+/// let grid = MinWhdGrid::compute(&target, true, &mut ops);
+/// let scores = score::score_consensuses(&grid, &mut ops);
+/// assert_eq!(scores, vec![0, 30, 35]); // paper Figure 4, step 4
+/// assert_eq!(score::select_best(&scores), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn score_consensuses(grid: &MinWhdGrid, ops: &mut OpCounts) -> Vec<u64> {
+    score_consensuses_with(grid, SelectionRule::AbsDiffVsReference, ops)
+}
+
+/// Scores consensuses under an explicit [`SelectionRule`].
+///
+/// Under [`SelectionRule::TotalMinWhd`] the returned vector carries the
+/// total min-WHD for *every* row, including the reference at index 0.
+pub fn score_consensuses_with(
+    grid: &MinWhdGrid,
+    rule: SelectionRule,
+    ops: &mut OpCounts,
+) -> Vec<u64> {
+    let mut scores = vec![0u64; grid.num_consensuses()];
+    let start = match rule {
+        SelectionRule::AbsDiffVsReference => 1,
+        SelectionRule::TotalMinWhd => 0,
+    };
+    for (i, slot) in scores.iter_mut().enumerate().skip(start) {
+        let mut score = 0u64;
+        for j in 0..grid.num_reads() {
+            score += match rule {
+                SelectionRule::AbsDiffVsReference => {
+                    grid.get(i, j).whd.abs_diff(grid.get(0, j).whd)
+                }
+                SelectionRule::TotalMinWhd => grid.get(i, j).whd,
+            };
+            ops.score_updates += 1;
+        }
+        *slot = score;
+    }
+    scores
+}
+
+/// Picks the best (lowest-scoring) alternative consensus.
+///
+/// Ties break toward the lower index, matching the hardware's
+/// "update only on strictly smaller score" comparator. Returns 0 (the
+/// reference) only when there are no alternative consensuses at all.
+pub fn select_best(scores: &[u64]) -> usize {
+    let mut best = if scores.len() > 1 { 1 } else { 0 };
+    for (i, &score) in scores.iter().enumerate().skip(2) {
+        if score < scores[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_genome::{Qual, Read, RealignmentTarget};
+
+    fn grid_for(target: &RealignmentTarget) -> MinWhdGrid {
+        let mut ops = OpCounts::default();
+        MinWhdGrid::compute(target, true, &mut ops)
+    }
+
+    fn figure4_target() -> RealignmentTarget {
+        RealignmentTarget::builder(20)
+            .reference("CCTTAGA".parse().unwrap())
+            .consensus("ACCTGAA".parse().unwrap())
+            .consensus("TCTGCCT".parse().unwrap())
+            .read(
+                Read::new(
+                    "r0",
+                    "TGAA".parse().unwrap(),
+                    Qual::from_raw_scores(&[10, 20, 45, 10]).unwrap(),
+                    0,
+                )
+                .unwrap(),
+            )
+            .read(
+                Read::new(
+                    "r1",
+                    "CCTC".parse().unwrap(),
+                    Qual::from_raw_scores(&[10, 60, 30, 20]).unwrap(),
+                    0,
+                )
+                .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure4_scores() {
+        let target = figure4_target();
+        let mut ops = OpCounts::default();
+        let scores = score_consensuses(&grid_for(&target), &mut ops);
+        assert_eq!(scores, vec![0, 30, 35]);
+        assert_eq!(ops.score_updates, 4); // 2 alternative consensuses × 2 reads
+    }
+
+    #[test]
+    fn best_is_lowest_alternative() {
+        assert_eq!(select_best(&[0, 30, 35]), 1);
+        assert_eq!(select_best(&[0, 40, 35]), 2);
+    }
+
+    #[test]
+    fn ties_break_low() {
+        assert_eq!(select_best(&[0, 10, 10, 10]), 1);
+        assert_eq!(select_best(&[0, 20, 10, 10]), 2);
+    }
+
+    #[test]
+    fn reference_only_returns_zero() {
+        assert_eq!(select_best(&[0]), 0);
+    }
+
+    #[test]
+    fn both_rules_agree_on_figure4() {
+        let target = figure4_target();
+        let grid = grid_for(&target);
+        let mut ops = OpCounts::default();
+        let paper = score_consensuses_with(&grid, SelectionRule::AbsDiffVsReference, &mut ops);
+        let gatk = score_consensuses_with(&grid, SelectionRule::TotalMinWhd, &mut ops);
+        assert_eq!(paper, vec![0, 30, 35]);
+        // Total min-WHD: ref 30+20, cons1 0+20, cons2 55+30.
+        assert_eq!(gatk, vec![50, 20, 85]);
+        assert_eq!(select_best(&paper), select_best(&gatk));
+    }
+
+    #[test]
+    fn rules_can_disagree() {
+        // A spurious consensus nearly identical to the reference scores 0
+        // under the paper's rule even though it explains nothing, while
+        // the true haplotype is penalized for improving on the reference.
+        use crate::MinWhd;
+        let cell = |whd| MinWhd { whd, offset: 0 };
+        // rows: ref, spurious (= ref), true haplotype.
+        let grid = MinWhdGrid::from_cells(
+            3,
+            2,
+            vec![cell(100), cell(100), cell(100), cell(100), cell(0), cell(0)],
+        );
+        let mut ops = OpCounts::default();
+        let paper = score_consensuses_with(&grid, SelectionRule::AbsDiffVsReference, &mut ops);
+        let gatk = score_consensuses_with(&grid, SelectionRule::TotalMinWhd, &mut ops);
+        assert_eq!(
+            select_best(&paper),
+            1,
+            "paper rule prefers the reference clone"
+        );
+        assert_eq!(
+            select_best(&gatk),
+            2,
+            "total-WHD rule finds the true haplotype"
+        );
+    }
+
+    #[test]
+    fn score_is_symmetric_absolute_difference() {
+        // A consensus *worse* than the reference on every read still gets a
+        // positive score — the paper scores similarity of distance profiles,
+        // not improvement.
+        let target = RealignmentTarget::builder(0)
+            .reference("AAAAAAAA".parse().unwrap())
+            .consensus("TTTTTTTT".parse().unwrap())
+            .read(
+                Read::new(
+                    "r",
+                    "AAAA".parse().unwrap(),
+                    Qual::uniform(10, 4).unwrap(),
+                    0,
+                )
+                .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let mut ops = OpCounts::default();
+        let scores = score_consensuses(&grid_for(&target), &mut ops);
+        assert_eq!(scores[1], 40); // |40 − 0|
+    }
+}

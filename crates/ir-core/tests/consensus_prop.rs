@@ -1,0 +1,101 @@
+//! Property test: consensus construction inverts INDEL injection.
+//!
+//! For any reference and any single INDEL, a read whose CIGAR asserts that
+//! INDEL must make `consensuses_from_reads` reconstruct the mutated
+//! haplotype exactly.
+
+use proptest::prelude::*;
+
+use ir_core::consensus::{consensuses_from_reads, IndelHypothesis};
+use ir_core::{IndelRealigner, SelectionRule};
+use ir_genome::{Base, Cigar, CigarOp, Qual, Read, RealignmentTarget, Sequence};
+
+fn base_strategy() -> impl Strategy<Value = Base> {
+    prop_oneof![Just(Base::A), Just(Base::C), Just(Base::G), Just(Base::T)]
+}
+
+prop_compose! {
+    /// A reference plus one INDEL placed so a spanning read exists.
+    fn indel_case()(
+        reference in prop::collection::vec(base_strategy(), 40..120),
+        deletion: bool,
+        indel_len in 1usize..6,
+        pos_frac in 0.3f64..0.7,
+        ins in prop::collection::vec(base_strategy(), 6),
+    ) -> (Sequence, bool, usize, Vec<Base>, usize) {
+        let reference = Sequence::new(reference);
+        // Keep the INDEL far enough from both ends that a 10-base-margin
+        // spanning read always fits, even on the shortened haplotype.
+        let margin = 10usize;
+        let raw = (reference.len() as f64 * pos_frac) as usize;
+        let pos = raw.clamp(margin, reference.len() - margin - indel_len - 1);
+        (reference, deletion, indel_len, ins, pos)
+    }
+}
+
+proptest! {
+    #[test]
+    fn construction_inverts_injection((reference, deletion, indel_len, ins, pos) in indel_case()) {
+        // Build the mutated haplotype and the asserting read by hand.
+        let hypothesis = if deletion {
+            IndelHypothesis::Deletion { pos, len: indel_len }
+        } else {
+            IndelHypothesis::Insertion { pos, bases: ins[..indel_len].to_vec() }
+        };
+        let haplotype = hypothesis.apply(&reference).expect("in range");
+
+        // A read spanning the INDEL: 10 haplotype bases each side.
+        let margin = 10usize;
+        let read_start_ref = pos - margin; // reference coordinates
+        let read_len = if deletion { 2 * margin } else { 2 * margin + indel_len };
+        let read_bases = haplotype.slice(read_start_ref, read_start_ref + read_len);
+        let cigar: Cigar = if deletion {
+            Cigar::new(vec![
+                (margin as u32, CigarOp::Match),
+                (indel_len as u32, CigarOp::Deletion),
+                (margin as u32, CigarOp::Match),
+            ])
+            .expect("non-zero runs")
+        } else {
+            Cigar::new(vec![
+                (margin as u32, CigarOp::Match),
+                (indel_len as u32, CigarOp::Insertion),
+                (margin as u32, CigarOp::Match),
+            ])
+            .expect("non-zero runs")
+        };
+        let read = Read::with_alignment(
+            "carrier",
+            read_bases,
+            Qual::uniform(38, read_len).expect("fixed score"),
+            read_start_ref as u64,
+            cigar,
+            60,
+        )
+        .expect("valid read");
+
+        // Extraction must see exactly the injected hypothesis…
+        let extracted = IndelHypothesis::from_read(&read);
+        prop_assert_eq!(extracted.len(), 1);
+
+        // …and construction must rebuild the haplotype byte-for-byte.
+        let candidates = consensuses_from_reads(&reference, std::slice::from_ref(&read), 32);
+        prop_assert_eq!(candidates.len(), 1);
+        prop_assert_eq!(&candidates[0].sequence, &haplotype);
+        prop_assert_eq!(candidates[0].support, 1);
+
+        // End to end: a target built from the constructed consensus picks
+        // it under the GATK-style rule (the read matches it exactly).
+        let target = RealignmentTarget::builder(0)
+            .reference(reference)
+            .consensus(candidates[0].sequence.clone())
+            .read(read)
+            .build()
+            .expect("valid target");
+        let result = IndelRealigner::new()
+            .with_selection_rule(SelectionRule::TotalMinWhd)
+            .realign(&target);
+        prop_assert_eq!(result.best_consensus(), 1);
+        prop_assert_eq!(result.grid().get(1, 0).whd, 0, "carrier read matches its haplotype");
+    }
+}

@@ -1,0 +1,205 @@
+//! Block-RAM geometry model.
+//!
+//! UltraScale+ BRAM36 primitives hold 36 kbit (4608 bytes) and are at most
+//! 72 bits wide (512 × 72 configuration). A logical buffer that must be
+//! `width_bits` wide and hold `bytes` of data therefore consumes a grid of
+//! BRAM36s: `ceil(width/72)` columns × `ceil(rows/512)` row-groups, where
+//! each row stores `width_bits/8` bytes.
+//!
+//! The IR unit's buffers are the dominant BRAM consumers (paper §III-A:
+//! "the number of IR units … is limited by the number of block RAM cells
+//! available because we leverage data reuse aggressively").
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes of storage in one BRAM36 primitive (36 kbit).
+pub const BRAM36_BYTES: usize = 4608;
+
+/// Maximum data width of one BRAM36 primitive (512 × 72 mode).
+pub const BRAM36_MAX_WIDTH_BITS: usize = 72;
+
+/// A logical on-chip buffer: capacity plus required port width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufferSpec {
+    /// Human-readable name (for resource reports).
+    pub name: &'static str,
+    /// Capacity in bytes.
+    pub bytes: usize,
+    /// Read-port width in bits the datapath needs every cycle.
+    pub width_bits: usize,
+}
+
+impl BufferSpec {
+    /// Number of BRAM36 primitives this buffer maps to.
+    pub fn bram36_blocks(&self) -> usize {
+        bram36_blocks(self.bytes, self.width_bits)
+    }
+}
+
+/// Number of BRAM36 primitives needed for a buffer of `bytes` with a
+/// `width_bits`-wide port.
+///
+/// # Panics
+///
+/// Panics if `width_bits` is zero or not a multiple of 8.
+pub fn bram36_blocks(bytes: usize, width_bits: usize) -> usize {
+    assert!(
+        width_bits > 0 && width_bits.is_multiple_of(8),
+        "port width must be a positive byte multiple"
+    );
+    if bytes == 0 {
+        return 0;
+    }
+    let columns = width_bits.div_ceil(BRAM36_MAX_WIDTH_BITS);
+    let bytes_per_row = width_bits / 8;
+    let rows = bytes.div_ceil(bytes_per_row);
+    let row_groups = rows.div_ceil(512);
+    columns * row_groups
+}
+
+/// The five per-unit DMA-visible buffers plus the selector's three
+/// dist/pos buffers (paper Figures 5 and 6), with the port widths of the
+/// data-parallel design (32-byte block reads).
+pub fn unit_buffers() -> Vec<BufferSpec> {
+    vec![
+        // Input buffer #1: 32 consensuses × 2048 B, 256-bit block reads.
+        BufferSpec {
+            name: "consensus bases",
+            bytes: 32 * 2048,
+            width_bits: 256,
+        },
+        // Input buffer #2: 256 reads × 256 B.
+        BufferSpec {
+            name: "read bases",
+            bytes: 256 * 256,
+            width_bits: 256,
+        },
+        // Input buffer #3: 256 quality vectors × 256 B.
+        BufferSpec {
+            name: "read quality scores",
+            bytes: 256 * 256,
+            width_bits: 256,
+        },
+        // Output buffer #1: realign flag per read.
+        BufferSpec {
+            name: "realign flags",
+            bytes: 256,
+            width_bits: 8,
+        },
+        // Output buffer #2: 4-byte new position per read.
+        BufferSpec {
+            name: "new positions",
+            bytes: 256 * 4,
+            width_bits: 32,
+        },
+        // Selector state: dist (4 B) + pos (2 B) per read, for the
+        // reference, current and running-minimum consensuses.
+        BufferSpec {
+            name: "selector ref dist/pos",
+            bytes: 256 * 6,
+            width_bits: 48,
+        },
+        BufferSpec {
+            name: "selector curr dist/pos",
+            bytes: 256 * 6,
+            width_bits: 48,
+        },
+        BufferSpec {
+            name: "selector min dist/pos",
+            bytes: 256 * 6,
+            width_bits: 48,
+        },
+    ]
+}
+
+/// Total BRAM36 primitives one IR unit's buffers consume.
+pub fn unit_bram36_blocks() -> usize {
+    unit_buffers().iter().map(BufferSpec::bram36_blocks).sum()
+}
+
+/// The road not taken: unit buffers if bases were packed 3 bits each
+/// ("the bases can be implemented using 3 bits to represent A,C,T,G,N" —
+/// §III-A). Base buffers shrink to 3/8 of their size with 96-bit ports
+/// (32 bases/cycle), quality scores stay byte-wide.
+///
+/// The paper rejects this: byte-per-base "enables byte- and block-aligned
+/// reads from memory and simple data manipulation such as index decoding
+/// and masking". [`packed_bases_unit_bram36_blocks`] quantifies what that
+/// simplicity costs in block RAM.
+pub fn packed_bases_unit_bram36_blocks() -> usize {
+    unit_buffers()
+        .iter()
+        .map(|buf| match buf.name {
+            // 3-bit bases, 32 per cycle → 96-bit ports.
+            "consensus bases" | "read bases" => bram36_blocks(buf.bytes * 3 / 8, 96),
+            _ => buf.bram36_blocks(),
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_block_cases() {
+        // A tiny byte-wide buffer is one block.
+        assert_eq!(bram36_blocks(256, 8), 1);
+        // Exactly one full block.
+        assert_eq!(bram36_blocks(BRAM36_BYTES, 72), 1);
+        assert_eq!(bram36_blocks(0, 8), 0);
+    }
+
+    #[test]
+    fn wide_ports_cost_columns() {
+        // 256-bit port ⇒ 4 columns even for small capacity.
+        assert_eq!(bram36_blocks(128, 256), 4);
+    }
+
+    #[test]
+    fn deep_buffers_cost_row_groups() {
+        // 64 KiB at 256-bit: 2048 rows of 32 B ⇒ 4 row-groups × 4 columns.
+        assert_eq!(bram36_blocks(65_536, 256), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte multiple")]
+    fn rejects_non_byte_widths() {
+        let _ = bram36_blocks(100, 9);
+    }
+
+    #[test]
+    fn unit_buffer_inventory_matches_figure6() {
+        let buffers = unit_buffers();
+        let consensus = buffers
+            .iter()
+            .find(|b| b.name == "consensus bases")
+            .unwrap();
+        assert_eq!(consensus.bytes, 65_536);
+        let total_io: usize = buffers
+            .iter()
+            .filter(|b| !b.name.starts_with("selector"))
+            .map(|b| b.bytes)
+            .sum();
+        // 3 × 64 KiB inputs + 256 B flags + 1 KiB positions.
+        assert_eq!(total_io, 3 * 65_536 + 256 + 1024);
+    }
+
+    #[test]
+    fn unit_block_count_is_stable() {
+        // 3 × 16 (inputs) + 1 + 1 (outputs) + 3 (selector) = 53.
+        assert_eq!(unit_bram36_blocks(), 53);
+    }
+
+    #[test]
+    fn packed_bases_save_bram_but_were_rejected() {
+        let byte_aligned = unit_bram36_blocks();
+        let packed = packed_bases_unit_bram36_blocks();
+        assert!(
+            packed < byte_aligned,
+            "3-bit packing must shrink the base buffers"
+        );
+        // Both base buffers drop from 16 to 8 blocks: 53 → 37.
+        assert_eq!(packed, 37);
+    }
+}

@@ -1,0 +1,226 @@
+//! The host control program's functional path.
+//!
+//! The paper's control programs "1) malloc input/output arrays in the
+//! host memory, 2) transfer large data chunks from the host to the
+//! FPGA-attached DRAM ..., 3) configure and start the accelerators one
+//! unit at a time ..., and 4) wait for responses and configure and start
+//! the units that are finished with the previous task" (§V-A).
+//!
+//! [`crate::system::AcceleratedSystem`] models that loop's *timing*; this
+//! module executes it *functionally*: every target really is encoded into
+//! host buffer images, configured through RoCC wire commands routed via
+//! the MMIO queues, executed on an [`IrUnit`], and read back by decoding
+//! the output buffers. It is the strongest end-to-end check that the ISA,
+//! the buffer layout, the codec and the datapath compose correctly.
+
+use ir_core::ReadOutcome;
+use ir_genome::RealignmentTarget;
+
+use crate::isa::IrCommand;
+use crate::layout::{decode_outputs, encode_outputs, HostBuffers};
+use crate::mmio::{MmioHub, UnitResponse};
+use crate::params::FpgaParams;
+use crate::unit::{IrUnit, UnitCycles};
+use crate::FpgaError;
+
+/// The outcome of one target driven through the full functional path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverRun {
+    /// Unit that executed the target.
+    pub unit_id: usize,
+    /// Decoded per-read outcomes (from the output buffer images).
+    pub outcomes: Vec<ReadOutcome>,
+    /// Cycle breakdown reported by the unit.
+    pub cycles: UnitCycles,
+}
+
+/// A host driver bound to a sea of units through one MMIO hub.
+#[derive(Debug)]
+pub struct HostDriver {
+    params: FpgaParams,
+    hub: MmioHub,
+    units: Vec<IrUnit>,
+}
+
+impl HostDriver {
+    /// Creates a driver for `params.num_units` units.
+    ///
+    /// # Errors
+    ///
+    /// Propagates floorplan/timing validation from
+    /// [`crate::resources::validate`].
+    pub fn new(params: FpgaParams) -> Result<Self, FpgaError> {
+        crate::resources::validate(&params)?;
+        let units = (0..params.num_units).map(IrUnit::new).collect();
+        Ok(HostDriver {
+            params,
+            hub: MmioHub::new(64),
+            units,
+        })
+    }
+
+    /// Number of units under this driver.
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Drives one target end to end on `unit_id`: build buffer images,
+    /// issue the RoCC command sequence through the MMIO hub and router,
+    /// execute, post and poll the response, and decode the output buffers.
+    ///
+    /// # Errors
+    ///
+    /// - [`FpgaError::NoSuchUnit`] for an out-of-range unit.
+    /// - [`FpgaError::BufferOverflow`] if the target exceeds the unit's
+    ///   buffers.
+    /// - Any configuration error surfaced by the unit's command FSM.
+    pub fn run_target(
+        &mut self,
+        unit_id: usize,
+        target: &RealignmentTarget,
+    ) -> Result<DriverRun, FpgaError> {
+        if unit_id >= self.units.len() {
+            return Err(FpgaError::NoSuchUnit {
+                unit: unit_id,
+                available: self.units.len(),
+            });
+        }
+        // Step 1–2: host arrays and the DMA image.
+        let buffers = HostBuffers::from_target(target);
+        buffers.check_fit()?;
+
+        // Step 3: configure and start through the MMIO command queue; the
+        // router pops and dispatches to the addressed unit.
+        for cmd in IrUnit::command_sequence(target, unit_id as u8) {
+            self.hub.push_command(cmd.encode())?;
+            let wire = self.hub.pop_command().expect("just enqueued");
+            let decoded = IrCommand::decode(wire)?;
+            self.units[unit_id].apply(decoded)?;
+        }
+
+        // Execute; the unit posts its completion response.
+        let run = self.units[unit_id].execute(target, &self.params)?;
+        self.hub.push_response(UnitResponse {
+            unit_id,
+            cycles: run.cycles.total(),
+        });
+
+        // Step 4: poll the response, then read back and decode the output
+        // buffers.
+        let response = self.hub.poll_response().ok_or(FpgaError::NoResponse)?;
+        let (flags, positions) = encode_outputs(&run.outcomes, target.start_pos());
+        let outcomes = decode_outputs(&flags, &positions, target.num_reads(), target.start_pos())?;
+
+        Ok(DriverRun {
+            unit_id: response.unit_id,
+            outcomes,
+            cycles: run.cycles,
+        })
+    }
+
+    /// Drives a batch of targets round-robin across all units.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first target that errors.
+    pub fn run_batch(
+        &mut self,
+        targets: &[RealignmentTarget],
+    ) -> Result<Vec<DriverRun>, FpgaError> {
+        targets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| self.run_target(i % self.units.len(), t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_core::IndelRealigner;
+    use ir_genome::{Qual, Read};
+
+    fn figure4_target() -> RealignmentTarget {
+        RealignmentTarget::builder(20)
+            .reference("CCTTAGA".parse().unwrap())
+            .consensus("ACCTGAA".parse().unwrap())
+            .consensus("TCTGCCT".parse().unwrap())
+            .read(
+                Read::new(
+                    "r0",
+                    "TGAA".parse().unwrap(),
+                    Qual::from_raw_scores(&[10, 20, 45, 10]).unwrap(),
+                    0,
+                )
+                .unwrap(),
+            )
+            .read(
+                Read::new(
+                    "r1",
+                    "CCTC".parse().unwrap(),
+                    Qual::from_raw_scores(&[10, 60, 30, 20]).unwrap(),
+                    0,
+                )
+                .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn full_functional_path_matches_golden() {
+        let mut driver = HostDriver::new(FpgaParams::iracc()).unwrap();
+        let target = figure4_target();
+        let run = driver.run_target(3, &target).unwrap();
+        assert_eq!(run.unit_id, 3);
+        let golden = IndelRealigner::new().realign(&target);
+        // The decoded outcomes carry realign decisions and positions (the
+        // offset for non-realigned reads is not transmitted).
+        for (got, want) in run.outcomes.iter().zip(golden.outcomes()) {
+            assert_eq!(got.realigned(), want.realigned());
+            assert_eq!(got.new_pos(), want.new_pos());
+        }
+    }
+
+    #[test]
+    fn batch_round_robins_units() {
+        let params = FpgaParams {
+            num_units: 4,
+            ..FpgaParams::iracc()
+        };
+        let mut driver = HostDriver::new(params).unwrap();
+        let targets = vec![figure4_target(); 6];
+        let runs = driver.run_batch(&targets).unwrap();
+        let units: Vec<usize> = runs.iter().map(|r| r.unit_id).collect();
+        assert_eq!(units, vec![0, 1, 2, 3, 0, 1]);
+        for unit in &driver.units[..2] {
+            assert_eq!(unit.targets_completed(), 2);
+        }
+    }
+
+    #[test]
+    fn out_of_range_unit_is_rejected() {
+        let params = FpgaParams {
+            num_units: 2,
+            ..FpgaParams::iracc()
+        };
+        let mut driver = HostDriver::new(params).unwrap();
+        let err = driver.run_target(5, &figure4_target()).unwrap_err();
+        assert!(matches!(
+            err,
+            FpgaError::NoSuchUnit {
+                unit: 5,
+                available: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn driver_reports_cycles() {
+        let mut driver = HostDriver::new(FpgaParams::serial()).unwrap();
+        let run = driver.run_target(0, &figure4_target()).unwrap();
+        assert!(run.cycles.total() > 0);
+        assert!(run.cycles.hdc > run.cycles.selector);
+    }
+}

@@ -1,0 +1,320 @@
+//! The Hamming Distance Calculator (HDC) stage — cycle model.
+//!
+//! The HDC is the first of the IR unit's two stages (paper Figure 5). The
+//! base design compares **one base per cycle** and accumulates the quality
+//! score on a mismatch. The optimized design (Figure 8) reads a 32-byte
+//! block from block RAM each cycle and performs **32 compares and 32
+//! accumulates per cycle**; two consecutive consensus blocks are kept in
+//! registers so the shifted window never needs a second read port.
+//!
+//! Both designs implement computation pruning: a register tracks the
+//! running minimum WHD for the current (consensus, read) pair, and the
+//! scan of an offset stops as soon as its running sum exceeds that minimum
+//! (paper §III-A). Pruning granularity is one *cycle*: the serial design
+//! can stop after any base, the data-parallel design only after each
+//! 32-byte block — one of the accuracy-preserving costs of data
+//! parallelism this model captures.
+
+use ir_core::MinWhd;
+use ir_genome::{Qual, Sequence};
+
+/// Configuration of the HDC stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HdcConfig {
+    /// Comparisons per cycle: 1 (base design) or 32 (Figure 8).
+    pub lanes: usize,
+    /// Computation pruning enabled.
+    pub pruning: bool,
+    /// Fixed cycles of setup per (consensus, read) pair (pointer loads and
+    /// min-register reset).
+    pub pair_overhead_cycles: u64,
+    /// Blocks that are already in flight when the prune comparator's
+    /// verdict arrives. The serial design closes compare → accumulate →
+    /// prune-check in one cycle (latency 0); the 32-lane design's 32-input
+    /// adder tree plus minimum comparison takes ~2 extra cycles, so two
+    /// more blocks issue before an offset's scan can stop.
+    pub prune_latency_blocks: u64,
+}
+
+impl HdcConfig {
+    /// The base serial design with pruning.
+    pub fn serial() -> Self {
+        HdcConfig {
+            lanes: 1,
+            pruning: true,
+            pair_overhead_cycles: 2,
+            prune_latency_blocks: 0,
+        }
+    }
+
+    /// The Figure 8 data-parallel design with pruning.
+    pub fn data_parallel() -> Self {
+        HdcConfig {
+            lanes: 32,
+            prune_latency_blocks: 2,
+            ..HdcConfig::serial()
+        }
+    }
+}
+
+impl Default for HdcConfig {
+    fn default() -> Self {
+        HdcConfig::data_parallel()
+    }
+}
+
+/// Result of scanning one (consensus, read) pair through the HDC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PairRun {
+    /// The minimum weighted Hamming distance and its offset — identical to
+    /// the golden model's result.
+    pub min: MinWhd,
+    /// Cycles the scan occupied the HDC pipeline.
+    pub cycles: u64,
+    /// Base comparisons executed (each lane-slot holding a valid base).
+    pub comparisons: u64,
+    /// Offsets whose scan was abandoned by pruning.
+    pub offsets_pruned: u64,
+}
+
+/// Scans `read` along `consensus` and returns the minimum WHD together
+/// with the cycle cost of the scan.
+///
+/// Functionally this is exactly Algorithm 1 for a single (consensus, read)
+/// pair; the block structure only affects *when* pruning can stop a scan,
+/// never the result.
+///
+/// # Panics
+///
+/// Panics if the read is longer than the consensus, if `quals` is shorter
+/// than the read, or if `lanes` is zero.
+pub fn run_pair(consensus: &Sequence, read: &Sequence, quals: &Qual, cfg: HdcConfig) -> PairRun {
+    assert!(cfg.lanes > 0, "HDC must have at least one lane");
+    let cons = consensus.bases();
+    let bases = read.bases();
+    let scores = quals.scores();
+    assert!(bases.len() <= cons.len(), "read longer than consensus");
+    assert!(scores.len() >= bases.len(), "missing quality scores");
+
+    let n = bases.len();
+    let max_k = cons.len() - n;
+    let mut min = MinWhd {
+        whd: u64::MAX,
+        offset: 0,
+    };
+    let mut cycles = cfg.pair_overhead_cycles;
+    let mut comparisons = 0u64;
+    let mut offsets_pruned = 0u64;
+
+    for k in 0..=max_k {
+        let mut whd = 0u64;
+        let mut pruned = false;
+        let mut block_start = 0usize;
+        // Blocks still in flight once the prune verdict lands.
+        let mut drain: Option<u64> = None;
+        while block_start < n {
+            let block_end = (block_start + cfg.lanes).min(n);
+            cycles += 1;
+            comparisons += (block_end - block_start) as u64;
+            for idx in block_start..block_end {
+                if cons[k + idx] != bases[idx] {
+                    whd += u64::from(scores[idx]);
+                }
+            }
+            if let Some(remaining) = drain.as_mut() {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    break;
+                }
+            } else if cfg.pruning && whd > min.whd {
+                // The prune comparator evaluates after the block's
+                // accumulate settles; with a pipelined adder tree the stop
+                // takes effect `prune_latency_blocks` blocks later.
+                pruned = true;
+                if cfg.prune_latency_blocks == 0 {
+                    break;
+                }
+                drain = Some(cfg.prune_latency_blocks);
+            }
+            block_start = block_end;
+        }
+        if pruned {
+            offsets_pruned += 1;
+        } else if whd < min.whd {
+            min = MinWhd { whd, offset: k };
+        }
+    }
+    debug_assert_ne!(min.whd, u64::MAX, "offset 0 always completes");
+    PairRun {
+        min,
+        cycles,
+        comparisons,
+        offsets_pruned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_core::{calc_whd, OpCounts};
+    use ir_genome::{Read, RealignmentTarget};
+
+    fn fixture() -> (Sequence, Sequence, Qual) {
+        (
+            "CCTTAGA".parse().unwrap(),
+            "TGAA".parse().unwrap(),
+            Qual::from_raw_scores(&[10, 20, 45, 10]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn serial_min_matches_golden_model() {
+        let (cons, read, quals) = fixture();
+        let run = run_pair(&cons, &read, &quals, HdcConfig::serial());
+        assert_eq!(run.min, MinWhd { whd: 30, offset: 2 });
+    }
+
+    #[test]
+    fn data_parallel_min_matches_serial() {
+        let (cons, read, quals) = fixture();
+        let serial = run_pair(&cons, &read, &quals, HdcConfig::serial());
+        let parallel = run_pair(&cons, &read, &quals, HdcConfig::data_parallel());
+        assert_eq!(serial.min, parallel.min);
+        assert!(parallel.cycles < serial.cycles);
+    }
+
+    #[test]
+    fn unpruned_serial_cycle_count_is_exact() {
+        let (cons, read, quals) = fixture();
+        let cfg = HdcConfig {
+            lanes: 1,
+            pruning: false,
+            pair_overhead_cycles: 0,
+            ..HdcConfig::serial()
+        };
+        let run = run_pair(&cons, &read, &quals, cfg);
+        // 4 offsets × 4 bases = 16 compare cycles.
+        assert_eq!(run.cycles, 16);
+        assert_eq!(run.comparisons, 16);
+        assert_eq!(run.offsets_pruned, 0);
+    }
+
+    #[test]
+    fn unpruned_parallel_cycle_count_is_block_count() {
+        let cons: Sequence = "A".repeat(100).parse().unwrap();
+        let read: Sequence = "A".repeat(64).parse().unwrap();
+        let quals = Qual::uniform(30, 64).unwrap();
+        let cfg = HdcConfig {
+            lanes: 32,
+            pruning: false,
+            pair_overhead_cycles: 0,
+            ..HdcConfig::serial()
+        };
+        let run = run_pair(&cons, &read, &quals, cfg);
+        // 37 offsets × ceil(64/32) = 74 cycles.
+        assert_eq!(run.cycles, 74);
+        assert_eq!(run.comparisons, 37 * 64);
+    }
+
+    #[test]
+    fn pruning_reduces_cycles_but_not_result() {
+        let (cons, read, quals) = fixture();
+        let pruned = run_pair(&cons, &read, &quals, HdcConfig::serial());
+        let naive = run_pair(
+            &cons,
+            &read,
+            &quals,
+            HdcConfig {
+                pruning: false,
+                ..HdcConfig::serial()
+            },
+        );
+        assert_eq!(pruned.min, naive.min);
+        assert!(pruned.cycles < naive.cycles);
+        assert!(pruned.offsets_pruned > 0);
+    }
+
+    #[test]
+    fn serial_comparisons_match_golden_pruned_counts() {
+        // The serial HDC's executed-comparison count must equal the golden
+        // model's pruned base_comparisons for the same pair.
+        let target = RealignmentTarget::builder(0)
+            .reference("CCTTAGACCTGATTACAGGA".parse().unwrap())
+            .read(
+                Read::new(
+                    "r",
+                    "TGAA".parse().unwrap(),
+                    Qual::from_raw_scores(&[10, 20, 45, 10]).unwrap(),
+                    0,
+                )
+                .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let mut ops = OpCounts::default();
+        let _ = ir_core::MinWhdGrid::compute(&target, true, &mut ops);
+        let run = run_pair(
+            target.reference(),
+            target.read(0).bases(),
+            target.read(0).quals(),
+            HdcConfig::serial(),
+        );
+        assert_eq!(run.comparisons, ops.base_comparisons);
+    }
+
+    #[test]
+    fn parallel_result_matches_full_whd_scan() {
+        // Cross-check every offset against the kernel directly on a
+        // mismatch-rich pair.
+        let cons: Sequence = "ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT".parse().unwrap();
+        let read: Sequence = "TTTTACGTACGTACGTACGTACGTACGTACGTACGT".parse().unwrap();
+        let quals = Qual::uniform(17, read.len()).unwrap();
+        let run = run_pair(&cons, &read, &quals, HdcConfig::data_parallel());
+        let expected = (0..=(cons.len() - read.len()))
+            .map(|k| calc_whd(&cons, &read, &quals, k))
+            .min()
+            .unwrap();
+        assert_eq!(run.min.whd, expected);
+    }
+
+    #[test]
+    fn pair_overhead_is_charged_once() {
+        let (cons, read, quals) = fixture();
+        let base = run_pair(
+            &cons,
+            &read,
+            &quals,
+            HdcConfig {
+                pair_overhead_cycles: 0,
+                ..HdcConfig::serial()
+            },
+        );
+        let with_overhead = run_pair(
+            &cons,
+            &read,
+            &quals,
+            HdcConfig {
+                pair_overhead_cycles: 7,
+                ..HdcConfig::serial()
+            },
+        );
+        assert_eq!(with_overhead.cycles, base.cycles + 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_panics() {
+        let (cons, read, quals) = fixture();
+        let _ = run_pair(
+            &cons,
+            &read,
+            &quals,
+            HdcConfig {
+                lanes: 0,
+                pruning: true,
+                pair_overhead_cycles: 0,
+                ..HdcConfig::serial()
+            },
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! The SDAccel/HLS build the paper compares against (§V-B "Comparison with
+//! HLS").
+//!
+//! The paper also implemented the accelerator through the Xilinx SDAccel
+//! high-level-synthesis flow and measured only a 1.3–3.1× speedup over
+//! GATK3, for three reasons this model captures:
+//!
+//! 1. **Xilinx OpenCL caps asynchronously schedulable compute units at
+//!    16**, halving task parallelism.
+//! 2. **HLS could not extract the coarse-grained parallelism** of the
+//!    hand-written 32-lane Hamming distance calculator, "due to ambiguous
+//!    memory dependencies and aliasing present in the algorithm". Loop
+//!    pipelining with array partitioning still buys a modest fixed unroll
+//!    of the innermost byte loop — but at an initiation interval above 1,
+//!    and without inferring the data-dependent pruning branch.
+//! 3. Once the generated design failed timing or performance goals it was
+//!    effectively undebuggable ("a large number of unreadable states and
+//!    variables"), so these inefficiencies stuck.
+
+use crate::params::FpgaParams;
+use crate::system::{AcceleratedSystem, Scheduling};
+use crate::FpgaError;
+
+/// OpenCL's hard limit on asynchronously scheduled compute units.
+pub const OPENCL_MAX_COMPUTE_UNITS: usize = 16;
+
+/// Bytes per cycle the HLS-pipelined inner loop issues (automatic
+/// partial unroll via array partitioning — far short of the hand-written
+/// 32-lane datapath).
+pub const HLS_UNROLL_LANES: usize = 4;
+
+/// Pipeline inefficiency of the generated kernel relative to the Chisel
+/// datapath: the unrolled loop schedules at initiation interval 2.
+pub const HLS_COMPUTE_OVERHEAD: f64 = 2.0;
+
+/// Parameters of the HLS build: 16 compute units, 4-byte partial unroll at
+/// II=2, no computation pruning.
+pub fn hls_params() -> FpgaParams {
+    FpgaParams {
+        num_units: OPENCL_MAX_COMPUTE_UNITS,
+        lanes: HLS_UNROLL_LANES,
+        pruning: false,
+        compute_overhead: HLS_COMPUTE_OVERHEAD,
+        ..FpgaParams::serial()
+    }
+}
+
+/// Builds the HLS system (asynchronous scheduling through the OpenCL
+/// command queue, limited to 16 compute units).
+///
+/// # Errors
+///
+/// Propagates floorplan/timing validation errors (the 16-unit HLS design
+/// always fits).
+///
+/// # Example
+///
+/// ```
+/// use ir_fpga::hls::hls_system;
+///
+/// let system = hls_system()?;
+/// assert_eq!(system.params().num_units, 16);
+/// assert!(!system.params().pruning);
+/// # Ok::<(), ir_fpga::FpgaError>(())
+/// ```
+pub fn hls_system() -> Result<AcceleratedSystem, FpgaError> {
+    AcceleratedSystem::new(hls_params(), Scheduling::Asynchronous)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_genome::{Qual, Read, RealignmentTarget, Sequence};
+
+    fn workload() -> Vec<RealignmentTarget> {
+        (0..24)
+            .map(|s| {
+                let cons_len = 384 + 16 * (s % 5);
+                let reference: Sequence = (0..cons_len)
+                    .map(|i| ir_genome::Base::from_index((i * 3 + s) % 4))
+                    .collect();
+                let alt: Sequence = (0..cons_len)
+                    .map(|i| ir_genome::Base::from_index((i * 3 + s + (i % 11 == 0) as usize) % 4))
+                    .collect();
+                let mut b = RealignmentTarget::builder(s as u64 * 100)
+                    .reference(reference.clone())
+                    .consensus(alt);
+                for j in 0..6 {
+                    let off = (j * 13) % (cons_len - 24);
+                    b = b.read(
+                        Read::new(
+                            format!("r{j}"),
+                            reference.slice(off, off + 24),
+                            Qual::uniform(30, 24).unwrap(),
+                            0,
+                        )
+                        .unwrap(),
+                    );
+                }
+                b.build().unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hls_config_shape() {
+        let p = hls_params();
+        assert_eq!(p.num_units, 16);
+        assert_eq!(p.lanes, HLS_UNROLL_LANES);
+        assert!(!p.pruning);
+        assert!(p.compute_overhead > 1.0);
+        // Net issue rate is 2 bytes/cycle/unit — 16× below the Chisel
+        // datapath's 32.
+        assert!((p.lanes as f64 / p.compute_overhead) < 32.0 / 8.0);
+    }
+
+    #[test]
+    fn hls_is_much_slower_than_iracc() {
+        let targets = workload();
+        let hls = hls_system().unwrap().run(&targets);
+        let iracc = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous)
+            .unwrap()
+            .run(&targets);
+        // 2× fewer units × no pruning × serial lanes × pipeline overhead:
+        // well over an order of magnitude.
+        assert!(hls.wall_time_s > 10.0 * iracc.wall_time_s);
+    }
+
+    #[test]
+    fn hls_results_are_still_correct() {
+        let targets = workload();
+        let hls = hls_system().unwrap().run(&targets);
+        let golden = ir_core::IndelRealigner::new();
+        for (run, target) in hls.results.iter().zip(targets.iter()) {
+            let want = golden.realign(target);
+            assert_eq!(run.best, want.best_consensus());
+            assert_eq!(run.outcomes, want.outcomes());
+        }
+    }
+}

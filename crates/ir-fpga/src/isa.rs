@@ -1,0 +1,306 @@
+//! The five-command IR accelerator ISA (paper Table I).
+//!
+//! Per target, the host issues: five `ir_set_addr` (three input and two
+//! output buffer addresses), one `ir_set_target`, one `ir_set_size`, up to
+//! 32 `ir_set_len` (one per consensus), and finally `ir_start`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rocc::RoccInstruction;
+use crate::FpgaError;
+
+/// The five DMA buffers each IR unit owns (paper Figure 6, left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum BufferIndex {
+    /// Input buffer #1: consensus bases (32 × 2048 bytes).
+    ConsensusBases = 0,
+    /// Input buffer #2: read bases (256 × 256 bytes).
+    ReadBases = 1,
+    /// Input buffer #3: read quality scores (256 × 256 bytes).
+    ReadQuals = 2,
+    /// Output buffer #1: realign flags (256 × 1 byte).
+    RealignFlags = 3,
+    /// Output buffer #2: new read positions (256 × 4 bytes).
+    NewPositions = 4,
+}
+
+impl BufferIndex {
+    /// All five buffers in command-issue order.
+    pub const ALL: [BufferIndex; 5] = [
+        BufferIndex::ConsensusBases,
+        BufferIndex::ReadBases,
+        BufferIndex::ReadQuals,
+        BufferIndex::RealignFlags,
+        BufferIndex::NewPositions,
+    ];
+
+    /// Decodes a buffer index from its wire value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidCommand`] for values ≥ 5.
+    pub fn from_wire(value: u64) -> Result<Self, FpgaError> {
+        Self::ALL
+            .get(value as usize)
+            .copied()
+            .ok_or(FpgaError::InvalidCommand(value as u32))
+    }
+
+    /// Whether this is one of the three input buffers.
+    pub fn is_input(self) -> bool {
+        matches!(
+            self,
+            BufferIndex::ConsensusBases | BufferIndex::ReadBases | BufferIndex::ReadQuals
+        )
+    }
+
+    /// Capacity of this buffer in bytes, per the paper's structure sizes.
+    pub fn capacity_bytes(self) -> usize {
+        match self {
+            BufferIndex::ConsensusBases => 32 * 2048,
+            BufferIndex::ReadBases | BufferIndex::ReadQuals => 256 * 256,
+            BufferIndex::RealignFlags => 256,
+            BufferIndex::NewPositions => 256 * 4,
+        }
+    }
+}
+
+/// RoCC `function` field values for the five IR commands.
+mod funct {
+    pub const SET_ADDR: u8 = 0;
+    pub const SET_TARGET: u8 = 1;
+    pub const SET_SIZE: u8 = 2;
+    pub const SET_LEN: u8 = 3;
+    pub const START: u8 = 4;
+}
+
+/// One decoded IR accelerator command (paper Table I).
+///
+/// # Example
+///
+/// ```
+/// use ir_fpga::{BufferIndex, IrCommand};
+///
+/// let cmd = IrCommand::SetSize { consensuses: 3, reads: 2 };
+/// let wire = cmd.encode();
+/// assert_eq!(IrCommand::decode(wire)?, cmd);
+/// # Ok::<(), ir_fpga::FpgaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IrCommand {
+    /// `ir_set_addr <buffer index> <mem addr>`: set the FPGA-DRAM address
+    /// of one of the five DMA buffers.
+    SetAddr {
+        /// Which buffer.
+        buffer: BufferIndex,
+        /// FPGA-attached DRAM byte address.
+        addr: u64,
+    },
+    /// `ir_set_target <target addr>`: absolute start position of the
+    /// current target (added to realignment offsets on output).
+    SetTarget {
+        /// Absolute genomic start position.
+        start_pos: u64,
+    },
+    /// `ir_set_size <# consensuses> <# reads>`.
+    SetSize {
+        /// Number of consensuses, including the reference (≤ 32).
+        consensuses: u8,
+        /// Number of reads (≤ 256).
+        reads: u16,
+    },
+    /// `ir_set_len <consensus id> <consensus length>`.
+    SetLen {
+        /// Which consensus (0 = reference).
+        consensus_id: u8,
+        /// Length in bytes (≤ 2048).
+        len: u16,
+    },
+    /// `ir_start <unit id>`: start the configured unit.
+    Start {
+        /// Which IR unit to launch.
+        unit_id: u8,
+    },
+}
+
+/// A command as it travels over the AXI-Lite MMIO interface: the RoCC word
+/// plus the two 64-bit operand register values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WireCommand {
+    /// The 32-bit RoCC instruction word.
+    pub instruction: RoccInstruction,
+    /// Value of operand register 1.
+    pub rs1_value: u64,
+    /// Value of operand register 2.
+    pub rs2_value: u64,
+}
+
+impl IrCommand {
+    /// Encodes the command into its wire form.
+    pub fn encode(&self) -> WireCommand {
+        let (funct, rs1_value, rs2_value, xd) = match *self {
+            IrCommand::SetAddr { buffer, addr } => (funct::SET_ADDR, buffer as u64, addr, false),
+            IrCommand::SetTarget { start_pos } => (funct::SET_TARGET, start_pos, 0, false),
+            IrCommand::SetSize { consensuses, reads } => (
+                funct::SET_SIZE,
+                u64::from(consensuses),
+                u64::from(reads),
+                false,
+            ),
+            IrCommand::SetLen { consensus_id, len } => (
+                funct::SET_LEN,
+                u64::from(consensus_id),
+                u64::from(len),
+                false,
+            ),
+            // ir_start carries a destination register so the unit can later
+            // post a completion response.
+            IrCommand::Start { unit_id } => (funct::START, u64::from(unit_id), 0, true),
+        };
+        let instruction = RoccInstruction::new(funct, 1, 2, xd, true, true, if xd { 3 } else { 0 })
+            .expect("static fields are in range");
+        WireCommand {
+            instruction,
+            rs1_value,
+            rs2_value,
+        }
+    }
+
+    /// Decodes a wire command back into an [`IrCommand`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidCommand`] for unknown `function` values,
+    /// bad buffer indices, or operand values that overflow the field widths
+    /// of Table I.
+    pub fn decode(wire: WireCommand) -> Result<Self, FpgaError> {
+        let bad = || FpgaError::InvalidCommand(wire.instruction.encode());
+        match wire.instruction.funct() {
+            funct::SET_ADDR => Ok(IrCommand::SetAddr {
+                buffer: BufferIndex::from_wire(wire.rs1_value)?,
+                addr: wire.rs2_value,
+            }),
+            funct::SET_TARGET => Ok(IrCommand::SetTarget {
+                start_pos: wire.rs1_value,
+            }),
+            funct::SET_SIZE => Ok(IrCommand::SetSize {
+                consensuses: u8::try_from(wire.rs1_value).map_err(|_| bad())?,
+                reads: u16::try_from(wire.rs2_value).map_err(|_| bad())?,
+            }),
+            funct::SET_LEN => Ok(IrCommand::SetLen {
+                consensus_id: u8::try_from(wire.rs1_value).map_err(|_| bad())?,
+                len: u16::try_from(wire.rs2_value).map_err(|_| bad())?,
+            }),
+            funct::START => Ok(IrCommand::Start {
+                unit_id: u8::try_from(wire.rs1_value).map_err(|_| bad())?,
+            }),
+            _ => Err(bad()),
+        }
+    }
+
+    /// Number of commands needed to configure and launch one target with
+    /// `consensuses` consensus sequences: 5 × `set_addr` + `set_target` +
+    /// `set_size` + `consensuses` × `set_len` + `start`.
+    pub fn commands_per_target(consensuses: usize) -> usize {
+        5 + 1 + 1 + consensuses + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_command() {
+        let cmds = [
+            IrCommand::SetAddr {
+                buffer: BufferIndex::ReadQuals,
+                addr: 0xdead_beef,
+            },
+            IrCommand::SetTarget {
+                start_pos: 22_000_000,
+            },
+            IrCommand::SetSize {
+                consensuses: 32,
+                reads: 256,
+            },
+            IrCommand::SetLen {
+                consensus_id: 31,
+                len: 2048,
+            },
+            IrCommand::Start { unit_id: 31 },
+        ];
+        for cmd in cmds {
+            assert_eq!(IrCommand::decode(cmd.encode()).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn start_requests_a_response() {
+        let wire = IrCommand::Start { unit_id: 0 }.encode();
+        assert!(
+            wire.instruction.xd(),
+            "ir_start must carry a destination for the response"
+        );
+        let wire = IrCommand::SetTarget { start_pos: 0 }.encode();
+        assert!(!wire.instruction.xd());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_funct() {
+        let mut wire = IrCommand::Start { unit_id: 0 }.encode();
+        wire.instruction = RoccInstruction::new(99, 1, 2, false, true, true, 0).unwrap();
+        assert!(IrCommand::decode(wire).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_overflowing_operands() {
+        let mut wire = IrCommand::SetSize {
+            consensuses: 1,
+            reads: 1,
+        }
+        .encode();
+        wire.rs1_value = 300; // does not fit u8
+        assert!(IrCommand::decode(wire).is_err());
+
+        let mut wire = IrCommand::SetLen {
+            consensus_id: 0,
+            len: 1,
+        }
+        .encode();
+        wire.rs2_value = 1 << 20; // does not fit u16
+        assert!(IrCommand::decode(wire).is_err());
+    }
+
+    #[test]
+    fn buffer_index_wire_round_trip() {
+        for buf in BufferIndex::ALL {
+            assert_eq!(BufferIndex::from_wire(buf as u64).unwrap(), buf);
+        }
+        assert!(BufferIndex::from_wire(5).is_err());
+    }
+
+    #[test]
+    fn buffer_capacities_match_figure6() {
+        assert_eq!(BufferIndex::ConsensusBases.capacity_bytes(), 65_536);
+        assert_eq!(BufferIndex::ReadBases.capacity_bytes(), 65_536);
+        assert_eq!(BufferIndex::ReadQuals.capacity_bytes(), 65_536);
+        assert_eq!(BufferIndex::RealignFlags.capacity_bytes(), 256);
+        assert_eq!(BufferIndex::NewPositions.capacity_bytes(), 1024);
+    }
+
+    #[test]
+    fn input_output_split() {
+        let inputs: Vec<_> = BufferIndex::ALL.iter().filter(|b| b.is_input()).collect();
+        assert_eq!(inputs.len(), 3);
+    }
+
+    #[test]
+    fn command_count_per_target() {
+        // Paper: ir_set_addr ×5, ir_set_target ×1, ir_set_size ×1,
+        // ir_set_len once per consensus, ir_start ×1.
+        assert_eq!(IrCommand::commands_per_target(3), 11);
+        assert_eq!(IrCommand::commands_per_target(32), 40);
+    }
+}

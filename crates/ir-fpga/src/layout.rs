@@ -1,0 +1,264 @@
+//! Host-side memory layout: the byte images the control program builds
+//! and the output buffers it decodes.
+//!
+//! "On the host, the genomic data inputs are organized in consecutive
+//! malloc'ed memory arrays of one byte per base or per quality score for
+//! the three inputs" (paper §III-B), and on the FPGA side "the input
+//! buffers for the consensuses and the reads are block-indexed and
+//! byte-selected" (§III-A): consensus *i* lives at slot `i × 2048`, read
+//! *j* at slot `j × 256`, so the datapath never shifts by large random
+//! amounts. This module builds exactly those images and decodes the two
+//! output buffers (one realign-flag byte and one little-endian 4-byte
+//! position per read) back into [`ReadOutcome`]s.
+
+use ir_core::ReadOutcome;
+use ir_genome::RealignmentTarget;
+
+use crate::isa::BufferIndex;
+use crate::FpgaError;
+
+/// Slot stride of the consensus buffer in bytes.
+pub const CONSENSUS_SLOT_BYTES: usize = 2048;
+/// Slot stride of the read-base and quality buffers in bytes.
+pub const READ_SLOT_BYTES: usize = 256;
+
+/// The three input-buffer images for one target, slot-aligned exactly as
+/// the unit's block RAMs store them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostBuffers {
+    consensus: Vec<u8>,
+    read_bases: Vec<u8>,
+    read_quals: Vec<u8>,
+    payload_bytes: u64,
+}
+
+impl HostBuffers {
+    /// Builds the slot-aligned buffer images for `target`. Unused slot
+    /// tails are zero-filled (the hardware never reads past the programmed
+    /// lengths).
+    pub fn from_target(target: &RealignmentTarget) -> Self {
+        let shape = target.shape();
+        let mut consensus = vec![0u8; shape.num_consensuses * CONSENSUS_SLOT_BYTES];
+        for (i, cons) in target.consensuses().iter().enumerate() {
+            let slot = &mut consensus[i * CONSENSUS_SLOT_BYTES..][..cons.len()];
+            slot.copy_from_slice(&cons.as_bytes());
+        }
+        let mut read_bases = vec![0u8; shape.num_reads * READ_SLOT_BYTES];
+        let mut read_quals = vec![0u8; shape.num_reads * READ_SLOT_BYTES];
+        for (j, read) in target.reads().iter().enumerate() {
+            read_bases[j * READ_SLOT_BYTES..][..read.len()]
+                .copy_from_slice(&read.bases().as_bytes());
+            read_quals[j * READ_SLOT_BYTES..][..read.len()].copy_from_slice(read.quals().scores());
+        }
+        HostBuffers {
+            consensus,
+            read_bases,
+            read_quals,
+            payload_bytes: shape.input_bytes(),
+        }
+    }
+
+    /// The slot-aligned consensus image (what input buffer #1 holds).
+    pub fn consensus(&self) -> &[u8] {
+        &self.consensus
+    }
+
+    /// The slot-aligned read-base image (input buffer #2).
+    pub fn read_bases(&self) -> &[u8] {
+        &self.read_bases
+    }
+
+    /// The slot-aligned quality image (input buffer #3).
+    pub fn read_quals(&self) -> &[u8] {
+        &self.read_quals
+    }
+
+    /// Actual content bytes the DMA engine moves (the packed host arrays,
+    /// before slot alignment) — the quantity the transfer model charges.
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    /// Total slot-aligned footprint in FPGA DRAM / block RAM.
+    pub fn footprint_bytes(&self) -> usize {
+        self.consensus.len() + self.read_bases.len() + self.read_quals.len()
+    }
+
+    /// Checks that the images fit the unit's physical buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BufferOverflow`] naming the offending buffer.
+    pub fn check_fit(&self) -> Result<(), FpgaError> {
+        let checks = [
+            (
+                "consensus",
+                self.consensus.len(),
+                BufferIndex::ConsensusBases.capacity_bytes(),
+            ),
+            (
+                "read bases",
+                self.read_bases.len(),
+                BufferIndex::ReadBases.capacity_bytes(),
+            ),
+            (
+                "read quality scores",
+                self.read_quals.len(),
+                BufferIndex::ReadQuals.capacity_bytes(),
+            ),
+        ];
+        for (buffer, required, capacity) in checks {
+            if required > capacity {
+                return Err(FpgaError::BufferOverflow {
+                    buffer,
+                    required,
+                    capacity,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Encodes per-read outcomes into the two output-buffer images: one flag
+/// byte per read (output buffer #1) and one little-endian `u32` position
+/// per read (output buffer #2).
+///
+/// Non-realigned reads keep a zero flag; their position word carries the
+/// (ignored) candidate position the selector computed, as the hardware
+/// writes both buffers unconditionally.
+pub fn encode_outputs(outcomes: &[ReadOutcome], target_start_pos: u64) -> (Vec<u8>, Vec<u8>) {
+    let mut flags = Vec::with_capacity(outcomes.len());
+    let mut positions = Vec::with_capacity(outcomes.len() * 4);
+    for outcome in outcomes {
+        flags.push(u8::from(outcome.realigned()));
+        let pos = outcome.new_pos().unwrap_or(target_start_pos);
+        positions.extend_from_slice(&(pos as u32).to_le_bytes());
+    }
+    (flags, positions)
+}
+
+/// Decodes the two output-buffer images back into outcomes.
+///
+/// # Errors
+///
+/// Returns [`FpgaError::InvalidCommand`] if the buffer sizes disagree with
+/// `num_reads` or a flag byte is not 0/1.
+pub fn decode_outputs(
+    flags: &[u8],
+    positions: &[u8],
+    num_reads: usize,
+    target_start_pos: u64,
+) -> Result<Vec<ReadOutcome>, FpgaError> {
+    if flags.len() < num_reads || positions.len() < num_reads * 4 {
+        return Err(FpgaError::InvalidCommand(num_reads as u32));
+    }
+    let mut outcomes = Vec::with_capacity(num_reads);
+    for j in 0..num_reads {
+        let flag = flags[j];
+        if flag > 1 {
+            return Err(FpgaError::InvalidCommand(u32::from(flag)));
+        }
+        let word: [u8; 4] = positions[j * 4..j * 4 + 4]
+            .try_into()
+            .expect("4-byte slice");
+        let pos = u64::from(u32::from_le_bytes(word));
+        let offset = (pos - target_start_pos.min(pos)) as usize;
+        outcomes.push(ReadOutcome::from_parts(flag == 1, offset, pos));
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_core::IndelRealigner;
+    use ir_workloads_test_support::figure4_target;
+
+    // A tiny local copy of the Figure 4 target builder to avoid a cyclic
+    // dev-dependency on ir-workloads.
+    mod ir_workloads_test_support {
+        use ir_genome::{Qual, Read, RealignmentTarget};
+
+        pub fn figure4_target() -> RealignmentTarget {
+            RealignmentTarget::builder(20)
+                .reference("CCTTAGA".parse().unwrap())
+                .consensus("ACCTGAA".parse().unwrap())
+                .consensus("TCTGCCT".parse().unwrap())
+                .read(
+                    Read::new(
+                        "r0",
+                        "TGAA".parse().unwrap(),
+                        Qual::from_raw_scores(&[10, 20, 45, 10]).unwrap(),
+                        0,
+                    )
+                    .unwrap(),
+                )
+                .read(
+                    Read::new(
+                        "r1",
+                        "CCTC".parse().unwrap(),
+                        Qual::from_raw_scores(&[10, 60, 30, 20]).unwrap(),
+                        0,
+                    )
+                    .unwrap(),
+                )
+                .build()
+                .unwrap()
+        }
+    }
+
+    #[test]
+    fn buffers_are_slot_aligned() {
+        let target = figure4_target();
+        let buffers = HostBuffers::from_target(&target);
+        // Consensus 1 starts exactly at slot 1.
+        assert_eq!(
+            &buffers.consensus()[CONSENSUS_SLOT_BYTES..CONSENSUS_SLOT_BYTES + 7],
+            b"ACCTGAA"
+        );
+        // Read 1's bases and quals start at slot 1.
+        assert_eq!(
+            &buffers.read_bases()[READ_SLOT_BYTES..READ_SLOT_BYTES + 4],
+            b"CCTC"
+        );
+        assert_eq!(
+            &buffers.read_quals()[READ_SLOT_BYTES..READ_SLOT_BYTES + 4],
+            &[10, 60, 30, 20]
+        );
+        // Padding is zeroed.
+        assert_eq!(buffers.consensus()[7], 0);
+    }
+
+    #[test]
+    fn payload_matches_shape_and_footprint_is_slots() {
+        let target = figure4_target();
+        let buffers = HostBuffers::from_target(&target);
+        assert_eq!(buffers.payload_bytes(), target.shape().input_bytes());
+        assert_eq!(
+            buffers.footprint_bytes(),
+            3 * CONSENSUS_SLOT_BYTES + 2 * 2 * READ_SLOT_BYTES
+        );
+        buffers.check_fit().expect("figure 4 fits trivially");
+    }
+
+    #[test]
+    fn outputs_round_trip() {
+        let target = figure4_target();
+        let result = IndelRealigner::new().realign(&target);
+        let (flags, positions) = encode_outputs(result.outcomes(), target.start_pos());
+        assert_eq!(flags, vec![1, 0]);
+        let decoded =
+            decode_outputs(&flags, &positions, target.num_reads(), target.start_pos()).unwrap();
+        assert_eq!(decoded[0].realigned(), result.read_outcome(0).realigned());
+        assert_eq!(decoded[0].new_pos(), result.read_outcome(0).new_pos());
+        assert!(!decoded[1].realigned());
+        assert_eq!(decoded[1].new_pos(), None);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffers_and_bad_flags() {
+        assert!(decode_outputs(&[1], &[0, 0, 0, 0], 2, 0).is_err());
+        assert!(decode_outputs(&[2], &[0, 0, 0, 0], 1, 0).is_err());
+    }
+}

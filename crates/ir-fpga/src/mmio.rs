@@ -1,0 +1,177 @@
+//! AXI-Lite MMIO command/response queues.
+//!
+//! The AXI hub converts RoCC commands and responses to and from AXI-Lite
+//! using memory-mapped registers that "implement a ready/valid interface
+//! and queues for commands and responses so that the host can
+//! asynchronously add a new command to the queue, or poll when awaiting a
+//! response" (paper §III-B). The asynchronous-parallel scheduler is built
+//! directly on this poll loop.
+
+use std::collections::VecDeque;
+
+use crate::isa::WireCommand;
+use crate::FpgaError;
+
+/// A completion response posted by an IR unit when its target finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnitResponse {
+    /// The unit that completed.
+    pub unit_id: usize,
+    /// Cycle count the unit reports for the completed target.
+    pub cycles: u64,
+}
+
+/// The MMIO hub: bounded command and response queues with ready/valid
+/// semantics.
+///
+/// # Example
+///
+/// ```
+/// use ir_fpga::mmio::MmioHub;
+/// use ir_fpga::IrCommand;
+///
+/// let mut hub = MmioHub::new(16);
+/// hub.push_command(IrCommand::Start { unit_id: 3 }.encode())?;
+/// assert!(hub.pop_command().is_some());
+/// # Ok::<(), ir_fpga::FpgaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MmioHub {
+    commands: VecDeque<WireCommand>,
+    responses: VecDeque<UnitResponse>,
+    capacity: usize,
+}
+
+impl MmioHub {
+    /// Creates a hub whose queues hold `capacity` entries each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queues need at least one entry");
+        MmioHub {
+            commands: VecDeque::new(),
+            responses: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Whether the command queue can accept another entry (the "ready"
+    /// side of the host-facing interface).
+    pub fn command_ready(&self) -> bool {
+        self.commands.len() < self.capacity
+    }
+
+    /// Host side: enqueue a command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::NotConfigured`] if the queue is full —
+    /// the host must retry after the router drains it.
+    pub fn push_command(&mut self, cmd: WireCommand) -> Result<(), FpgaError> {
+        if !self.command_ready() {
+            return Err(FpgaError::NotConfigured(
+                "command queue full, host must back off",
+            ));
+        }
+        self.commands.push_back(cmd);
+        Ok(())
+    }
+
+    /// Router side: dequeue the next command for dispatch to a unit.
+    pub fn pop_command(&mut self) -> Option<WireCommand> {
+        self.commands.pop_front()
+    }
+
+    /// Unit side: post a completion response. Responses are never dropped;
+    /// the queue grows past `capacity` only if the host stops polling
+    /// (mirrors a credit-based response channel).
+    pub fn push_response(&mut self, resp: UnitResponse) {
+        self.responses.push_back(resp);
+    }
+
+    /// Host side: poll the "response valid" register and pop one response.
+    pub fn poll_response(&mut self) -> Option<UnitResponse> {
+        self.responses.pop_front()
+    }
+
+    /// Number of queued, undispatched commands.
+    pub fn pending_commands(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Number of unread responses.
+    pub fn pending_responses(&self) -> usize {
+        self.responses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::IrCommand;
+
+    #[test]
+    fn commands_are_fifo() {
+        let mut hub = MmioHub::new(4);
+        hub.push_command(IrCommand::SetTarget { start_pos: 1 }.encode())
+            .unwrap();
+        hub.push_command(IrCommand::SetTarget { start_pos: 2 }.encode())
+            .unwrap();
+        let first = IrCommand::decode(hub.pop_command().unwrap()).unwrap();
+        assert_eq!(first, IrCommand::SetTarget { start_pos: 1 });
+    }
+
+    #[test]
+    fn command_queue_applies_backpressure() {
+        let mut hub = MmioHub::new(2);
+        hub.push_command(IrCommand::Start { unit_id: 0 }.encode())
+            .unwrap();
+        hub.push_command(IrCommand::Start { unit_id: 1 }.encode())
+            .unwrap();
+        assert!(!hub.command_ready());
+        assert!(hub
+            .push_command(IrCommand::Start { unit_id: 2 }.encode())
+            .is_err());
+        hub.pop_command();
+        assert!(hub.command_ready());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let mut hub = MmioHub::new(4);
+        assert!(hub.poll_response().is_none());
+        hub.push_response(UnitResponse {
+            unit_id: 7,
+            cycles: 1234,
+        });
+        let r = hub.poll_response().unwrap();
+        assert_eq!(r.unit_id, 7);
+        assert_eq!(r.cycles, 1234);
+        assert!(hub.poll_response().is_none());
+    }
+
+    #[test]
+    fn pending_counts() {
+        let mut hub = MmioHub::new(8);
+        hub.push_command(IrCommand::Start { unit_id: 0 }.encode())
+            .unwrap();
+        hub.push_response(UnitResponse {
+            unit_id: 0,
+            cycles: 1,
+        });
+        hub.push_response(UnitResponse {
+            unit_id: 1,
+            cycles: 2,
+        });
+        assert_eq!(hub.pending_commands(), 1);
+        assert_eq!(hub.pending_responses(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = MmioHub::new(0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Accelerator configuration parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// The F1 clock recipes the paper considers (§IV "Frequency").
+///
+/// The deployed design uses the 125 MHz recipe; the 250 MHz recipe fails
+/// timing closure because > 95% of the critical path is routing delay in
+/// the 32-unit AXI4 memory system (see
+/// [`crate::resources::timing_slack_ns`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ClockRecipe {
+    /// The 125 MHz recipe the deployed accelerator uses.
+    #[default]
+    Mhz125,
+    /// The 250 MHz recipe that fails timing for the full 32-unit design.
+    Mhz250,
+}
+
+impl ClockRecipe {
+    /// Clock frequency in hertz.
+    pub fn hz(self) -> u64 {
+        match self {
+            ClockRecipe::Mhz125 => 125_000_000,
+            ClockRecipe::Mhz250 => 250_000_000,
+        }
+    }
+
+    /// Clock frequency in megahertz.
+    pub fn mhz(self) -> u32 {
+        (self.hz() / 1_000_000) as u32
+    }
+
+    /// Clock period in nanoseconds.
+    pub fn period_ns(self) -> f64 {
+        1e9 / self.hz() as f64
+    }
+}
+
+/// Static configuration of the simulated accelerator system.
+///
+/// The two presets mirror the paper's design points:
+/// [`FpgaParams::serial`] is the base task-parallel design
+/// (`IRAcc-TaskP[-Async]`, one compare/cycle/unit) and
+/// [`FpgaParams::iracc`] adds the 32-lane data-parallel Hamming distance
+/// calculator of Figure 8 (`IR ACC`).
+///
+/// # Example
+///
+/// ```
+/// use ir_fpga::FpgaParams;
+///
+/// let p = FpgaParams::iracc();
+/// assert_eq!(p.num_units, 32);
+/// assert_eq!(p.lanes, 32);
+/// // 32 units × 32 lanes × 125 MHz = 128 G compares/s peak.
+/// assert_eq!(p.peak_comparisons_per_second(), 128_000_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaParams {
+    /// Clock recipe (125 MHz deployed).
+    pub clock: ClockRecipe,
+    /// Number of IR units instantiated (32 deployed; bounded by block RAM,
+    /// see [`crate::resources`]).
+    pub num_units: usize,
+    /// Data-parallel lanes in the Hamming distance calculator: 1 for the
+    /// base design, 32 for the Figure 8 parallel calculator.
+    pub lanes: usize,
+    /// Computation pruning enabled (paper §III-A; the HLS build could not
+    /// extract it).
+    pub pruning: bool,
+    /// TileLink/AXI data-path width in bytes per beat (256-bit = 32 bytes,
+    /// the width the paper settled on).
+    pub bus_bytes: u64,
+    /// FPGA-attached DDR4 channels used (1 of 4 on F1; the paper trades
+    /// the other controllers for compute area).
+    pub ddr_channels: usize,
+    /// Host-side latency of one RoCC command enqueued through the AXI-Lite
+    /// MMIO queue, in seconds.
+    pub cmd_latency_s: f64,
+    /// Host-side latency of polling one response from the MMIO queue, in
+    /// seconds.
+    pub response_latency_s: f64,
+    /// Per-(consensus, read) pair fixed pipeline overhead in cycles
+    /// (buffer pointer setup and minimum-register reset).
+    pub pair_overhead_cycles: u64,
+    /// Multiplier on compute cycles for designs whose generated pipeline
+    /// is less efficient than the hand-written Chisel datapath (1.0 for
+    /// the Chisel design; > 1 for the SDAccel/HLS build, whose scheduler
+    /// could not achieve a fully back-to-back pipeline).
+    pub compute_overhead: f64,
+}
+
+impl FpgaParams {
+    /// The base task-parallel design: 32 serial IR units with pruning
+    /// (`IRAcc-TaskP` / `IRAcc-TaskP-Async` in Figure 9).
+    pub fn serial() -> Self {
+        FpgaParams {
+            clock: ClockRecipe::Mhz125,
+            num_units: 32,
+            lanes: 1,
+            pruning: true,
+            bus_bytes: 32,
+            ddr_channels: 1,
+            cmd_latency_s: 200e-9,
+            response_latency_s: 500e-9,
+            pair_overhead_cycles: 2,
+            compute_overhead: 1.0,
+        }
+    }
+
+    /// The fully optimized deployed design: 32 units with the 32-lane
+    /// data-parallel Hamming distance calculator (`IR ACC` in Figure 9).
+    pub fn iracc() -> Self {
+        FpgaParams {
+            lanes: 32,
+            ..FpgaParams::serial()
+        }
+    }
+
+    /// Peak base comparisons per second across all units and lanes.
+    ///
+    /// The abstract's "up to 4 billion base pair comparisons per second"
+    /// corresponds to the serial design (32 × 1 × 125 MHz); the
+    /// data-parallel design peaks at 128 G/s.
+    pub fn peak_comparisons_per_second(&self) -> u64 {
+        self.num_units as u64 * self.lanes as u64 * self.clock.hz()
+    }
+
+    /// Seconds per clock cycle.
+    pub fn cycle_time_s(&self) -> f64 {
+        1.0 / self.clock.hz() as f64
+    }
+
+    /// Effective DDR bandwidth available to the units, in bytes per cycle,
+    /// across all configured channels. One DDR4-2133 channel sustains
+    /// ≈ 16 GB/s, i.e. 128 bytes per 125 MHz cycle.
+    pub fn ddr_bytes_per_cycle(&self) -> u64 {
+        let per_channel_bytes_per_s: u64 = 16_000_000_000;
+        self.ddr_channels as u64 * per_channel_bytes_per_s / self.clock.hz()
+    }
+}
+
+impl Default for FpgaParams {
+    /// Defaults to the fully optimized deployed design ([`FpgaParams::iracc`]).
+    fn default() -> Self {
+        FpgaParams::iracc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_recipes() {
+        assert_eq!(ClockRecipe::Mhz125.hz(), 125_000_000);
+        assert_eq!(ClockRecipe::Mhz250.mhz(), 250);
+        assert!((ClockRecipe::Mhz125.period_ns() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_peak_matches_abstract_claim() {
+        // "can process up to 4 billion base pair comparisons per second".
+        assert_eq!(
+            FpgaParams::serial().peak_comparisons_per_second(),
+            4_000_000_000
+        );
+    }
+
+    #[test]
+    fn iracc_differs_only_in_lanes() {
+        let serial = FpgaParams::serial();
+        let iracc = FpgaParams::iracc();
+        assert_eq!(iracc.lanes, 32);
+        assert_eq!(FpgaParams { lanes: 1, ..iracc }, serial);
+    }
+
+    #[test]
+    fn ddr_bandwidth_is_wider_than_unit_bus() {
+        let p = FpgaParams::serial();
+        // A single unit must not be able to saturate the DDR channel —
+        // that headroom is what lets several units stream concurrently.
+        assert!(p.ddr_bytes_per_cycle() > p.bus_bytes);
+        assert_eq!(p.ddr_bytes_per_cycle(), 128);
+    }
+
+    #[test]
+    fn default_is_iracc() {
+        assert_eq!(FpgaParams::default(), FpgaParams::iracc());
+    }
+}

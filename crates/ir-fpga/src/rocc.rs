@@ -1,0 +1,220 @@
+//! The RoCC (Rocket Custom Coprocessor) instruction format (paper Table I).
+//!
+//! The IR accelerator is managed through five commands encoded in the open
+//! RoCC fixed-length 32-bit format, chosen because it is simple to decode
+//! and the Rocket Chip command router for it already exists. Field layout
+//! (bit ranges inclusive):
+//!
+//! ```text
+//! 31..25  function   (7 bits)  — accelerator configuration selector
+//! 24..20  src2       (5 bits)  — x-register number of operand 2
+//! 19..15  src1       (5 bits)  — x-register number of operand 1
+//! 14      xd         (1 bit)   — instruction has a destination register
+//! 13      xs1        (1 bit)   — instruction reads src1
+//! 12      xs2        (1 bit)   — instruction reads src2
+//! 11..7   dest       (5 bits)  — x-register number of destination
+//! 6..0    opcode     (7 bits)  — accelerator type (unused: only the IR
+//!                                accelerator is present)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::FpgaError;
+
+/// The custom opcode the IR accelerator decodes. The paper notes the
+/// opcode field "is essentially not used" because the system contains only
+/// one accelerator type; we pin it to RISC-V's *custom-0* encoding.
+pub const IR_OPCODE: u8 = 0b000_1011;
+
+/// One 32-bit RoCC instruction word.
+///
+/// # Example
+///
+/// ```
+/// use ir_fpga::RoccInstruction;
+///
+/// let instr = RoccInstruction::new(0x05, 7, 12, false, true, true, 0)?;
+/// let word = instr.encode();
+/// assert_eq!(RoccInstruction::decode(word)?, instr);
+/// # Ok::<(), ir_fpga::FpgaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RoccInstruction {
+    funct: u8,
+    rs2: u8,
+    rs1: u8,
+    xd: bool,
+    xs1: bool,
+    xs2: bool,
+    rd: u8,
+    opcode: u8,
+}
+
+impl RoccInstruction {
+    /// Creates an instruction, validating field widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidCommand`] if `funct` or `opcode` exceed
+    /// 7 bits or any register number exceeds 5 bits.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        funct: u8,
+        rs1: u8,
+        rs2: u8,
+        xd: bool,
+        xs1: bool,
+        xs2: bool,
+        rd: u8,
+    ) -> Result<Self, FpgaError> {
+        if funct > 0x7f || rs1 > 0x1f || rs2 > 0x1f || rd > 0x1f {
+            return Err(FpgaError::InvalidCommand(
+                (u32::from(funct) << 25) | (u32::from(rs2) << 20) | (u32::from(rs1) << 15),
+            ));
+        }
+        Ok(RoccInstruction {
+            funct,
+            rs2,
+            rs1,
+            xd,
+            xs1,
+            xs2,
+            rd,
+            opcode: IR_OPCODE,
+        })
+    }
+
+    /// The 7-bit function selector (which IR command this is).
+    pub fn funct(&self) -> u8 {
+        self.funct
+    }
+
+    /// Register number of operand 1.
+    pub fn rs1(&self) -> u8 {
+        self.rs1
+    }
+
+    /// Register number of operand 2.
+    pub fn rs2(&self) -> u8 {
+        self.rs2
+    }
+
+    /// Whether the instruction writes a destination register.
+    pub fn xd(&self) -> bool {
+        self.xd
+    }
+
+    /// Whether operand 1 is read.
+    pub fn xs1(&self) -> bool {
+        self.xs1
+    }
+
+    /// Whether operand 2 is read.
+    pub fn xs2(&self) -> bool {
+        self.xs2
+    }
+
+    /// Destination register number.
+    pub fn rd(&self) -> u8 {
+        self.rd
+    }
+
+    /// The 7-bit opcode (always [`IR_OPCODE`] in this system).
+    pub fn opcode(&self) -> u8 {
+        self.opcode
+    }
+
+    /// Packs the instruction into its 32-bit wire format.
+    pub fn encode(&self) -> u32 {
+        (u32::from(self.funct) << 25)
+            | (u32::from(self.rs2) << 20)
+            | (u32::from(self.rs1) << 15)
+            | (u32::from(self.xd) << 14)
+            | (u32::from(self.xs1) << 13)
+            | (u32::from(self.xs2) << 12)
+            | (u32::from(self.rd) << 7)
+            | u32::from(self.opcode)
+    }
+
+    /// Unpacks a 32-bit wire word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidCommand`] if the opcode is not
+    /// [`IR_OPCODE`].
+    pub fn decode(word: u32) -> Result<Self, FpgaError> {
+        let opcode = (word & 0x7f) as u8;
+        if opcode != IR_OPCODE {
+            return Err(FpgaError::InvalidCommand(word));
+        }
+        Ok(RoccInstruction {
+            funct: ((word >> 25) & 0x7f) as u8,
+            rs2: ((word >> 20) & 0x1f) as u8,
+            rs1: ((word >> 15) & 0x1f) as u8,
+            xd: (word >> 14) & 1 == 1,
+            xs1: (word >> 13) & 1 == 1,
+            xs2: (word >> 12) & 1 == 1,
+            rd: ((word >> 7) & 0x1f) as u8,
+            opcode,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for funct in [0u8, 1, 5, 0x7f] {
+            for (rs1, rs2, rd) in [(0u8, 0u8, 0u8), (31, 31, 31), (7, 12, 3)] {
+                let instr = RoccInstruction::new(funct, rs1, rs2, true, false, true, rd).unwrap();
+                assert_eq!(RoccInstruction::decode(instr.encode()).unwrap(), instr);
+            }
+        }
+    }
+
+    #[test]
+    fn field_positions_match_table1() {
+        let instr = RoccInstruction::new(0x7f, 0, 0, false, false, false, 0).unwrap();
+        assert_eq!(instr.encode() >> 25, 0x7f);
+
+        let instr = RoccInstruction::new(0, 0x1f, 0, false, false, false, 0).unwrap();
+        assert_eq!((instr.encode() >> 15) & 0x1f, 0x1f);
+
+        let instr = RoccInstruction::new(0, 0, 0x1f, false, false, false, 0).unwrap();
+        assert_eq!((instr.encode() >> 20) & 0x1f, 0x1f);
+
+        let instr = RoccInstruction::new(0, 0, 0, true, false, false, 0).unwrap();
+        assert_eq!((instr.encode() >> 14) & 1, 1);
+
+        let instr = RoccInstruction::new(0, 0, 0, false, true, false, 0).unwrap();
+        assert_eq!((instr.encode() >> 13) & 1, 1);
+
+        let instr = RoccInstruction::new(0, 0, 0, false, false, true, 0).unwrap();
+        assert_eq!((instr.encode() >> 12) & 1, 1);
+
+        let instr = RoccInstruction::new(0, 0, 0, false, false, false, 0x1f).unwrap();
+        assert_eq!((instr.encode() >> 7) & 0x1f, 0x1f);
+    }
+
+    #[test]
+    fn opcode_is_custom0() {
+        let instr = RoccInstruction::new(1, 2, 3, false, true, true, 0).unwrap();
+        assert_eq!(instr.encode() & 0x7f, u32::from(IR_OPCODE));
+    }
+
+    #[test]
+    fn rejects_wide_fields() {
+        assert!(RoccInstruction::new(0x80, 0, 0, false, false, false, 0).is_err());
+        assert!(RoccInstruction::new(0, 32, 0, false, false, false, 0).is_err());
+        assert!(RoccInstruction::new(0, 0, 32, false, false, false, 0).is_err());
+        assert!(RoccInstruction::new(0, 0, 0, false, false, false, 32).is_err());
+    }
+
+    #[test]
+    fn rejects_foreign_opcode() {
+        // An R-type integer op (opcode 0110011) must not decode.
+        assert!(RoccInstruction::decode(0x0000_0033).is_err());
+    }
+}

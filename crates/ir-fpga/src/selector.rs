@@ -1,0 +1,120 @@
+//! The Consensus Selector stage — cycle model.
+//!
+//! The second stage of the IR unit (paper Figure 5, bottom). It keeps three
+//! read-length buffers (256 entries) of minimum WHDs and offsets — for the
+//! reference, the consensus currently being scored, and the running-best
+//! consensus — and computes each consensus's score as the sum of absolute
+//! WHD differences against the reference across all reads.
+//!
+//! "Because the selector constitutes a small percentage of the runtime, the
+//! buffers only support one read or one write per cycle" — so scoring one
+//! (consensus, read) pair costs one buffer read plus one accumulate cycle,
+//! and the final realignment pass costs one cycle per read.
+
+use ir_core::{realign_reads, score_consensuses, select_best, MinWhdGrid, OpCounts, ReadOutcome};
+
+/// Result of running the consensus selector over a completed min-WHD grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectorRun {
+    /// Per-consensus scores (index 0, the reference, is 0).
+    pub scores: Vec<u64>,
+    /// Index of the picked consensus.
+    pub best: usize,
+    /// Per-read realignment outcomes.
+    pub outcomes: Vec<ReadOutcome>,
+    /// Cycles the selector stage occupied.
+    pub cycles: u64,
+}
+
+/// Cycles to score `consensuses` candidates over `reads` reads and emit
+/// the realignment pass, with single-ported `dist`/`pos` buffers:
+/// 2 cycles per (consensus, read) score update (one buffer read, one
+/// accumulate/writeback) plus 1 cycle per read for the final realignment
+/// comparison.
+pub fn selector_cycles(consensuses: usize, reads: usize) -> u64 {
+    let scored = consensuses.saturating_sub(1) as u64;
+    scored * reads as u64 * 2 + reads as u64
+}
+
+/// Runs the selector over a completed grid: scores every alternative
+/// consensus, picks the best, and computes the per-read outcomes —
+/// functionally identical to the golden model's Algorithm 2.
+pub fn run_selector(grid: &MinWhdGrid, target_start_pos: u64) -> SelectorRun {
+    let mut ops = OpCounts::default();
+    let scores = score_consensuses(grid, &mut ops);
+    let best = select_best(&scores);
+    let outcomes = realign_reads(grid, best, target_start_pos);
+    SelectorRun {
+        scores,
+        best,
+        outcomes,
+        cycles: selector_cycles(grid.num_consensuses(), grid.num_reads()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_genome::{Qual, Read, RealignmentTarget};
+
+    fn figure4_grid() -> MinWhdGrid {
+        let target = RealignmentTarget::builder(20)
+            .reference("CCTTAGA".parse().unwrap())
+            .consensus("ACCTGAA".parse().unwrap())
+            .consensus("TCTGCCT".parse().unwrap())
+            .read(
+                Read::new(
+                    "r0",
+                    "TGAA".parse().unwrap(),
+                    Qual::from_raw_scores(&[10, 20, 45, 10]).unwrap(),
+                    0,
+                )
+                .unwrap(),
+            )
+            .read(
+                Read::new(
+                    "r1",
+                    "CCTC".parse().unwrap(),
+                    Qual::from_raw_scores(&[10, 60, 30, 20]).unwrap(),
+                    0,
+                )
+                .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let mut ops = OpCounts::default();
+        MinWhdGrid::compute(&target, true, &mut ops)
+    }
+
+    #[test]
+    fn selector_matches_golden_figure4() {
+        let run = run_selector(&figure4_grid(), 20);
+        assert_eq!(run.scores, vec![0, 30, 35]);
+        assert_eq!(run.best, 1);
+        assert!(run.outcomes[0].realigned());
+        assert_eq!(run.outcomes[0].new_pos(), Some(23));
+        assert!(!run.outcomes[1].realigned());
+    }
+
+    #[test]
+    fn cycle_model_figure4() {
+        // 2 alternative consensuses × 2 reads × 2 cycles + 2 final cycles.
+        assert_eq!(selector_cycles(3, 2), 10);
+        assert_eq!(run_selector(&figure4_grid(), 20).cycles, 10);
+    }
+
+    #[test]
+    fn reference_only_costs_just_the_final_pass() {
+        assert_eq!(selector_cycles(1, 8), 8);
+    }
+
+    #[test]
+    fn selector_is_cheap_relative_to_hdc_worst_case() {
+        // Paper rationale for single-ported buffers: the selector is a
+        // small fraction of runtime. Worst-case HDC work per pair is
+        // (m − n + 1) · n ≫ the selector's 2 cycles per pair.
+        let hdc_worst = ir_core::complexity::pair_comparisons(2048, 250);
+        let selector_per_pair = 2;
+        assert!(hdc_worst > 1000 * selector_per_pair);
+    }
+}

@@ -1,0 +1,624 @@
+//! The full accelerated IR system on one F1 instance: a sea of IR units,
+//! the PCIe DMA path, the host control program, and the two scheduling
+//! schemes of Figure 7.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ir_genome::RealignmentTarget;
+
+use crate::dma::DmaParams;
+use crate::isa::IrCommand;
+use crate::params::FpgaParams;
+use crate::resources::{validate, ResourceReport};
+use crate::unit::{simulate_target, UnitRun};
+use crate::FpgaError;
+
+/// How targets are dispatched onto the sea of units (paper §IV
+/// "Asynchronous Scheduling", Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Scheduling {
+    /// Synchronous-parallel: transfer and launch a whole batch of
+    /// `num_units` targets, wait for *all* units to finish, flush, repeat.
+    /// Targets are pre-sorted by read and consensus counts (the paper's
+    /// mitigation) so batches are as uniform as that coarse key can make
+    /// them — pruning variance defeats this anyway.
+    Synchronous,
+    /// Synchronous batches in plain submission order — the strawman the
+    /// paper's sorting mitigates (`ablation_scheduling`).
+    SynchronousUnsorted,
+    /// Synchronous batches sorted by exact worst-case comparison count —
+    /// a *better* key than the paper's, showing how much of the
+    /// synchronous penalty sorting alone can(not) recover.
+    SynchronousByWorstCase,
+    /// Asynchronous-parallel: a unit receives its next target the moment
+    /// it posts a completion response; DMA prefetches ahead of compute.
+    #[default]
+    Asynchronous,
+}
+
+use serde::{Deserialize, Serialize};
+
+/// What a timeline interval represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimelinePhase {
+    /// PCIe DMA transfer of target input data.
+    Transfer,
+    /// An IR unit computing a target (load + HDC + selector + drain).
+    Compute,
+}
+
+/// One interval of the execution timeline (used to reproduce the Figure 7
+/// gantt charts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    /// Unit index for compute phases; `usize::MAX` for DMA transfers.
+    pub unit: usize,
+    /// Index of the target in the submitted slice.
+    pub target_index: usize,
+    /// Interval start, seconds from run start.
+    pub start_s: f64,
+    /// Interval end, seconds from run start.
+    pub end_s: f64,
+    /// What the interval represents.
+    pub phase: TimelinePhase,
+}
+
+/// The outcome of running a set of targets through the accelerated system.
+#[derive(Debug, Clone)]
+pub struct SystemRun {
+    /// End-to-end wall-clock seconds, including data transfer, command
+    /// issue, compute and responses — the same end-to-end measurement the
+    /// paper's control program reports.
+    pub wall_time_s: f64,
+    /// Per-target functional results, in submission order. Identical to
+    /// the golden model's output.
+    pub results: Vec<UnitRun>,
+    /// Total seconds the DMA engine was busy.
+    pub dma_busy_s: f64,
+    /// Total host seconds spent issuing commands and polling responses.
+    pub command_s: f64,
+    /// Summed compute cycles across all units.
+    pub compute_cycles: u64,
+    /// Total base comparisons executed on the fabric.
+    pub comparisons: u64,
+    /// Per-unit busy seconds.
+    pub unit_busy_s: Vec<f64>,
+    /// Timeline of transfer/compute intervals (only populated by
+    /// [`AcceleratedSystem::run_traced`]).
+    pub timeline: Vec<TimelineEvent>,
+}
+
+impl SystemRun {
+    /// Mean unit utilization: busy time over wall time, averaged across
+    /// units. The synchronous scheduler's low utilization is exactly the
+    /// effect Figure 7-top illustrates.
+    pub fn utilization(&self) -> f64 {
+        if self.wall_time_s == 0.0 || self.unit_busy_s.is_empty() {
+            return 0.0;
+        }
+        let mean_busy: f64 = self.unit_busy_s.iter().sum::<f64>() / self.unit_busy_s.len() as f64;
+        mean_busy / self.wall_time_s
+    }
+
+    /// Fraction of wall time spent on PCIe DMA (paper §IV: ≈ 0.01%).
+    pub fn dma_fraction(&self) -> f64 {
+        if self.wall_time_s == 0.0 {
+            0.0
+        } else {
+            self.dma_busy_s / self.wall_time_s
+        }
+    }
+
+    /// Effective base comparisons per second achieved over the run.
+    pub fn comparisons_per_second(&self) -> f64 {
+        if self.wall_time_s == 0.0 {
+            0.0
+        } else {
+            self.comparisons as f64 / self.wall_time_s
+        }
+    }
+}
+
+/// The accelerated system: validated configuration plus a scheduler.
+///
+/// # Example
+///
+/// ```
+/// use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling};
+///
+/// let system = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous)?;
+/// assert_eq!(system.params().num_units, 32);
+/// assert!(system.resources().bram_utilization < 0.90);
+/// # Ok::<(), ir_fpga::FpgaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcceleratedSystem {
+    params: FpgaParams,
+    scheduling: Scheduling,
+    dma: DmaParams,
+    resources: ResourceReport,
+}
+
+impl AcceleratedSystem {
+    /// Builds a system, validating FPGA fit and timing closure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FpgaError::DoesNotFit`] / [`FpgaError::TimingFailure`]
+    /// from [`crate::resources::validate`].
+    pub fn new(params: FpgaParams, scheduling: Scheduling) -> Result<Self, FpgaError> {
+        let resources = validate(&params)?;
+        Ok(AcceleratedSystem {
+            params,
+            scheduling,
+            dma: DmaParams::default(),
+            resources,
+        })
+    }
+
+    /// Overrides the DMA parameters (defaults to [`DmaParams::default`]).
+    pub fn with_dma(mut self, dma: DmaParams) -> Self {
+        self.dma = dma;
+        self
+    }
+
+    /// The validated FPGA parameters.
+    pub fn params(&self) -> &FpgaParams {
+        &self.params
+    }
+
+    /// The scheduling scheme in use.
+    pub fn scheduling(&self) -> Scheduling {
+        self.scheduling
+    }
+
+    /// The floorplan report for this configuration.
+    pub fn resources(&self) -> &ResourceReport {
+        &self.resources
+    }
+
+    /// Runs `targets` end to end and reports timing (no timeline).
+    pub fn run(&self, targets: &[RealignmentTarget]) -> SystemRun {
+        self.run_inner(targets, false)
+    }
+
+    /// Runs `targets` and records the full transfer/compute timeline
+    /// (use for small target sets, e.g. the Figure 7 reproduction).
+    pub fn run_traced(&self, targets: &[RealignmentTarget]) -> SystemRun {
+        self.run_inner(targets, true)
+    }
+
+    fn run_inner(&self, targets: &[RealignmentTarget], trace: bool) -> SystemRun {
+        match self.scheduling {
+            Scheduling::Synchronous
+            | Scheduling::SynchronousUnsorted
+            | Scheduling::SynchronousByWorstCase => self.run_synchronous(targets, trace),
+            Scheduling::Asynchronous => self.run_asynchronous(targets, trace),
+        }
+    }
+
+    /// Host time to configure and start one target.
+    fn config_time_s(&self, target: &RealignmentTarget) -> f64 {
+        IrCommand::commands_per_target(target.num_consensuses()) as f64 * self.params.cmd_latency_s
+    }
+
+    fn run_synchronous(&self, targets: &[RealignmentTarget], trace: bool) -> SystemRun {
+        let p = &self.params;
+        let cycle_s = p.cycle_time_s();
+        let units = p.num_units;
+
+        // "The targets could be sorted by read and consensus sizes to
+        // ensure that all the targets that are scheduled in the same batch
+        // have similar runtimes" (§IV) — the paper's coarse sort key.
+        // Consensus-length and pruning variance survive inside a batch,
+        // which is exactly why the synchronous scheme under-utilizes.
+        let mut order: Vec<usize> = (0..targets.len()).collect();
+        match self.scheduling {
+            Scheduling::SynchronousUnsorted => {}
+            Scheduling::SynchronousByWorstCase => {
+                order.sort_by_key(|&t| Reverse(targets[t].shape().worst_case_comparisons()));
+            }
+            _ => order
+                .sort_by_key(|&t| Reverse((targets[t].num_reads(), targets[t].num_consensuses()))),
+        }
+
+        let mut results: Vec<Option<UnitRun>> = (0..targets.len()).map(|_| None).collect();
+        let mut timeline = Vec::new();
+        let mut now = 0.0f64;
+        let mut dma_busy = 0.0f64;
+        let mut command_s = 0.0f64;
+        let mut compute_cycles = 0u64;
+        let mut comparisons = 0u64;
+        let mut unit_busy = vec![0.0f64; units];
+
+        for batch in order.chunks(units) {
+            // One chunked DMA transfer for the whole batch.
+            let dma_s = self
+                .dma
+                .batch_transfer_time_s(batch.iter().map(|&t| targets[t].shape().input_bytes()));
+            if trace {
+                for &t in batch {
+                    timeline.push(TimelineEvent {
+                        unit: usize::MAX,
+                        target_index: t,
+                        start_s: now,
+                        end_s: now + dma_s,
+                        phase: TimelinePhase::Transfer,
+                    });
+                }
+            }
+            now += dma_s;
+            dma_busy += dma_s;
+
+            // Configure and start every unit (host-serial), then all units
+            // compute in parallel; the batch ends when the slowest unit
+            // finishes and the whole fabric is flushed.
+            let mut batch_end = now;
+            for (unit, &t) in batch.iter().enumerate() {
+                let cfg = self.config_time_s(&targets[t]);
+                command_s += cfg;
+                let run = simulate_target(&targets[t], p);
+                let busy = run.cycles.total() as f64 * cycle_s;
+                let start = now + cfg;
+                let end = start + busy;
+                if trace {
+                    timeline.push(TimelineEvent {
+                        unit,
+                        target_index: t,
+                        start_s: start,
+                        end_s: end,
+                        phase: TimelinePhase::Compute,
+                    });
+                }
+                unit_busy[unit] += busy;
+                compute_cycles += run.cycles.total();
+                comparisons += run.comparisons;
+                batch_end = batch_end.max(end);
+                results[t] = Some(run);
+            }
+            // Synchronous flush + response drain.
+            let flush = self.params.response_latency_s * batch.len() as f64;
+            command_s += flush;
+            now = batch_end + flush;
+        }
+
+        SystemRun {
+            wall_time_s: now,
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every target ran"))
+                .collect(),
+            dma_busy_s: dma_busy,
+            command_s,
+            compute_cycles,
+            comparisons,
+            unit_busy_s: unit_busy,
+            timeline,
+        }
+    }
+
+    fn run_asynchronous(&self, targets: &[RealignmentTarget], trace: bool) -> SystemRun {
+        let p = &self.params;
+        let cycle_s = p.cycle_time_s();
+        let units = p.num_units;
+
+        let mut results: Vec<Option<UnitRun>> = (0..targets.len()).map(|_| None).collect();
+        let mut timeline = Vec::new();
+        let mut dma_busy = 0.0f64;
+        let mut command_s = 0.0f64;
+        let mut compute_cycles = 0u64;
+        let mut comparisons = 0u64;
+        let mut unit_busy = vec![0.0f64; units];
+
+        // Dispatch order: largest worst-case work first (the host sorts
+        // its scheduling queue, as in the synchronous scheme — pruning
+        // variance is what asynchrony then absorbs).
+        let mut order: Vec<usize> = (0..targets.len()).collect();
+        order.sort_by_key(|&t| Reverse(targets[t].shape().worst_case_comparisons()));
+
+        // DMA prefetches target inputs in dispatch order, one chunked
+        // descriptor chain per group of `units` targets, overlapping
+        // compute (Figure 7-bottom shows targets 4–7 moving while 0–3
+        // compute).
+        let mut dma_done = vec![0.0f64; targets.len()];
+        let mut dma_free = 0.0f64;
+        for chunk in order.chunks(units.max(1)) {
+            let dt = self
+                .dma
+                .batch_transfer_time_s(chunk.iter().map(|&t| targets[t].shape().input_bytes()));
+            let start = dma_free;
+            dma_free = start + dt;
+            dma_busy += dt;
+            for &t in chunk {
+                dma_done[t] = dma_free;
+                if trace {
+                    timeline.push(TimelineEvent {
+                        unit: usize::MAX,
+                        target_index: t,
+                        start_s: start,
+                        end_s: dma_free,
+                        phase: TimelinePhase::Transfer,
+                    });
+                }
+            }
+        }
+
+        // Min-heap of (free_time, unit): the next target goes to the unit
+        // that responds first.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..units).map(|u| Reverse((0u64, u))).collect();
+        // Times are kept as integer picoseconds in the heap for a total
+        // order; converted at the edges.
+        let to_ps = |s: f64| (s * 1e12) as u64;
+        let from_ps = |ps: u64| ps as f64 / 1e12;
+
+        let mut wall = 0.0f64;
+        for &t in &order {
+            let target = &targets[t];
+            let Reverse((free_ps, unit)) = heap.pop().expect("at least one unit");
+            let cfg = self.config_time_s(target);
+            command_s += cfg;
+            let run = simulate_target(target, p);
+            let busy = run.cycles.total() as f64 * cycle_s;
+            let start = from_ps(free_ps).max(dma_done[t]) + cfg;
+            let end = start + busy + self.params.response_latency_s;
+            command_s += self.params.response_latency_s;
+            if trace {
+                timeline.push(TimelineEvent {
+                    unit,
+                    target_index: t,
+                    start_s: start,
+                    end_s: start + busy,
+                    phase: TimelinePhase::Compute,
+                });
+            }
+            unit_busy[unit] += busy;
+            compute_cycles += run.cycles.total();
+            comparisons += run.comparisons;
+            wall = wall.max(end);
+            results[t] = Some(run);
+            heap.push(Reverse((to_ps(end), unit)));
+        }
+
+        SystemRun {
+            wall_time_s: wall,
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every target ran"))
+                .collect(),
+            dma_busy_s: dma_busy,
+            command_s,
+            compute_cycles,
+            comparisons,
+            unit_busy_s: unit_busy,
+            timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_core::IndelRealigner;
+    use ir_genome::{Qual, Read, Sequence};
+
+    /// Builds a target whose reads mismatch the consensus in controlled
+    /// amounts, so different targets have very different pruned workloads.
+    fn target_with(
+        reads: usize,
+        read_len: usize,
+        cons_len: usize,
+        seed: usize,
+    ) -> RealignmentTarget {
+        let ref_bases: Sequence = (0..cons_len)
+            .map(|i| ir_genome::Base::from_index((i * 7 + seed) % 4))
+            .collect();
+        let alt: Sequence = (0..cons_len)
+            .map(|i| ir_genome::Base::from_index((i * 7 + seed + (i % 13 == 0) as usize) % 4))
+            .collect();
+        let mut builder = RealignmentTarget::builder(1000 * seed as u64)
+            .reference(ref_bases.clone())
+            .consensus(alt);
+        for j in 0..reads {
+            let offset = (j * 11 + seed) % (cons_len - read_len);
+            let bases: Sequence = ref_bases.slice(offset, offset + read_len);
+            let quals = Qual::uniform(30, read_len).unwrap();
+            builder = builder.read(Read::new(format!("r{j}"), bases, quals, 0).unwrap());
+        }
+        builder.build().unwrap()
+    }
+
+    fn small_workload() -> Vec<RealignmentTarget> {
+        (0..12)
+            .map(|s| target_with(5 + s % 5, 48, 256 + 24 * s, s + 1))
+            .collect()
+    }
+
+    #[test]
+    fn construction_validates_fit() {
+        assert!(AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous).is_ok());
+        let bad = FpgaParams {
+            num_units: 100,
+            ..FpgaParams::iracc()
+        };
+        assert!(AcceleratedSystem::new(bad, Scheduling::Asynchronous).is_err());
+    }
+
+    #[test]
+    fn results_match_golden_model_both_schedulers() {
+        let targets = small_workload();
+        let golden: Vec<_> = targets
+            .iter()
+            .map(|t| IndelRealigner::new().realign(t))
+            .collect();
+        for sched in [Scheduling::Synchronous, Scheduling::Asynchronous] {
+            let system = AcceleratedSystem::new(FpgaParams::iracc(), sched).unwrap();
+            let run = system.run(&targets);
+            assert_eq!(run.results.len(), targets.len());
+            for (got, want) in run.results.iter().zip(golden.iter()) {
+                assert_eq!(&got.grid, want.grid());
+                assert_eq!(got.best, want.best_consensus());
+                assert_eq!(got.outcomes, want.outcomes());
+            }
+        }
+    }
+
+    #[test]
+    fn async_is_not_slower_than_sync() {
+        let targets: Vec<_> = (0..40)
+            .map(|s| target_with(4 + s % 7, 48, 192 + 32 * (s % 9), s + 1))
+            .collect();
+        let sync = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Synchronous)
+            .unwrap()
+            .run(&targets);
+        let asynchronous = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous)
+            .unwrap()
+            .run(&targets);
+        assert!(asynchronous.wall_time_s <= sync.wall_time_s * 1.001);
+    }
+
+    #[test]
+    fn async_utilization_beats_sync_on_skewed_work() {
+        // Heavily skewed targets: one straggler per batch.
+        let mut targets = Vec::new();
+        for s in 0..32 {
+            let cons_len = if s % 8 == 0 { 1536 } else { 160 };
+            targets.push(target_with(6, 48, cons_len, s + 1));
+        }
+        let sync = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Synchronous)
+            .unwrap()
+            .run(&targets);
+        let asynchronous = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous)
+            .unwrap()
+            .run(&targets);
+        assert!(asynchronous.utilization() >= sync.utilization());
+    }
+
+    #[test]
+    fn sorting_policies_order_as_expected() {
+        // Unsorted ≥ paper sort ≥ exact-work sort ≥ async on a workload
+        // with both shape and pruning variance.
+        let targets: Vec<_> = (0..64)
+            .map(|s| target_with(3 + s % 9, 48, 128 + 48 * (s % 7), s + 1))
+            .collect();
+        let wall = |sched| {
+            AcceleratedSystem::new(FpgaParams::serial(), sched)
+                .expect("fits")
+                .run(&targets)
+                .wall_time_s
+        };
+        let unsorted = wall(Scheduling::SynchronousUnsorted);
+        let paper = wall(Scheduling::Synchronous);
+        let exact = wall(Scheduling::SynchronousByWorstCase);
+        let asynchronous = wall(Scheduling::Asynchronous);
+        assert!(
+            paper <= unsorted * 1.001,
+            "paper sort {paper} vs unsorted {unsorted}"
+        );
+        assert!(
+            exact <= paper * 1.001,
+            "exact sort {exact} vs paper {paper}"
+        );
+        assert!(
+            asynchronous <= exact * 1.001,
+            "async {asynchronous} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn all_sync_variants_produce_identical_results() {
+        let targets = small_workload();
+        let golden: Vec<usize> =
+            AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Synchronous)
+                .expect("fits")
+                .run(&targets)
+                .results
+                .iter()
+                .map(|r| r.best)
+                .collect();
+        for sched in [
+            Scheduling::SynchronousUnsorted,
+            Scheduling::SynchronousByWorstCase,
+        ] {
+            let got: Vec<usize> = AcceleratedSystem::new(FpgaParams::iracc(), sched)
+                .expect("fits")
+                .run(&targets)
+                .results
+                .iter()
+                .map(|r| r.best)
+                .collect();
+            assert_eq!(got, golden, "{sched:?} must not change functional results");
+        }
+    }
+
+    #[test]
+    fn dma_is_a_tiny_fraction() {
+        let targets = small_workload();
+        let run = AcceleratedSystem::new(FpgaParams::serial(), Scheduling::Asynchronous)
+            .unwrap()
+            .run(&targets);
+        assert!(
+            run.dma_fraction() < 0.25,
+            "dma fraction {}",
+            run.dma_fraction()
+        );
+    }
+
+    #[test]
+    fn traced_run_produces_timeline() {
+        let targets = small_workload();
+        let run = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Synchronous)
+            .unwrap()
+            .run_traced(&targets);
+        let transfers = run
+            .timeline
+            .iter()
+            .filter(|e| e.phase == TimelinePhase::Transfer);
+        let computes = run
+            .timeline
+            .iter()
+            .filter(|e| e.phase == TimelinePhase::Compute);
+        assert_eq!(transfers.count(), targets.len());
+        assert_eq!(computes.count(), targets.len());
+        for e in &run.timeline {
+            assert!(e.end_s >= e.start_s);
+            assert!(e.end_s <= run.wall_time_s + 1e-12);
+        }
+        // Untraced run has no timeline.
+        let run = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Synchronous)
+            .unwrap()
+            .run(&targets);
+        assert!(run.timeline.is_empty());
+    }
+
+    #[test]
+    fn wall_time_bounded_by_serial_sum() {
+        let targets = small_workload();
+        let system = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous).unwrap();
+        let run = system.run(&targets);
+        let serial_compute: f64 = run.unit_busy_s.iter().sum();
+        // Parallel run must beat running everything back-to-back on one
+        // unit (plus transfers).
+        assert!(run.wall_time_s < serial_compute + run.dma_busy_s + run.command_s + 1e-9);
+    }
+
+    #[test]
+    fn empty_workload_is_free() {
+        let system = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous).unwrap();
+        let run = system.run(&[]);
+        assert_eq!(run.wall_time_s, 0.0);
+        assert!(run.results.is_empty());
+        assert_eq!(run.utilization(), 0.0);
+    }
+
+    #[test]
+    fn comparisons_per_second_below_peak() {
+        let targets = small_workload();
+        let params = FpgaParams::serial();
+        let run = AcceleratedSystem::new(params, Scheduling::Asynchronous)
+            .unwrap()
+            .run(&targets);
+        assert!(run.comparisons_per_second() <= params.peak_comparisons_per_second() as f64);
+    }
+}

@@ -1,0 +1,248 @@
+//! CIGAR alignment descriptions.
+//!
+//! Consensus haplotypes are "constructed using insertions and deletions
+//! present in the original alignment" (paper appendix); the CIGAR strings on
+//! primary-aligned reads are where those INDELs are recorded, so the
+//! workload generator uses this module to describe how each simulated read
+//! maps and to derive candidate consensuses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::GenomeError;
+
+/// One CIGAR operation kind, following the SAM specification subset that
+/// matters for INDEL realignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CigarOp {
+    /// Alignment match or mismatch (`M`): consumes read and reference.
+    Match,
+    /// Insertion to the reference (`I`): consumes read only.
+    Insertion,
+    /// Deletion from the reference (`D`): consumes reference only.
+    Deletion,
+    /// Soft clip (`S`): read bases present but not aligned.
+    SoftClip,
+}
+
+impl CigarOp {
+    /// Returns the SAM single-character code.
+    pub fn code(self) -> char {
+        match self {
+            CigarOp::Match => 'M',
+            CigarOp::Insertion => 'I',
+            CigarOp::Deletion => 'D',
+            CigarOp::SoftClip => 'S',
+        }
+    }
+
+    /// Parses a SAM operation character.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::InvalidCigar`] for unsupported codes.
+    pub fn from_code(code: char) -> Result<Self, GenomeError> {
+        match code {
+            'M' => Ok(CigarOp::Match),
+            'I' => Ok(CigarOp::Insertion),
+            'D' => Ok(CigarOp::Deletion),
+            'S' => Ok(CigarOp::SoftClip),
+            other => Err(GenomeError::InvalidCigar(format!(
+                "unsupported op '{other}'"
+            ))),
+        }
+    }
+
+    /// Whether the op consumes read bases.
+    pub fn consumes_read(self) -> bool {
+        matches!(
+            self,
+            CigarOp::Match | CigarOp::Insertion | CigarOp::SoftClip
+        )
+    }
+
+    /// Whether the op consumes reference bases.
+    pub fn consumes_reference(self) -> bool {
+        matches!(self, CigarOp::Match | CigarOp::Deletion)
+    }
+}
+
+/// A full CIGAR string: a run-length-encoded list of operations.
+///
+/// # Example
+///
+/// ```
+/// use ir_genome::{Cigar, CigarOp};
+///
+/// let cigar: Cigar = "100M2D150M".parse()?;
+/// assert_eq!(cigar.read_len(), 250);
+/// assert_eq!(cigar.reference_len(), 252);
+/// assert!(cigar.has_indel());
+/// # Ok::<(), ir_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Cigar {
+    elements: Vec<(u32, CigarOp)>,
+}
+
+impl Cigar {
+    /// Creates a CIGAR from `(length, op)` runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::InvalidCigar`] if any run has length zero.
+    pub fn new(elements: Vec<(u32, CigarOp)>) -> Result<Self, GenomeError> {
+        if elements.iter().any(|&(len, _)| len == 0) {
+            return Err(GenomeError::InvalidCigar("zero-length run".to_string()));
+        }
+        Ok(Cigar { elements })
+    }
+
+    /// Convenience constructor for a pure-match alignment of `len` bases.
+    pub fn full_match(len: u32) -> Self {
+        Cigar {
+            elements: vec![(len, CigarOp::Match)],
+        }
+    }
+
+    /// Returns the `(length, op)` runs.
+    pub fn elements(&self) -> &[(u32, CigarOp)] {
+        &self.elements
+    }
+
+    /// Total read bases consumed.
+    pub fn read_len(&self) -> u64 {
+        self.elements
+            .iter()
+            .filter(|(_, op)| op.consumes_read())
+            .map(|&(len, _)| u64::from(len))
+            .sum()
+    }
+
+    /// Total reference bases consumed.
+    pub fn reference_len(&self) -> u64 {
+        self.elements
+            .iter()
+            .filter(|(_, op)| op.consumes_reference())
+            .map(|&(len, _)| u64::from(len))
+            .sum()
+    }
+
+    /// Whether the alignment contains an insertion or deletion — the reads
+    /// that motivate INDEL realignment.
+    pub fn has_indel(&self) -> bool {
+        self.elements
+            .iter()
+            .any(|(_, op)| matches!(op, CigarOp::Insertion | CigarOp::Deletion))
+    }
+
+    /// Total inserted plus deleted bases.
+    pub fn indel_bases(&self) -> u64 {
+        self.elements
+            .iter()
+            .filter(|(_, op)| matches!(op, CigarOp::Insertion | CigarOp::Deletion))
+            .map(|&(len, _)| u64::from(len))
+            .sum()
+    }
+}
+
+impl fmt::Display for Cigar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.elements.is_empty() {
+            return write!(f, "*");
+        }
+        for &(len, op) in &self.elements {
+            write!(f, "{len}{}", op.code())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Cigar {
+    type Err = GenomeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "*" {
+            return Ok(Cigar::default());
+        }
+        let mut elements = Vec::new();
+        let mut digits = String::new();
+        for ch in s.chars() {
+            if ch.is_ascii_digit() {
+                digits.push(ch);
+            } else {
+                let len: u32 = digits
+                    .parse()
+                    .map_err(|_| GenomeError::InvalidCigar(s.to_string()))?;
+                digits.clear();
+                let op = CigarOp::from_code(ch)?;
+                if len == 0 {
+                    return Err(GenomeError::InvalidCigar(s.to_string()));
+                }
+                elements.push((len, op));
+            }
+        }
+        if !digits.is_empty() {
+            return Err(GenomeError::InvalidCigar(s.to_string()));
+        }
+        Ok(Cigar { elements })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_displays() {
+        let c: Cigar = "10M2I5M1D20M".parse().unwrap();
+        assert_eq!(c.to_string(), "10M2I5M1D20M");
+        assert_eq!(c.elements().len(), 5);
+    }
+
+    #[test]
+    fn star_is_empty() {
+        let c: Cigar = "*".parse().unwrap();
+        assert_eq!(c.elements().len(), 0);
+        assert_eq!(c.to_string(), "*");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("M10".parse::<Cigar>().is_err());
+        assert!("10".parse::<Cigar>().is_err());
+        assert!("10Z".parse::<Cigar>().is_err());
+        assert!("0M".parse::<Cigar>().is_err());
+    }
+
+    #[test]
+    fn lengths_follow_sam_semantics() {
+        let c: Cigar = "10M2I5M1D20M".parse().unwrap();
+        assert_eq!(c.read_len(), 37); // 10 + 2 + 5 + 20
+        assert_eq!(c.reference_len(), 36); // 10 + 5 + 1 + 20
+    }
+
+    #[test]
+    fn soft_clips_consume_read_only() {
+        let c: Cigar = "5S30M".parse().unwrap();
+        assert_eq!(c.read_len(), 35);
+        assert_eq!(c.reference_len(), 30);
+        assert!(!c.has_indel());
+    }
+
+    #[test]
+    fn indel_detection_and_count() {
+        assert!(!Cigar::full_match(100).has_indel());
+        let c: Cigar = "10M3D10M2I1M".parse().unwrap();
+        assert!(c.has_indel());
+        assert_eq!(c.indel_bases(), 5);
+    }
+
+    #[test]
+    fn new_rejects_zero_runs() {
+        assert!(Cigar::new(vec![(0, CigarOp::Match)]).is_err());
+        assert!(Cigar::new(vec![(3, CigarOp::Match)]).is_ok());
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type for genomic data validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating genomic data.
+///
+/// All constructors in this crate validate their inputs (reads must carry
+/// one quality score per base, targets must respect the hardware limits of
+/// the paper's accelerator, etc.) and report violations through this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GenomeError {
+    /// A byte that does not encode a nucleotide base.
+    InvalidBase(u8),
+    /// A quality score or quality ASCII byte outside the Phred range.
+    InvalidQuality(u8),
+    /// A read whose base count and quality-score count differ.
+    QualityLengthMismatch {
+        /// Number of bases in the read.
+        bases: usize,
+        /// Number of quality scores supplied.
+        quals: usize,
+    },
+    /// A read or consensus with no bases.
+    EmptySequence,
+    /// A target that violates the accelerator's structural limits.
+    TargetLimitExceeded {
+        /// Which limit was violated (e.g. `"consensuses"`).
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+        /// The hardware maximum.
+        max: usize,
+    },
+    /// A read longer than every consensus in its target, leaving no valid
+    /// alignment offset.
+    ReadLongerThanConsensus {
+        /// Length of the offending read.
+        read_len: usize,
+        /// Length of the shortest consensus.
+        consensus_len: usize,
+    },
+    /// A genomic coordinate outside the chromosome.
+    PositionOutOfRange {
+        /// The offending offset.
+        offset: u64,
+        /// The chromosome length.
+        len: u64,
+    },
+    /// A malformed CIGAR string.
+    InvalidCigar(String),
+}
+
+impl fmt::Display for GenomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenomeError::InvalidBase(b) => {
+                write!(f, "invalid base byte 0x{b:02x} (expected one of ACGTN)")
+            }
+            GenomeError::InvalidQuality(q) => {
+                write!(f, "invalid quality byte {q} (outside the Phred range)")
+            }
+            GenomeError::QualityLengthMismatch { bases, quals } => {
+                write!(f, "read has {bases} bases but {quals} quality scores")
+            }
+            GenomeError::EmptySequence => write!(f, "sequence must contain at least one base"),
+            GenomeError::TargetLimitExceeded { what, value, max } => write!(
+                f,
+                "target has {value} {what}, exceeding the accelerator limit of {max}"
+            ),
+            GenomeError::ReadLongerThanConsensus {
+                read_len,
+                consensus_len,
+            } => write!(
+                f,
+                "read of length {read_len} is longer than consensus of length {consensus_len}"
+            ),
+            GenomeError::PositionOutOfRange { offset, len } => write!(
+                f,
+                "position offset {offset} is outside chromosome of length {len}"
+            ),
+            GenomeError::InvalidCigar(s) => write!(f, "invalid CIGAR string: {s}"),
+        }
+    }
+}
+
+impl Error for GenomeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            GenomeError::InvalidBase(b'X'),
+            GenomeError::InvalidQuality(200),
+            GenomeError::QualityLengthMismatch { bases: 3, quals: 2 },
+            GenomeError::EmptySequence,
+            GenomeError::TargetLimitExceeded {
+                what: "reads",
+                value: 300,
+                max: 256,
+            },
+            GenomeError::ReadLongerThanConsensus {
+                read_len: 10,
+                consensus_len: 5,
+            },
+            GenomeError::PositionOutOfRange { offset: 10, len: 5 },
+            GenomeError::InvalidCigar("4Z".to_string()),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<GenomeError>();
+    }
+}

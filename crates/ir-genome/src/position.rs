@@ -1,0 +1,270 @@
+//! Genomic coordinates: chromosomes and positions.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::GenomeError;
+
+/// A human chromosome (autosomes 1–22 plus X and Y).
+///
+/// The paper evaluates chromosomes 1–22 of the NA12878 genome against the
+/// GRCh37 reference; the sex chromosomes are included for completeness.
+///
+/// # Example
+///
+/// ```
+/// use ir_genome::Chromosome;
+///
+/// let chr: Chromosome = "chr21".parse()?;
+/// assert_eq!(chr, Chromosome::Autosome(21));
+/// assert_eq!(chr.to_string(), "chr21");
+/// assert!(chr.length() > 40_000_000);
+/// # Ok::<(), ir_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Chromosome {
+    /// An autosome, numbered 1..=22.
+    Autosome(u8),
+    /// The X chromosome.
+    X,
+    /// The Y chromosome.
+    Y,
+}
+
+/// GRCh37 chromosome lengths in base pairs for chromosomes 1–22
+/// (index 0 is chromosome 1).
+///
+/// Source: Genome Reference Consortium GRCh37 assembly report. These drive
+/// the per-chromosome workload scaling: longer chromosomes carry more IR
+/// targets (the paper reports >320k targets on Ch2 and >48k on Ch21).
+pub const GRCH37_CHROMOSOME_LENGTHS: [u64; 22] = [
+    249_250_621,
+    243_199_373,
+    198_022_430,
+    191_154_276,
+    180_915_260,
+    171_115_067,
+    159_138_663,
+    146_364_022,
+    141_213_431,
+    135_534_747,
+    135_006_516,
+    133_851_895,
+    115_169_878,
+    107_349_540,
+    102_531_392,
+    90_354_753,
+    81_195_210,
+    78_077_248,
+    59_128_983,
+    63_025_520,
+    48_129_895,
+    51_304_566,
+];
+
+const GRCH37_X_LENGTH: u64 = 155_270_560;
+const GRCH37_Y_LENGTH: u64 = 59_373_566;
+
+impl Chromosome {
+    /// All autosomes 1..=22 in order — the paper's evaluation set.
+    pub fn autosomes() -> impl Iterator<Item = Chromosome> {
+        (1..=22).map(Chromosome::Autosome)
+    }
+
+    /// Creates an autosome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::PositionOutOfRange`] if `number` is not in
+    /// 1..=22.
+    pub fn autosome(number: u8) -> Result<Self, GenomeError> {
+        if (1..=22).contains(&number) {
+            Ok(Chromosome::Autosome(number))
+        } else {
+            Err(GenomeError::PositionOutOfRange {
+                offset: u64::from(number),
+                len: 22,
+            })
+        }
+    }
+
+    /// Returns the GRCh37 length of this chromosome in base pairs.
+    pub fn length(self) -> u64 {
+        match self {
+            Chromosome::Autosome(n) => GRCH37_CHROMOSOME_LENGTHS[usize::from(n - 1)],
+            Chromosome::X => GRCH37_X_LENGTH,
+            Chromosome::Y => GRCH37_Y_LENGTH,
+        }
+    }
+
+    /// Returns the autosome number, or `None` for X/Y.
+    pub fn number(self) -> Option<u8> {
+        match self {
+            Chromosome::Autosome(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Chromosome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Chromosome::Autosome(n) => write!(f, "chr{n}"),
+            Chromosome::X => write!(f, "chrX"),
+            Chromosome::Y => write!(f, "chrY"),
+        }
+    }
+}
+
+impl FromStr for Chromosome {
+    type Err = GenomeError;
+
+    /// Parses `"chr21"`, `"21"`, `"chrX"`, `"X"`, etc.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s.strip_prefix("chr").unwrap_or(s);
+        match body {
+            "X" | "x" => Ok(Chromosome::X),
+            "Y" | "y" => Ok(Chromosome::Y),
+            digits => digits
+                .parse::<u8>()
+                .ok()
+                .and_then(|n| Chromosome::autosome(n).ok())
+                .ok_or_else(|| GenomeError::InvalidCigar(format!("bad chromosome '{s}'"))),
+        }
+    }
+}
+
+/// A genomic position: a chromosome plus a 0-based offset.
+///
+/// Displayed in the paper's `22:10000` style (chromosome:offset). The IR
+/// accelerator's `ir_set_target` command carries the target's start
+/// position so realigned reads can be given absolute new positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GenomicPos {
+    chromosome: Chromosome,
+    offset: u64,
+}
+
+impl GenomicPos {
+    /// Creates a position, validating the offset against the chromosome
+    /// length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::PositionOutOfRange`] if `offset` is beyond the
+    /// chromosome end.
+    pub fn new(chromosome: Chromosome, offset: u64) -> Result<Self, GenomeError> {
+        if offset >= chromosome.length() {
+            return Err(GenomeError::PositionOutOfRange {
+                offset,
+                len: chromosome.length(),
+            });
+        }
+        Ok(GenomicPos { chromosome, offset })
+    }
+
+    /// Returns the chromosome.
+    pub fn chromosome(self) -> Chromosome {
+        self.chromosome
+    }
+
+    /// Returns the 0-based offset within the chromosome.
+    pub fn offset(self) -> u64 {
+        self.offset
+    }
+
+    /// Returns a new position advanced by `delta` bases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::PositionOutOfRange`] if the result falls off
+    /// the chromosome.
+    pub fn advanced(self, delta: u64) -> Result<Self, GenomeError> {
+        GenomicPos::new(self.chromosome, self.offset + delta)
+    }
+}
+
+impl fmt::Display for GenomicPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.chromosome {
+            Chromosome::Autosome(n) => write!(f, "{n}:{}", self.offset),
+            Chromosome::X => write!(f, "X:{}", self.offset),
+            Chromosome::Y => write!(f, "Y:{}", self.offset),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_are_monotonically_plausible() {
+        // Chr1 is the longest autosome, Chr21 the shortest.
+        let lengths = GRCH37_CHROMOSOME_LENGTHS;
+        assert!(lengths[0] > lengths[21]);
+        let min = *lengths.iter().min().unwrap();
+        assert_eq!(min, lengths[20], "chr21 is the shortest autosome in GRCh37");
+        for len in lengths {
+            assert!(len > 40_000_000 && len < 260_000_000);
+        }
+    }
+
+    #[test]
+    fn autosome_constructor_validates() {
+        assert!(Chromosome::autosome(0).is_err());
+        assert!(Chromosome::autosome(23).is_err());
+        assert_eq!(Chromosome::autosome(7).unwrap(), Chromosome::Autosome(7));
+    }
+
+    #[test]
+    fn parses_all_spellings() {
+        assert_eq!(
+            "chr3".parse::<Chromosome>().unwrap(),
+            Chromosome::Autosome(3)
+        );
+        assert_eq!("3".parse::<Chromosome>().unwrap(), Chromosome::Autosome(3));
+        assert_eq!("chrX".parse::<Chromosome>().unwrap(), Chromosome::X);
+        assert_eq!("y".parse::<Chromosome>().unwrap(), Chromosome::Y);
+        assert!("chr0".parse::<Chromosome>().is_err());
+        assert!("chr23".parse::<Chromosome>().is_err());
+        assert!("banana".parse::<Chromosome>().is_err());
+    }
+
+    #[test]
+    fn autosome_iterator_yields_22() {
+        let all: Vec<_> = Chromosome::autosomes().collect();
+        assert_eq!(all.len(), 22);
+        assert_eq!(all[0], Chromosome::Autosome(1));
+        assert_eq!(all[21], Chromosome::Autosome(22));
+    }
+
+    #[test]
+    fn position_validates_offset() {
+        let chr21 = Chromosome::Autosome(21);
+        assert!(GenomicPos::new(chr21, 0).is_ok());
+        assert!(GenomicPos::new(chr21, chr21.length()).is_err());
+    }
+
+    #[test]
+    fn position_displays_paper_style() {
+        let pos = GenomicPos::new(Chromosome::Autosome(22), 10_000).unwrap();
+        assert_eq!(pos.to_string(), "22:10000");
+    }
+
+    #[test]
+    fn advanced_moves_and_validates() {
+        let pos = GenomicPos::new(Chromosome::Autosome(21), 100).unwrap();
+        assert_eq!(pos.advanced(50).unwrap().offset(), 150);
+        assert!(pos.advanced(Chromosome::Autosome(21).length()).is_err());
+    }
+
+    #[test]
+    fn ordering_is_by_chromosome_then_offset() {
+        let a = GenomicPos::new(Chromosome::Autosome(1), 500).unwrap();
+        let b = GenomicPos::new(Chromosome::Autosome(2), 5).unwrap();
+        assert!(a < b);
+    }
+}

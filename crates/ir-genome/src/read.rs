@@ -1,0 +1,254 @@
+//! Aligned sequencing reads.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Cigar, GenomeError, Qual, Sequence};
+
+/// A primary-aligned sequencing read: bases, per-base quality scores and a
+/// start position within its realignment target.
+///
+/// Positions here are **target-relative** (offset from the target interval
+/// start), matching the accelerator interface: the hardware works on a
+/// target-local coordinate frame and the host adds `target_start_pos` back
+/// when writing new absolute positions (Algorithm 2, line 25).
+///
+/// # Example
+///
+/// ```
+/// use ir_genome::{Read, Qual};
+///
+/// let read = Read::new(
+///     "read0",
+///     "TGAA".parse()?,
+///     Qual::from_raw_scores(&[10, 20, 45, 10])?,
+///     3,
+/// )?;
+/// assert_eq!(read.len(), 4);
+/// assert_eq!(read.start_offset(), 3);
+/// assert_eq!(read.end_offset(), 7);
+/// # Ok::<(), ir_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Read {
+    name: String,
+    bases: Sequence,
+    quals: Qual,
+    start_offset: u64,
+    mapping_quality: u8,
+    cigar: Cigar,
+}
+
+impl Read {
+    /// Creates a read with a full-match CIGAR and default mapping quality.
+    ///
+    /// # Errors
+    ///
+    /// - [`GenomeError::EmptySequence`] if `bases` is empty.
+    /// - [`GenomeError::QualityLengthMismatch`] if `quals` does not carry
+    ///   exactly one score per base.
+    pub fn new(
+        name: impl Into<String>,
+        bases: Sequence,
+        quals: Qual,
+        start_offset: u64,
+    ) -> Result<Self, GenomeError> {
+        let len = u32::try_from(bases.len()).unwrap_or(u32::MAX);
+        Self::with_alignment(name, bases, quals, start_offset, Cigar::full_match(len), 60)
+    }
+
+    /// Creates a read with an explicit CIGAR and mapping quality.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Read::new`].
+    pub fn with_alignment(
+        name: impl Into<String>,
+        bases: Sequence,
+        quals: Qual,
+        start_offset: u64,
+        cigar: Cigar,
+        mapping_quality: u8,
+    ) -> Result<Self, GenomeError> {
+        if bases.is_empty() {
+            return Err(GenomeError::EmptySequence);
+        }
+        if bases.len() != quals.len() {
+            return Err(GenomeError::QualityLengthMismatch {
+                bases: bases.len(),
+                quals: quals.len(),
+            });
+        }
+        Ok(Read {
+            name: name.into(),
+            bases,
+            quals,
+            start_offset,
+            mapping_quality,
+            cigar,
+        })
+    }
+
+    /// Returns the read name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the base sequence.
+    pub fn bases(&self) -> &Sequence {
+        &self.bases
+    }
+
+    /// Returns the per-base quality scores.
+    pub fn quals(&self) -> &Qual {
+        &self.quals
+    }
+
+    /// Returns the number of bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Returns `true` if the read has no bases (never true for validated
+    /// reads).
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Returns the target-relative start offset from primary alignment.
+    pub fn start_offset(&self) -> u64 {
+        self.start_offset
+    }
+
+    /// Returns the target-relative end offset (exclusive).
+    pub fn end_offset(&self) -> u64 {
+        self.start_offset + self.bases.len() as u64
+    }
+
+    /// Returns the mapping quality assigned by the primary aligner.
+    pub fn mapping_quality(&self) -> u8 {
+        self.mapping_quality
+    }
+
+    /// Returns the CIGAR describing the primary alignment.
+    pub fn cigar(&self) -> &Cigar {
+        &self.cigar
+    }
+
+    /// Whether the primary alignment contains an INDEL — such reads are what
+    /// trigger target creation in GATK's `RealignerTargetCreator`.
+    pub fn has_indel(&self) -> bool {
+        self.cigar.has_indel()
+    }
+
+    /// Returns a copy with a new start offset, as produced by realignment.
+    pub fn realigned_to(&self, new_start: u64) -> Read {
+        let mut updated = self.clone();
+        updated.start_offset = new_start;
+        updated
+    }
+
+    /// Whether the read overlaps the target-relative interval
+    /// `[0, target_len)`, i.e. whether either endpoint lands inside (paper
+    /// Figure 10: "reads that have either start or end position landing in
+    /// this region").
+    pub fn overlaps_target(&self, target_len: u64) -> bool {
+        self.start_offset < target_len || self.end_offset() <= target_len
+    }
+}
+
+impl fmt::Display for Read {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{}+{} {} {}",
+            self.name,
+            self.start_offset,
+            self.bases.len(),
+            self.cigar,
+            self.bases
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(bases: &str, quals: &[u8], start: u64) -> Read {
+        Read::new(
+            "r",
+            bases.parse().unwrap(),
+            Qual::from_raw_scores(quals).unwrap(),
+            start,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn constructor_validates_lengths() {
+        let bases: Sequence = "ACGT".parse().unwrap();
+        let quals = Qual::from_raw_scores(&[30, 30, 30]).unwrap();
+        let err = Read::new("r", bases, quals, 0).unwrap_err();
+        assert_eq!(
+            err,
+            GenomeError::QualityLengthMismatch { bases: 4, quals: 3 }
+        );
+    }
+
+    #[test]
+    fn constructor_rejects_empty() {
+        let err = Read::new("r", Sequence::default(), Qual::default(), 0).unwrap_err();
+        assert_eq!(err, GenomeError::EmptySequence);
+    }
+
+    #[test]
+    fn offsets_are_consistent() {
+        let r = read("ACGT", &[30; 4], 10);
+        assert_eq!(r.start_offset(), 10);
+        assert_eq!(r.end_offset(), 14);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn default_cigar_is_full_match() {
+        let r = read("ACGT", &[30; 4], 0);
+        assert_eq!(r.cigar().to_string(), "4M");
+        assert!(!r.has_indel());
+    }
+
+    #[test]
+    fn with_alignment_keeps_cigar() {
+        let cigar: Cigar = "2M1I1M".parse().unwrap();
+        let r = Read::with_alignment(
+            "r",
+            "ACGT".parse().unwrap(),
+            Qual::from_raw_scores(&[30; 4]).unwrap(),
+            0,
+            cigar.clone(),
+            42,
+        )
+        .unwrap();
+        assert_eq!(r.cigar(), &cigar);
+        assert_eq!(r.mapping_quality(), 42);
+        assert!(r.has_indel());
+    }
+
+    #[test]
+    fn realigned_to_updates_only_position() {
+        let r = read("ACGT", &[30; 4], 10);
+        let moved = r.realigned_to(3);
+        assert_eq!(moved.start_offset(), 3);
+        assert_eq!(moved.bases(), r.bases());
+        assert_eq!(moved.name(), r.name());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = read("ACGT", &[30; 4], 7);
+        let shown = r.to_string();
+        assert!(shown.contains("ACGT"));
+        assert!(shown.contains('7'));
+    }
+}

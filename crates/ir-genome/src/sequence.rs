@@ -1,0 +1,242 @@
+//! Nucleotide sequences.
+
+use std::fmt;
+use std::ops::Index;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Base, GenomeError};
+
+/// An immutable-once-built nucleotide sequence (a string of [`Base`]s).
+///
+/// Sequences are the unit both consensuses and read bases are stored in.
+/// The accelerator transfers them as one byte per base; [`Sequence::as_bytes`]
+/// produces that exact stream.
+///
+/// # Example
+///
+/// ```
+/// use ir_genome::{Base, Sequence};
+///
+/// let seq: Sequence = "ACCTGAA".parse()?;
+/// assert_eq!(seq.len(), 7);
+/// assert_eq!(seq[0], Base::A);
+/// assert_eq!(seq.to_string(), "ACCTGAA");
+/// # Ok::<(), ir_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Sequence {
+    bases: Vec<Base>,
+}
+
+impl Sequence {
+    /// Creates a sequence from a vector of bases.
+    pub fn new(bases: Vec<Base>) -> Self {
+        Sequence { bases }
+    }
+
+    /// Parses a sequence from ASCII bytes (`ACGTN`, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::InvalidBase`] on the first invalid byte.
+    pub fn from_ascii(ascii: &[u8]) -> Result<Self, GenomeError> {
+        ascii.iter().map(|&b| Base::from_byte(b)).collect()
+    }
+
+    /// Returns the bases as a slice.
+    pub fn bases(&self) -> &[Base] {
+        &self.bases
+    }
+
+    /// Returns the one-byte-per-base ASCII encoding the accelerator buffers
+    /// store.
+    pub fn as_bytes(&self) -> Vec<u8> {
+        self.bases.iter().map(|b| b.to_byte()).collect()
+    }
+
+    /// Returns the number of bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Returns `true` if the sequence has no bases.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Returns the base at `index`, or `None` if out of bounds.
+    pub fn get(&self, index: usize) -> Option<Base> {
+        self.bases.get(index).copied()
+    }
+
+    /// Returns a sub-sequence covering `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    pub fn slice(&self, start: usize, end: usize) -> Sequence {
+        Sequence {
+            bases: self.bases[start..end].to_vec(),
+        }
+    }
+
+    /// Returns the reverse complement, as produced when a read maps to the
+    /// opposite strand.
+    pub fn reverse_complement(&self) -> Sequence {
+        Sequence {
+            bases: self.bases.iter().rev().map(|b| b.complement()).collect(),
+        }
+    }
+
+    /// Counts positions at which `self` and `other` differ; compares up to
+    /// the shorter length (an unweighted Hamming distance).
+    pub fn hamming_distance(&self, other: &Sequence) -> usize {
+        self.bases
+            .iter()
+            .zip(other.bases.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Fraction of `N` (no-call) bases, a quick quality gauge for
+    /// synthetic data generators.
+    pub fn ambiguity_fraction(&self) -> f64 {
+        if self.bases.is_empty() {
+            return 0.0;
+        }
+        let n = self.bases.iter().filter(|b| b.is_ambiguous()).count();
+        n as f64 / self.bases.len() as f64
+    }
+
+    /// Iterates over the bases.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Base>> {
+        self.bases.iter().copied()
+    }
+}
+
+impl Index<usize> for Sequence {
+    type Output = Base;
+
+    fn index(&self, index: usize) -> &Base {
+        &self.bases[index]
+    }
+}
+
+impl FromStr for Sequence {
+    type Err = GenomeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Sequence::from_ascii(s.as_bytes())
+    }
+}
+
+impl fmt::Display for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for base in &self.bases {
+            write!(f, "{base}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Base> for Sequence {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> Self {
+        Sequence {
+            bases: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Base> for Sequence {
+    fn extend<I: IntoIterator<Item = Base>>(&mut self, iter: I) {
+        self.bases.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Sequence {
+    type Item = Base;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Base>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl From<Vec<Base>> for Sequence {
+    fn from(bases: Vec<Base>) -> Self {
+        Sequence::new(bases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_displays() {
+        let s: Sequence = "ACGTN".parse().unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.to_string(), "ACGTN");
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        assert!("ACGX".parse::<Sequence>().is_err());
+    }
+
+    #[test]
+    fn byte_encoding_is_one_byte_per_base() {
+        let s: Sequence = "ACGT".parse().unwrap();
+        assert_eq!(s.as_bytes(), b"ACGT".to_vec());
+    }
+
+    #[test]
+    fn reverse_complement_round_trips() {
+        let s: Sequence = "AACGTN".parse().unwrap();
+        assert_eq!(s.reverse_complement().to_string(), "NACGTT");
+        assert_eq!(s.reverse_complement().reverse_complement(), s);
+    }
+
+    #[test]
+    fn hamming_distance_counts_mismatches() {
+        let a: Sequence = "ACGT".parse().unwrap();
+        let b: Sequence = "ACCA".parse().unwrap();
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn hamming_distance_ignores_length_tail() {
+        let a: Sequence = "ACGTAAA".parse().unwrap();
+        let b: Sequence = "ACGT".parse().unwrap();
+        assert_eq!(a.hamming_distance(&b), 0);
+    }
+
+    #[test]
+    fn slice_extracts_subrange() {
+        let s: Sequence = "ACGTACGT".parse().unwrap();
+        assert_eq!(s.slice(2, 5).to_string(), "GTA");
+    }
+
+    #[test]
+    fn ambiguity_fraction() {
+        let s: Sequence = "ANNN".parse().unwrap();
+        assert!((s.ambiguity_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(Sequence::default().ambiguity_fraction(), 0.0);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let s: Sequence = [Base::A, Base::C].into_iter().collect();
+        assert_eq!(s.to_string(), "AC");
+    }
+
+    #[test]
+    fn indexing_works() {
+        let s: Sequence = "ACGT".parse().unwrap();
+        assert_eq!(s[3], Base::T);
+        assert_eq!(s.get(4), None);
+    }
+}

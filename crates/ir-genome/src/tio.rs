@@ -1,0 +1,346 @@
+//! Text interchange format for realignment targets.
+//!
+//! The paper's control program reads pre-extracted IR targets from disk
+//! ("input preprocessing (file I/O)" is part of its end-to-end
+//! measurement). This module provides the equivalent: a line-oriented,
+//! human-readable format for persisting and reloading target sets, so
+//! workloads can be generated once and replayed across experiments.
+//!
+//! Format (one record per target, blank-line tolerant):
+//!
+//! ```text
+//! target <start_pos> [chromosome]
+//! ref <BASES>
+//! cons <BASES>                      # zero or more alternative consensuses
+//! read <name> <offset> <mapq> <CIGAR> <BASES> <PHRED+33>
+//! end
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use ir_genome::tio;
+//! # use ir_genome::{Qual, Read, RealignmentTarget};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let target = RealignmentTarget::builder(20)
+//!     .reference("CCTTAGA".parse()?)
+//!     .read(Read::new("r0", "TGAA".parse()?, Qual::uniform(30, 4)?, 0)?)
+//!     .build()?;
+//!
+//! let mut buffer = Vec::new();
+//! tio::write_targets(&mut buffer, std::slice::from_ref(&target))?;
+//! let restored = tio::read_targets(buffer.as_slice())?;
+//! assert_eq!(restored, vec![target]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{BufRead, BufReader, Read as IoRead, Write};
+
+use crate::{Cigar, GenomeError, Qual, Read, RealignmentTarget, Sequence};
+
+/// Errors produced while reading or writing the target format.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TioError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed record, with the offending 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A structurally invalid target (bad bases, limits, …).
+    Genome(GenomeError),
+}
+
+impl std::fmt::Display for TioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TioError::Io(e) => write!(f, "i/o failure: {e}"),
+            TioError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            TioError::Genome(e) => write!(f, "invalid target: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TioError::Io(e) => Some(e),
+            TioError::Genome(e) => Some(e),
+            TioError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TioError {
+    fn from(e: std::io::Error) -> Self {
+        TioError::Io(e)
+    }
+}
+
+impl From<GenomeError> for TioError {
+    fn from(e: GenomeError) -> Self {
+        TioError::Genome(e)
+    }
+}
+
+/// Writes `targets` in the interchange format. A `&mut` writer may be
+/// passed since `Write` is implemented for mutable references.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write_targets<W: Write>(
+    mut writer: W,
+    targets: &[RealignmentTarget],
+) -> Result<(), TioError> {
+    for target in targets {
+        match target.chromosome() {
+            Some(chr) => writeln!(writer, "target {} {chr}", target.start_pos())?,
+            None => writeln!(writer, "target {}", target.start_pos())?,
+        }
+        writeln!(writer, "ref {}", target.reference())?;
+        for cons in &target.consensuses()[1..] {
+            writeln!(writer, "cons {cons}")?;
+        }
+        for read in target.reads() {
+            writeln!(
+                writer,
+                "read {} {} {} {} {} {}",
+                read.name(),
+                read.start_offset(),
+                read.mapping_quality(),
+                read.cigar(),
+                read.bases(),
+                read.quals()
+            )?;
+        }
+        writeln!(writer, "end")?;
+    }
+    Ok(())
+}
+
+/// Reads targets in the interchange format. A `&mut` reader may be passed
+/// since `Read` is implemented for mutable references.
+///
+/// # Errors
+///
+/// - [`TioError::Io`] on underlying read failures.
+/// - [`TioError::Parse`] on malformed records.
+/// - [`TioError::Genome`] if a record decodes but violates target
+///   invariants.
+pub fn read_targets<R: IoRead>(reader: R) -> Result<Vec<RealignmentTarget>, TioError> {
+    let reader = BufReader::new(reader);
+    let mut targets = Vec::new();
+    let mut builder: Option<crate::TargetBuilder> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let parse_err = |message: String| TioError::Parse {
+            line: line_no,
+            message,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_ascii_whitespace();
+        let keyword = fields.next().expect("non-empty line has a first field");
+        match keyword {
+            "target" => {
+                if builder.is_some() {
+                    return Err(parse_err("'target' before previous 'end'".into()));
+                }
+                let start: u64 = fields
+                    .next()
+                    .ok_or_else(|| parse_err("missing start position".into()))?
+                    .parse()
+                    .map_err(|e| parse_err(format!("bad start position: {e}")))?;
+                let mut b = RealignmentTarget::builder(start);
+                if let Some(chr) = fields.next() {
+                    b = b.chromosome(chr.parse()?);
+                }
+                builder = Some(b);
+            }
+            "ref" => {
+                let bases: Sequence = fields
+                    .next()
+                    .ok_or_else(|| parse_err("missing reference bases".into()))?
+                    .parse()?;
+                builder = Some(
+                    builder
+                        .take()
+                        .ok_or_else(|| parse_err("'ref' outside a target".into()))?
+                        .reference(bases),
+                );
+            }
+            "cons" => {
+                let bases: Sequence = fields
+                    .next()
+                    .ok_or_else(|| parse_err("missing consensus bases".into()))?
+                    .parse()?;
+                builder = Some(
+                    builder
+                        .take()
+                        .ok_or_else(|| parse_err("'cons' outside a target".into()))?
+                        .consensus(bases),
+                );
+            }
+            "read" => {
+                let mut next = |what: &str| {
+                    fields.next().ok_or_else(|| TioError::Parse {
+                        line: line_no,
+                        message: format!("missing read {what}"),
+                    })
+                };
+                let name = next("name")?.to_string();
+                let offset: u64 = next("offset")?
+                    .parse()
+                    .map_err(|e| parse_err(format!("bad read offset: {e}")))?;
+                let mapq: u8 = next("mapping quality")?
+                    .parse()
+                    .map_err(|e| parse_err(format!("bad mapping quality: {e}")))?;
+                let cigar: Cigar = next("cigar")?.parse()?;
+                let bases: Sequence = next("bases")?.parse()?;
+                let quals = Qual::from_phred_ascii(next("quality string")?.as_bytes())?;
+                let read = Read::with_alignment(name, bases, quals, offset, cigar, mapq)?;
+                builder = Some(
+                    builder
+                        .take()
+                        .ok_or_else(|| parse_err("'read' outside a target".into()))?
+                        .read(read),
+                );
+            }
+            "end" => {
+                let b = builder
+                    .take()
+                    .ok_or_else(|| parse_err("'end' outside a target".into()))?;
+                targets.push(b.build()?);
+            }
+            other => return Err(parse_err(format!("unknown keyword '{other}'"))),
+        }
+    }
+    if builder.is_some() {
+        return Err(TioError::Parse {
+            line: 0,
+            message: "unterminated target record".into(),
+        });
+    }
+    Ok(targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Chromosome;
+
+    fn sample_targets() -> Vec<RealignmentTarget> {
+        vec![
+            RealignmentTarget::builder(20)
+                .chromosome(Chromosome::Autosome(22))
+                .reference("CCTTAGA".parse().unwrap())
+                .consensus("ACCTGAA".parse().unwrap())
+                .consensus("TCTGCCT".parse().unwrap())
+                .read(
+                    Read::new(
+                        "r0",
+                        "TGAA".parse().unwrap(),
+                        Qual::from_raw_scores(&[10, 20, 45, 10]).unwrap(),
+                        0,
+                    )
+                    .unwrap(),
+                )
+                .build()
+                .unwrap(),
+            RealignmentTarget::builder(99)
+                .reference("ACGTACGTACGT".parse().unwrap())
+                .read(
+                    Read::with_alignment(
+                        "indel_read",
+                        "ACGTAC".parse().unwrap(),
+                        Qual::uniform(41, 6).unwrap(),
+                        3,
+                        "3M1I2M".parse().unwrap(),
+                        17,
+                    )
+                    .unwrap(),
+                )
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn round_trips_everything() {
+        let targets = sample_targets();
+        let mut buffer = Vec::new();
+        write_targets(&mut buffer, &targets).unwrap();
+        let restored = read_targets(buffer.as_slice()).unwrap();
+        assert_eq!(restored, targets);
+    }
+
+    #[test]
+    fn round_trip_preserves_read_attributes() {
+        let targets = sample_targets();
+        let mut buffer = Vec::new();
+        write_targets(&mut buffer, &targets).unwrap();
+        let restored = read_targets(buffer.as_slice()).unwrap();
+        let read = restored[1].read(0);
+        assert_eq!(read.name(), "indel_read");
+        assert_eq!(read.mapping_quality(), 17);
+        assert_eq!(read.cigar().to_string(), "3M1I2M");
+        assert!(read.has_indel());
+    }
+
+    #[test]
+    fn tolerates_comments_and_blank_lines() {
+        let text = "\n# a comment\ntarget 5\nref ACGTACGT\nread r 0 60 4M ACGT IIII\n\nend\n";
+        let targets = read_targets(text.as_bytes()).unwrap();
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].start_pos(), 5);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_parse_errors() {
+        let text = "target 5\nref ACGTACGT\nbogus line here\nend\n";
+        match read_targets(text.as_bytes()) {
+            Err(TioError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unterminated_records() {
+        let text = "target 5\nref ACGTACGT\nread r 0 60 4M ACGT IIII\n";
+        assert!(matches!(
+            read_targets(text.as_bytes()),
+            Err(TioError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_structurally_invalid_targets() {
+        // Read longer than the reference.
+        let text = "target 5\nref ACG\nread r 0 60 5M ACGTA IIIII\nend\n";
+        assert!(matches!(
+            read_targets(text.as_bytes()),
+            Err(TioError::Genome(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_orphan_keywords() {
+        for text in ["ref ACGT\n", "cons ACGT\n", "end\n", "read r 0 60 1M A I\n"] {
+            assert!(
+                matches!(read_targets(text.as_bytes()), Err(TioError::Parse { .. })),
+                "{text}"
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests: every textual encoding in the genome crate is a
+//! lossless round trip.
+
+use proptest::prelude::*;
+
+use ir_genome::{Base, Cigar, CigarOp, Qual, Sequence};
+
+fn base_strategy() -> impl Strategy<Value = Base> {
+    prop_oneof![
+        Just(Base::A),
+        Just(Base::C),
+        Just(Base::G),
+        Just(Base::T),
+        Just(Base::N),
+    ]
+}
+
+fn cigar_strategy() -> impl Strategy<Value = Cigar> {
+    prop::collection::vec(
+        (
+            1u32..100,
+            prop_oneof![
+                Just(CigarOp::Match),
+                Just(CigarOp::Insertion),
+                Just(CigarOp::Deletion),
+                Just(CigarOp::SoftClip),
+            ],
+        ),
+        1..8,
+    )
+    .prop_map(|elements| Cigar::new(elements).expect("non-zero runs"))
+}
+
+proptest! {
+    #[test]
+    fn sequence_parse_display_round_trip(bases in prop::collection::vec(base_strategy(), 0..200)) {
+        let seq = Sequence::new(bases);
+        let text = seq.to_string();
+        let parsed: Sequence = text.parse().expect("own display must parse");
+        prop_assert_eq!(parsed, seq);
+    }
+
+    #[test]
+    fn sequence_byte_round_trip(bases in prop::collection::vec(base_strategy(), 0..200)) {
+        let seq = Sequence::new(bases);
+        let bytes = seq.as_bytes();
+        let parsed = Sequence::from_ascii(&bytes).expect("own bytes must parse");
+        prop_assert_eq!(parsed, seq);
+    }
+
+    #[test]
+    fn qual_phred_round_trip(scores in prop::collection::vec(0u8..=93, 0..200)) {
+        let qual = Qual::from_raw_scores(&scores).expect("scores in range");
+        let ascii = qual.to_phred_ascii();
+        let parsed = Qual::from_phred_ascii(&ascii).expect("own encoding must parse");
+        prop_assert_eq!(parsed, qual);
+    }
+
+    #[test]
+    fn cigar_parse_display_round_trip(cigar in cigar_strategy()) {
+        let text = cigar.to_string();
+        let parsed: Cigar = text.parse().expect("own display must parse");
+        prop_assert_eq!(parsed, cigar);
+    }
+
+    #[test]
+    fn cigar_lengths_are_consistent(cigar in cigar_strategy()) {
+        let read: u64 = cigar
+            .elements()
+            .iter()
+            .filter(|(_, op)| op.consumes_read())
+            .map(|&(l, _)| u64::from(l))
+            .sum();
+        prop_assert_eq!(cigar.read_len(), read);
+        let reference: u64 = cigar
+            .elements()
+            .iter()
+            .filter(|(_, op)| op.consumes_reference())
+            .map(|&(l, _)| u64::from(l))
+            .sum();
+        prop_assert_eq!(cigar.reference_len(), reference);
+    }
+
+    #[test]
+    fn reverse_complement_is_involutive(bases in prop::collection::vec(base_strategy(), 0..200)) {
+        let seq = Sequence::new(bases);
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn hamming_distance_is_a_metric_on_equal_lengths(
+        a in prop::collection::vec(base_strategy(), 50),
+        b in prop::collection::vec(base_strategy(), 50),
+        c in prop::collection::vec(base_strategy(), 50),
+    ) {
+        let (a, b, c) = (Sequence::new(a), Sequence::new(b), Sequence::new(c));
+        // Symmetry, identity, triangle inequality.
+        prop_assert_eq!(a.hamming_distance(&b), b.hamming_distance(&a));
+        prop_assert_eq!(a.hamming_distance(&a), 0);
+        prop_assert!(a.hamming_distance(&c) <= a.hamming_distance(&b) + b.hamming_distance(&c));
+    }
+}

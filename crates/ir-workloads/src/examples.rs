@@ -1,0 +1,202 @@
+//! The paper's worked examples as ready-made targets.
+
+use ir_genome::{Base, Qual, Read, RealignmentTarget, Sequence};
+
+/// The Figure 4 worked example: reference `CCTTAGA`, consensuses
+/// `ACCTGAA` and `TCTGCCT`, reads `TGAA` (quals 10/20/45/10) and `CCTC`
+/// (quals 10/60/30/20), target start position 20.
+///
+/// Consensus 1 is picked with score 30 and only read 0 is realigned, to
+/// absolute position 23.
+///
+/// # Example
+///
+/// ```
+/// use ir_workloads::figure4_target;
+/// use ir_core::IndelRealigner;
+///
+/// let result = IndelRealigner::new().realign(&figure4_target());
+/// assert_eq!(result.best_consensus(), 1);
+/// assert_eq!(result.read_outcome(0).new_pos(), Some(23));
+/// ```
+pub fn figure4_target() -> RealignmentTarget {
+    RealignmentTarget::builder(20)
+        .reference("CCTTAGA".parse().expect("static sequence"))
+        .consensus("ACCTGAA".parse().expect("static sequence"))
+        .consensus("TCTGCCT".parse().expect("static sequence"))
+        .read(
+            Read::new(
+                "read0",
+                "TGAA".parse().expect("static sequence"),
+                Qual::from_raw_scores(&[10, 20, 45, 10]).expect("static scores"),
+                0,
+            )
+            .expect("static read"),
+        )
+        .read(
+            Read::new(
+                "read1",
+                "CCTC".parse().expect("static sequence"),
+                Qual::from_raw_scores(&[10, 60, 30, 20]).expect("static scores"),
+                0,
+            )
+            .expect("static read"),
+        )
+        .build()
+        .expect("the Figure 4 example is a valid target")
+}
+
+/// Deterministic pseudo-random base for toy sequences, avoiding `A` so the
+/// all-`A` "slow" reads below mismatch everywhere. The Weyl-style mixing
+/// keeps the sequence aperiodic, so a shifted copy of a slice mismatches
+/// quickly (important for the "fast" reads' pruning behaviour).
+fn toy_base(i: usize) -> Base {
+    let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 33;
+    [Base::C, Base::G, Base::T][(h % 3) as usize]
+}
+
+/// The Figure 7 toy experiment: eight **same-sized** targets
+/// (2 consensuses × 8 reads each, stripped down from real Ch22 targets)
+/// whose *compute times* nonetheless differ by roughly an order of
+/// magnitude, because computation pruning is data-dependent.
+///
+/// Each target mixes "fast" reads (exact matches at offset 0 with high
+/// quality, so every later offset prunes after one base) with "slow" reads
+/// (uniform mismatches with quality 1, whose running sums never exceed the
+/// minimum, defeating pruning entirely). Targets 0 → 7 contain
+/// progressively more slow reads.
+///
+/// Running these on a 4-unit system reproduces the paper's observation
+/// that under synchronous scheduling "3 out of 4 units idle for a majority
+/// of the total runtime".
+pub fn scheduling_toy_targets() -> Vec<RealignmentTarget> {
+    const M: usize = 256;
+    const N: usize = 64;
+    const READS: usize = 8;
+    // Target 3 is the straggler (the paper: "the compute time for target 3
+    // is about 8 times longer than the compute time of target 1"); the
+    // second batch (targets 4–7) is fast, so under synchronous scheduling
+    // it queues behind target 3 while 3 of 4 units sit idle.
+    let slow_counts = [1usize, 1, 2, 8, 1, 2, 1, 2];
+
+    let reference: Sequence = (0..M).map(toy_base).collect();
+    // The alternative consensus shifts the tail by one toy base, a
+    // plausible 1-bp INDEL hypothesis of the same length.
+    let alt: Sequence = (0..M)
+        .map(|i| {
+            if i < M / 2 {
+                toy_base(i)
+            } else {
+                toy_base(i + 1)
+            }
+        })
+        .collect();
+
+    slow_counts
+        .iter()
+        .enumerate()
+        .map(|(t, &slow)| {
+            let mut builder = RealignmentTarget::builder(1000 * (t as u64 + 1))
+                .reference(reference.clone())
+                .consensus(alt.clone());
+            for j in 0..READS {
+                let read = if j < slow {
+                    // Slow: all-A read mismatches every consensus base;
+                    // quality 1 keeps the running sum at or below the
+                    // minimum, so no offset ever prunes.
+                    Read::new(
+                        format!("t{t}slow{j}"),
+                        (0..N).map(|_| Base::A).collect::<Sequence>(),
+                        Qual::uniform(1, N).expect("static scores"),
+                        0,
+                    )
+                    .expect("static read")
+                } else {
+                    // Fast: an exact slice of the reference at offset 0
+                    // with high quality — offset 0 scores 0, every later
+                    // offset prunes at its first mismatch.
+                    Read::new(
+                        format!("t{t}fast{j}"),
+                        reference.slice(0, N),
+                        Qual::uniform(40, N).expect("static scores"),
+                        0,
+                    )
+                    .expect("static read")
+                };
+                builder = builder.read(read);
+            }
+            builder.build().expect("toy target is valid")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_core::{IndelRealigner, PruningMode};
+
+    #[test]
+    fn figure4_realigns_as_published() {
+        let result = IndelRealigner::new().realign(&figure4_target());
+        assert_eq!(result.scores(), &[0, 30, 35]);
+        assert_eq!(result.best_consensus(), 1);
+        assert_eq!(result.realigned_count(), 1);
+        assert_eq!(result.read_outcome(0).new_offset(), Some(3));
+    }
+
+    #[test]
+    fn toy_targets_are_same_sized() {
+        let targets = scheduling_toy_targets();
+        assert_eq!(targets.len(), 8);
+        for t in &targets {
+            assert_eq!(t.num_consensuses(), 2);
+            assert_eq!(t.num_reads(), 8);
+            assert_eq!(
+                t.shape().worst_case_comparisons(),
+                targets[0].shape().worst_case_comparisons()
+            );
+        }
+    }
+
+    #[test]
+    fn toy_compute_times_vary_by_an_order_of_magnitude() {
+        let targets = scheduling_toy_targets();
+        let realigner = IndelRealigner::with_pruning(PruningMode::On);
+        let work: Vec<u64> = targets
+            .iter()
+            .map(|t| realigner.realign(t).ops().base_comparisons)
+            .collect();
+        let min = *work.iter().min().unwrap();
+        let max = *work.iter().max().unwrap();
+        assert!(
+            max >= 6 * min,
+            "pruned work must spread ~an order of magnitude: {min}..{max}"
+        );
+        // Target 3 is the straggler, as in the paper's Figure 7, and runs
+        // roughly 8× longer than target 1.
+        let argmax = work.iter().enumerate().max_by_key(|(_, &w)| w).unwrap().0;
+        assert_eq!(argmax, 3);
+        let ratio = work[3] as f64 / work[1] as f64;
+        assert!((5.0..=10.0).contains(&ratio), "target3/target1 = {ratio}");
+    }
+
+    #[test]
+    fn slow_reads_defeat_pruning_entirely() {
+        let targets = scheduling_toy_targets();
+        // Target 3 is all-slow: pruned and naive work must coincide.
+        let naive = IndelRealigner::with_pruning(PruningMode::Off).realign(&targets[3]);
+        let pruned = IndelRealigner::with_pruning(PruningMode::On).realign(&targets[3]);
+        assert_eq!(naive.ops().base_comparisons, pruned.ops().base_comparisons);
+    }
+
+    #[test]
+    fn fast_targets_prune_heavily() {
+        let targets = scheduling_toy_targets();
+        let pruned = IndelRealigner::with_pruning(PruningMode::On).realign(&targets[0]);
+        assert!(
+            pruned.ops().pruned_fraction() > 0.8,
+            "fraction: {}",
+            pruned.ops().pruned_fraction()
+        );
+    }
+}

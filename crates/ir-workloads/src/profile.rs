@@ -1,0 +1,83 @@
+//! Per-chromosome IR-target density profile.
+//!
+//! The paper reports "the smallest chromosome (Ch21) has over 48,000
+//! targets while the largest chromosome (Ch2) has over 320,000 targets"
+//! (§III-A). Target density per base pair therefore varies by chromosome
+//! (variant density tracks gene density and repeat content); this module
+//! pins the two published anchors and interpolates the rest.
+
+use ir_genome::Chromosome;
+
+/// The paper's target count anchor for chromosome 21.
+pub const PAPER_CH21_TARGETS: u64 = 48_000;
+/// The paper's target count anchor for chromosome 2.
+pub const PAPER_CH2_TARGETS: u64 = 320_000;
+
+/// IR targets per base pair for `chromosome`.
+///
+/// Anchored so Ch21 ≈ 48k targets and Ch2 ≈ 320k targets at scale 1.0;
+/// the remaining autosomes get a smooth per-chromosome variation within
+/// the anchored band, deterministic in the chromosome number.
+pub fn target_density_per_bp(chromosome: Chromosome) -> f64 {
+    // Anchors: Ch2: 320k / 243.2 Mbp = 1.316e-3; Ch21: 48k / 48.13 Mbp
+    // = 0.997e-3.
+    let lo = PAPER_CH21_TARGETS as f64 / Chromosome::Autosome(21).length() as f64;
+    let hi = PAPER_CH2_TARGETS as f64 / Chromosome::Autosome(2).length() as f64;
+    match chromosome {
+        Chromosome::Autosome(2) => hi,
+        Chromosome::Autosome(21) => lo,
+        other => {
+            // Deterministic pseudo-variation in [lo, hi] by chromosome id.
+            let id = match other {
+                Chromosome::Autosome(n) => u64::from(n),
+                Chromosome::X => 23,
+                Chromosome::Y => 24,
+            };
+            // A fixed-point hash spread into [0, 1).
+            let h = (id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as f64 / (1u64 << 24) as f64;
+            lo + (hi - lo) * h
+        }
+    }
+}
+
+/// Expected IR target count for `chromosome` at full (paper) scale.
+pub fn expected_target_count(chromosome: Chromosome) -> u64 {
+    (chromosome.length() as f64 * target_density_per_bp(chromosome)).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_paper() {
+        let ch21 = expected_target_count(Chromosome::Autosome(21));
+        let ch2 = expected_target_count(Chromosome::Autosome(2));
+        assert!((47_000..=49_000).contains(&ch21), "ch21: {ch21}");
+        assert!((318_000..=322_000).contains(&ch2), "ch2: {ch2}");
+    }
+
+    #[test]
+    fn all_autosomes_are_in_band() {
+        for chr in Chromosome::autosomes() {
+            let d = target_density_per_bp(chr);
+            assert!(d > 0.9e-3 && d < 1.4e-3, "{chr}: {d}");
+        }
+    }
+
+    #[test]
+    fn counts_scale_with_length() {
+        // Chr1 (longest) must have more targets than Chr21 (shortest).
+        assert!(
+            expected_target_count(Chromosome::Autosome(1))
+                > 3 * expected_target_count(Chromosome::Autosome(21))
+        );
+    }
+
+    #[test]
+    fn density_is_deterministic() {
+        for chr in Chromosome::autosomes() {
+            assert_eq!(target_density_per_bp(chr), target_density_per_bp(chr));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! A small Zipf sampler (table-based inverse CDF).
+//!
+//! The paper observes that "genome sequenced reads follow a Zipf-like
+//! distribution at roughly between 100 reads and 100,000 reads per location
+//! interval" (§II-C) — the imbalance that causes GPU thread divergence and
+//! synchronous-scheduler idling. `rand` offers no Zipf distribution, so a
+//! compact exact sampler over a bounded support lives here.
+
+use rand::Rng;
+
+/// A Zipf distribution over `1..=n` with exponent `s`:
+/// `P(k) ∝ k^(-s)`.
+///
+/// # Example
+///
+/// ```
+/// use ir_workloads::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(100, 1.1);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let x = zipf.sample(&mut rng);
+/// assert!((1..=100).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for support `1..=n` and exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "support must be non-empty");
+        assert!(s.is_finite(), "exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Support size `n`.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one sample in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Exact probability of value `k` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=n`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&k), "k outside support");
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(1000, 1.0);
+        assert!(z.pmf(1) > z.pmf(2));
+        assert!(z.pmf(2) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(100));
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let z = Zipf::new(16, 0.9);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = z.sample(&mut rng);
+            assert!((1..=16).contains(&x));
+        }
+    }
+
+    #[test]
+    fn empirical_frequency_matches_pmf() {
+        let z = Zipf::new(8, 1.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 8];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for k in 1..=8 {
+            let observed = f64::from(counts[k - 1]) / n as f64;
+            assert!(
+                (observed - z.pmf(k)).abs() < 0.01,
+                "k={k}: observed {observed:.4} vs pmf {:.4}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 1..=4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be non-empty")]
+    fn zero_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

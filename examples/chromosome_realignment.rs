@@ -1,0 +1,59 @@
+//! Realigning a whole (scaled) chromosome: generate a synthetic Ch21
+//! workload, run it through the simulated 32-unit accelerator and the
+//! GATK3 cost model, and compare runtime and cost — the paper's headline
+//! experiment at example scale.
+//!
+//! ```sh
+//! cargo run --release --example chromosome_realignment
+//! ```
+
+use ir_system::baselines::gatk::GatkModel;
+use ir_system::cloud::{run_cost_usd, Instance};
+use ir_system::fpga::{AcceleratedSystem, FpgaParams, Scheduling};
+use ir_system::genome::Chromosome;
+use ir_system::workloads::{WorkloadConfig, WorkloadGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1% of Ch21's real target count, with example-friendly geometry.
+    let generator = WorkloadGenerator::new(WorkloadConfig {
+        scale: 5e-3,
+        read_len: 62,
+        min_consensus_len: 80,
+        max_consensus_len: 510,
+        ..WorkloadConfig::default()
+    });
+    let chromosome = Chromosome::Autosome(21);
+    let workload = generator.chromosome(chromosome);
+    let stats = workload.stats();
+    println!(
+        "{chromosome}: {} targets, {} reads, {:.2e} worst-case comparisons",
+        stats.num_targets, stats.total_reads, stats.worst_case_comparisons as f64
+    );
+
+    // The accelerated system: 32 data-parallel units, async scheduling.
+    let system = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous)?;
+    let run = system.run(&workload.targets);
+    let realigned: usize = run.results.iter().map(|r| r.realigned_count()).sum();
+    println!(
+        "\nIR ACC  : {:.3} s wall, {realigned} reads realigned, fabric at {:.2e} cmp/s",
+        run.wall_time_s,
+        run.comparisons_per_second()
+    );
+
+    // The software baseline.
+    let gatk = GatkModel::default();
+    let shapes: Vec<_> = workload.targets.iter().map(|t| t.shape()).collect();
+    let sw = gatk.run_shapes(&shapes);
+    println!(
+        "GATK3   : {:.3} s wall on {} threads",
+        sw.wall_time_s, sw.threads
+    );
+
+    println!("\nspeedup : {:.1}×", sw.wall_time_s / run.wall_time_s);
+    println!(
+        "cost    : GATK3 ${:.4} vs IR ACC ${:.4} (per scaled chromosome)",
+        run_cost_usd(&Instance::r3_2xlarge(), sw.wall_time_s),
+        run_cost_usd(&Instance::f1_2xlarge(), run.wall_time_s)
+    );
+    Ok(())
+}

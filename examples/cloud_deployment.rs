@@ -1,0 +1,57 @@
+//! Capacity-planning the "sea of accelerators": size an F1 fleet for a
+//! sequencing center's daily genome volume and compare against a CPU
+//! fleet — the FPGAs-as-a-service argument of the paper's introduction.
+//!
+//! ```sh
+//! cargo run --example cloud_deployment
+//! ```
+
+use ir_system::cloud::{FleetSizing, Instance};
+
+fn main() {
+    // Per-genome IR wall times, full Ch1–22 (paper §V-B / Figure 9).
+    let iracc_s_per_genome = 31.5 * 60.0; // "a little more than 31 minutes"
+    let gatk_s_per_genome = 42.0 * 3600.0; // "more than 42 hours"
+
+    println!("fleet sizing for INDEL realignment as a cloud service\n");
+    println!(
+        "{:>14} | {:>22} | {:>22}",
+        "genomes/day", "F1 + IR ACC fleet", "r3 + GATK3 fleet"
+    );
+    for demand in [10.0, 100.0, 1_000.0, 10_000.0] {
+        let hw = FleetSizing {
+            genomes_per_day: demand,
+            seconds_per_genome: iracc_s_per_genome,
+        }
+        .plan(Instance::f1_2xlarge());
+        let sw = FleetSizing {
+            genomes_per_day: demand,
+            seconds_per_genome: gatk_s_per_genome,
+        }
+        .plan(Instance::r3_2xlarge());
+        println!(
+            "{demand:>14.0} | {:>5} inst  ${:>9.0}/d | {:>5} inst  ${:>9.0}/d",
+            hw.instances, hw.cost_per_day_usd, sw.instances, sw.cost_per_day_usd
+        );
+    }
+
+    let hw = FleetSizing {
+        genomes_per_day: 1000.0,
+        seconds_per_genome: iracc_s_per_genome,
+    }
+    .plan(Instance::f1_2xlarge());
+    let sw = FleetSizing {
+        genomes_per_day: 1000.0,
+        seconds_per_genome: gatk_s_per_genome,
+    }
+    .plan(Instance::r3_2xlarge());
+    println!(
+        "\nat 1000 genomes/day the accelerated fleet needs {}× fewer instances and is {:.0}× cheaper",
+        sw.instances / hw.instances,
+        sw.cost_per_day_usd / hw.cost_per_day_usd
+    );
+    println!(
+        "per-genome IR cost: ${:.2} accelerated vs ${:.2} software",
+        hw.cost_per_genome_usd, sw.cost_per_genome_usd
+    );
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation.
+#
+# Usage: scripts/run_all_figures.sh [scale]
+#   scale — fraction of the paper's full NA12878 workload (default 1e-3;
+#           the recorded results in EXPERIMENTS.md use 5e-3).
+#
+# Outputs: results/<name>.txt (full text) and results/<name>.csv (data).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1e-3}"
+export IR_SCALE="$SCALE"
+mkdir -p results
+
+cargo build --release -p ir-bench
+
+run() {
+    local name="$1"
+    echo "=== $name (IR_SCALE=$IR_SCALE) ==="
+    ./target/release/"$name" | tee "results/$name.txt"
+    echo
+}
+
+# Background figures (cheap, analytic).
+run fig2_pipeline_breakdown
+run table1_isa
+run table2_machines
+run table_resources
+run frequency_study
+run complexity_table
+
+# Microarchitecture and scheduling.
+run fig7_scheduling
+run fig8_data_parallel
+run pruning_ablation
+run dma_overhead
+run ablation_interconnect
+run ablation_units
+run ablation_scheduling
+run multi_fpga
+
+run accuracy_eval
+
+# Evaluation headliners.
+run fig3_ir_fraction
+run fig9_speedup
+run fig9_cost
+run hls_comparison
+run gpu_comparison
+run headline_claims
+
+echo "all figures regenerated under results/ at scale $SCALE"

@@ -1,0 +1,187 @@
+//! `ir-cli` — command-line front end for the INDEL realignment system.
+//!
+//! ```text
+//! ir-cli gen --chromosome 21 --scale 1e-4 --seed 7 --out targets.tio
+//! ir-cli realign targets.tio [--rule paper|gatk] [--threads N]
+//! ir-cli simulate targets.tio [--units 32] [--lanes 1|32] [--sched sync|async]
+//! ```
+//!
+//! `gen` writes a synthetic chromosome workload in the text interchange
+//! format; `realign` runs the software realigner over a target file;
+//! `simulate` runs the same file through the cycle-level accelerated
+//! system and reports timing.
+
+use std::process::ExitCode;
+
+use ir_system::baselines::parallel::realign_parallel;
+use ir_system::core::{IndelRealigner, SelectionRule};
+use ir_system::fpga::{AcceleratedSystem, FpgaParams, Scheduling};
+use ir_system::genome::tio;
+use ir_system::genome::{Chromosome, RealignmentTarget};
+use ir_system::workloads::{WorkloadConfig, WorkloadGenerator};
+
+const USAGE: &str = "\
+usage:
+  ir-cli gen --chromosome <1-22|X|Y> [--scale F] [--seed N] [--out FILE]
+  ir-cli realign <FILE> [--rule paper|gatk] [--threads N]
+  ir-cli simulate <FILE> [--units N] [--lanes 1|32] [--sched sync|async]
+";
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?
+                    .clone();
+                flags.push((key.to_string(), value));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flag_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flag(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e| format!("bad --{key} '{raw}': {e}")),
+        }
+    }
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let chromosome: Chromosome = args
+        .flag("chromosome")
+        .ok_or("gen requires --chromosome")?
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let scale: f64 = args.flag_parse("scale", 1e-4)?;
+    let seed: u64 = args.flag_parse("seed", WorkloadConfig::default().seed)?;
+    let out = args.flag("out").unwrap_or("targets.tio").to_string();
+
+    let generator =
+        WorkloadGenerator::new(WorkloadConfig { scale, seed, ..WorkloadConfig::default() });
+    let workload = generator.chromosome(chromosome);
+    let stats = workload.stats();
+
+    let mut buffer = Vec::new();
+    tio::write_targets(&mut buffer, &workload.targets).map_err(|e| e.to_string())?;
+    std::fs::write(&out, &buffer).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} targets for {chromosome} ({} reads, {:.2e} worst-case comparisons) to {out}",
+        stats.num_targets, stats.total_reads, stats.worst_case_comparisons as f64
+    );
+    Ok(())
+}
+
+fn load_targets(args: &Args) -> Result<Vec<RealignmentTarget>, String> {
+    let path = args.positional.get(1).ok_or("missing target file argument")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let targets = tio::read_targets(file).map_err(|e| e.to_string())?;
+    if targets.is_empty() {
+        return Err(format!("{path} contains no targets"));
+    }
+    println!("loaded {} targets from {path}", targets.len());
+    Ok(targets)
+}
+
+fn cmd_realign(args: &Args) -> Result<(), String> {
+    let targets = load_targets(args)?;
+    let rule = match args.flag("rule").unwrap_or("paper") {
+        "paper" => SelectionRule::AbsDiffVsReference,
+        "gatk" => SelectionRule::TotalMinWhd,
+        other => return Err(format!("unknown --rule '{other}' (paper|gatk)")),
+    };
+    let threads: usize = args.flag_parse("threads", 1)?;
+
+    let realigner = IndelRealigner::new().with_selection_rule(rule);
+    let start = std::time::Instant::now();
+    let (results, ops) = realign_parallel(&targets, threads.max(1), realigner);
+    let elapsed = start.elapsed();
+
+    let realigned: usize = results.iter().map(|r| r.realigned_count()).sum();
+    let picked_alt = results.iter().filter(|r| r.best_consensus() != 0).count();
+    println!(
+        "realigned {realigned} reads across {} targets ({picked_alt} picked an alternative consensus)",
+        targets.len()
+    );
+    println!(
+        "{} base comparisons executed ({:.1}% pruned away) in {:.3} s on {threads} thread(s)",
+        ops.base_comparisons,
+        ops.pruned_fraction() * 100.0,
+        elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let targets = load_targets(args)?;
+    let units: usize = args.flag_parse("units", 32)?;
+    let lanes: usize = args.flag_parse("lanes", 32)?;
+    let scheduling = match args.flag("sched").unwrap_or("async") {
+        "async" => Scheduling::Asynchronous,
+        "sync" => Scheduling::Synchronous,
+        other => return Err(format!("unknown --sched '{other}' (sync|async)")),
+    };
+
+    let params = FpgaParams { num_units: units, lanes, ..FpgaParams::iracc() };
+    let system = AcceleratedSystem::new(params, scheduling).map_err(|e| e.to_string())?;
+    let run = system.run(&targets);
+    println!(
+        "{units} units × {lanes} lane(s), {scheduling:?}: wall {:.6} s, utilization {:.0}%, \
+         {:.2e} comparisons/s, DMA {:.3}% of wall",
+        run.wall_time_s,
+        run.utilization() * 100.0,
+        run.comparisons_per_second(),
+        run.dma_fraction() * 100.0
+    );
+    let realigned: usize = run.results.iter().map(|r| r.realigned_count()).sum();
+    println!("functional result: {realigned} reads realigned (bit-identical to software)");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.positional.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args),
+        Some("realign") => cmd_realign(&args),
+        Some("simulate") => cmd_simulate(&args),
+        _ => Err("missing or unknown subcommand".to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! End-to-end smoke tests of the `ir-cli` binary: generate → realign →
+//! simulate through real process invocations.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ir-cli"))
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ir_cli_test_{name}_{}.tio", std::process::id()))
+}
+
+#[test]
+fn gen_realign_simulate_pipeline() {
+    let path = temp_path("pipeline");
+
+    let out = cli()
+        .args(["gen", "--chromosome", "21", "--scale", "2e-5", "--seed", "9"])
+        .args(["--out", path.to_str().unwrap()])
+        .output()
+        .expect("gen runs");
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
+
+    let out = cli()
+        .args(["realign", path.to_str().unwrap(), "--rule", "gatk", "--threads", "2"])
+        .output()
+        .expect("realign runs");
+    assert!(out.status.success(), "realign failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("base comparisons"), "{text}");
+
+    let out = cli()
+        .args(["simulate", path.to_str().unwrap(), "--units", "8", "--lanes", "32"])
+        .args(["--sched", "async"])
+        .output()
+        .expect("simulate runs");
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("bit-identical to software"), "{text}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = cli().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = cli().args(["realign", "/nonexistent/definitely_missing.tio"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("opening"), "{err}");
+}
+
+#[test]
+fn bad_flag_values_are_reported() {
+    let out = cli()
+        .args(["gen", "--chromosome", "21", "--scale", "banana"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --scale"));
+}

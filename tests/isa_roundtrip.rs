@@ -1,0 +1,63 @@
+//! Property tests of the RoCC instruction format and the IR command ISA:
+//! every encodable value round-trips through the wire format.
+
+use proptest::prelude::*;
+
+use ir_system::fpga::{BufferIndex, IrCommand, RoccInstruction};
+
+fn command_strategy() -> impl Strategy<Value = IrCommand> {
+    prop_oneof![
+        (0usize..5, any::<u64>()).prop_map(|(b, addr)| IrCommand::SetAddr {
+            buffer: BufferIndex::ALL[b],
+            addr,
+        }),
+        any::<u64>().prop_map(|start_pos| IrCommand::SetTarget { start_pos }),
+        (1u8..=32, 1u16..=256)
+            .prop_map(|(consensuses, reads)| IrCommand::SetSize { consensuses, reads }),
+        (0u8..32, 1u16..=2048)
+            .prop_map(|(consensus_id, len)| IrCommand::SetLen { consensus_id, len }),
+        (0u8..32).prop_map(|unit_id| IrCommand::Start { unit_id }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn rocc_words_round_trip(
+        funct in 0u8..=0x7f,
+        rs1 in 0u8..=0x1f,
+        rs2 in 0u8..=0x1f,
+        xd: bool,
+        xs1: bool,
+        xs2: bool,
+        rd in 0u8..=0x1f,
+    ) {
+        let instr = RoccInstruction::new(funct, rs1, rs2, xd, xs1, xs2, rd)
+            .expect("fields in range");
+        let decoded = RoccInstruction::decode(instr.encode()).expect("valid opcode");
+        prop_assert_eq!(decoded, instr);
+        prop_assert_eq!(decoded.funct(), funct);
+        prop_assert_eq!(decoded.rs1(), rs1);
+        prop_assert_eq!(decoded.rs2(), rs2);
+        prop_assert_eq!(decoded.rd(), rd);
+    }
+
+    #[test]
+    fn ir_commands_round_trip(cmd in command_strategy()) {
+        prop_assert_eq!(IrCommand::decode(cmd.encode()).expect("decodes"), cmd);
+    }
+
+    #[test]
+    fn distinct_commands_encode_distinctly(a in command_strategy(), b in command_strategy()) {
+        if a != b {
+            prop_assert_ne!(a.encode(), b.encode());
+        }
+    }
+
+    #[test]
+    fn foreign_opcodes_never_decode(word: u32) {
+        // Only words carrying the custom-0 opcode may decode.
+        if word & 0x7f != 0b000_1011 {
+            prop_assert!(RoccInstruction::decode(word).is_err());
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Integration tests pinning the paper's published numbers that the
+//! reproduction must preserve exactly (worked example, complexity
+//! arithmetic, resource fit, pricing) — the cheap anchors; the statistical
+//! anchors (Figure 9) live in the bench harness.
+
+use ir_system::cloud::{
+    cost_efficiency_ratio, gpu_speedup_needed, run_cost_usd, CostedRun, Instance,
+};
+use ir_system::core::complexity;
+use ir_system::core::IndelRealigner;
+use ir_system::fpga::resources;
+use ir_system::fpga::{ClockRecipe, FpgaParams};
+use ir_system::workloads::figure4_target;
+
+#[test]
+fn figure4_worked_example_is_reproduced_exactly() {
+    let result = IndelRealigner::new().realign(&figure4_target());
+    // Grid row for the reference (Figure 4 steps 1–3).
+    assert_eq!(result.grid().get(0, 0).whd, 30);
+    assert_eq!(result.grid().get(0, 1).whd, 20);
+    assert_eq!(result.grid().get(1, 0).whd, 0);
+    assert_eq!(result.grid().get(1, 1).whd, 20);
+    assert_eq!(result.grid().get(2, 0).whd, 55);
+    assert_eq!(result.grid().get(2, 1).whd, 30);
+    // Scores and selection (step 4): REF vs cons1 = 30, vs cons2 = 35.
+    assert_eq!(result.scores(), &[0, 30, 35]);
+    assert_eq!(result.best_consensus(), 1);
+    // Realignment (step 5): read 0 updates, read 1 does not.
+    assert_eq!(result.read_outcome(0).new_pos(), Some(23));
+    assert!(!result.read_outcome(1).realigned());
+}
+
+#[test]
+fn section2c_worst_case_comparisons() {
+    assert_eq!(complexity::paper_worst_case(), 3_684_352_000);
+}
+
+#[test]
+fn abstract_peak_throughput() {
+    assert_eq!(
+        FpgaParams::serial().peak_comparisons_per_second(),
+        4_000_000_000
+    );
+}
+
+#[test]
+fn section3a_resource_fit() {
+    // 32 units fit at the published utilizations; 33 do not.
+    let report = resources::report(32, 32);
+    assert!(report.fits);
+    assert!((report.bram_utilization - 0.876).abs() < 0.01);
+    assert!((report.lut_utilization - 0.325).abs() < 0.01);
+    assert_eq!(resources::max_units(32), 32);
+}
+
+#[test]
+fn section4_frequency_conclusion() {
+    assert!(resources::timing_slack_ns(ClockRecipe::Mhz125, 32) > 0.0);
+    assert!(resources::timing_slack_ns(ClockRecipe::Mhz250, 32) < 0.0);
+    assert!(resources::routing_fraction(32) > 0.9);
+}
+
+#[test]
+fn figure9_right_costs() {
+    // 42 h of GATK3 on the r3.2xlarge ≈ $28; 31.5 min of IRACC ≈ 87¢.
+    let gatk = CostedRun::new("GATK3", Instance::r3_2xlarge(), 42.0 * 3600.0);
+    let iracc = CostedRun::new("IR ACC", Instance::f1_2xlarge(), 31.5 * 60.0);
+    assert!((gatk.cost_usd() - 27.9).abs() < 0.2);
+    assert!(iracc.cost_usd() < 1.0);
+    let ratio = cost_efficiency_ratio(&gatk, &iracc);
+    assert!((28.0..=36.0).contains(&ratio), "cost efficiency {ratio}");
+}
+
+#[test]
+fn section5b_gpu_bar() {
+    // At the paper's 80×, a $3.06/h GPU must hit 148.36× to break even.
+    assert!((gpu_speedup_needed(80.0) - 148.36).abs() < 0.05);
+}
+
+#[test]
+fn table2_pricing() {
+    assert!((run_cost_usd(&Instance::r3_2xlarge(), 3600.0) - 0.665).abs() < 1e-9);
+    assert!((run_cost_usd(&Instance::f1_2xlarge(), 3600.0) - 1.65).abs() < 1e-9);
+}
+
+#[test]
+fn hardware_limits_match_the_appendix() {
+    use ir_system::genome::TargetLimits;
+    let limits = TargetLimits::HARDWARE;
+    assert_eq!(limits.max_consensuses, 32); // "up to 32 consensuses per target"
+    assert_eq!(limits.max_reads, 256); // "a maximum of 256 reads per target"
+    assert_eq!(limits.max_consensus_len, 2048); // "a maximum of 2048 base pairs"
+    assert_eq!(limits.max_read_len, 256);
+}
