@@ -5,7 +5,17 @@
 //! chromosomes 1–22 in ~31 minutes; this module sizes a fleet of such
 //! instances against a target genome throughput and prices it, the
 //! capacity-planning exercise an FPGAs-as-a-service operator would run.
+//!
+//! It also models the cheap-but-flaky way that fleet actually gets
+//! bought: spot capacity. [`SpotMarket`] interrupts instances with
+//! Poisson arrivals; [`simulate_spot_schedule`] replays a
+//! [`JobSchedule`] under those interruptions with or without
+//! per-chromosome checkpointing and reports how much makespan and paid
+//! instance time inflate — the host-side twin of the on-fabric fault
+//! model in `ir-fpga`.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
 use crate::cost::run_cost_usd;
@@ -70,13 +80,21 @@ pub struct JobSchedule {
 }
 
 impl JobSchedule {
-    /// Mean instance utilization over the makespan.
+    /// Mean instance utilization over the makespan. `0.0` for degenerate
+    /// schedules (no instances, no work, or an infinite makespan).
     pub fn utilization(&self) -> f64 {
-        if self.makespan_s == 0.0 || self.instance_busy_s.is_empty() {
+        if self.makespan_s == 0.0 || !self.makespan_s.is_finite() || self.instance_busy_s.is_empty()
+        {
             return 0.0;
         }
         self.instance_busy_s.iter().sum::<f64>()
             / (self.makespan_s * self.instance_busy_s.len() as f64)
+    }
+
+    /// Whether this is the degenerate zero-instance plan for a non-empty
+    /// job set (see [`schedule_jobs`]).
+    pub fn is_degenerate(&self) -> bool {
+        self.instance_busy_s.is_empty() && !self.makespan_s.is_finite()
     }
 }
 
@@ -84,15 +102,31 @@ impl JobSchedule {
 /// the longest-processing-time greedy rule — how a driver spreads the 22
 /// chromosome runs over a small F1 fleet.
 ///
+/// With `instances == 0` the result is the explicit degenerate plan: no
+/// assignments, no busy vector, and a makespan of `0.0` when there is no
+/// work or `f64::INFINITY` when there is (work that no machine exists to
+/// run never finishes). Callers that treat zero instances as a bug can
+/// check [`JobSchedule::is_degenerate`].
+///
 /// # Panics
 ///
-/// Panics if `instances` is zero or any duration is negative.
+/// Panics if any duration is negative.
 pub fn schedule_jobs(durations_s: &[f64], instances: usize) -> JobSchedule {
-    assert!(instances > 0, "need at least one instance");
     assert!(
         durations_s.iter().all(|&d| d >= 0.0),
         "durations must be non-negative"
     );
+    if instances == 0 {
+        return JobSchedule {
+            makespan_s: if durations_s.is_empty() {
+                0.0
+            } else {
+                f64::INFINITY
+            },
+            assignments: Vec::new(),
+            instance_busy_s: Vec::new(),
+        };
+    }
     let mut order: Vec<usize> = (0..durations_s.len()).collect();
     order.sort_by(|&a, &b| durations_s[b].total_cmp(&durations_s[a]));
 
@@ -112,6 +146,201 @@ pub fn schedule_jobs(durations_s: &[f64], instances: usize) -> JobSchedule {
         makespan_s,
         assignments,
         instance_busy_s: busy,
+    }
+}
+
+/// Spot-market conditions for running the fleet on interruptible
+/// capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SpotMarket {
+    /// Mean interruptions per instance-hour (Poisson arrivals, so
+    /// interarrival times are exponential).
+    pub interruptions_per_hour: f64,
+    /// Seconds to obtain a replacement instance and reload the AFI after
+    /// an interruption.
+    pub restart_overhead_s: f64,
+    /// Spot price as a fraction of the on-demand price (AWS F1 spot
+    /// historically clears around a third of on-demand).
+    pub price_fraction: f64,
+}
+
+impl SpotMarket {
+    /// A quiet market: roughly one interruption per instance-day.
+    pub fn calm() -> Self {
+        SpotMarket {
+            interruptions_per_hour: 1.0 / 24.0,
+            restart_overhead_s: 180.0,
+            price_fraction: 0.3,
+        }
+    }
+
+    /// A churning market: about one interruption per instance-hour.
+    pub fn volatile() -> Self {
+        SpotMarket {
+            interruptions_per_hour: 1.0,
+            ..SpotMarket::calm()
+        }
+    }
+}
+
+/// What survives a spot interruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Default)]
+pub enum CheckpointPolicy {
+    /// Nothing persists: the replacement instance redoes every
+    /// chromosome assigned to it from scratch.
+    None,
+    /// Completed chromosomes are checkpointed to object storage; only
+    /// the in-flight chromosome is redone.
+    #[default]
+    PerChromosome,
+}
+
+/// Outcome of replaying a [`JobSchedule`] on spot capacity.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpotRun {
+    /// Wall-clock seconds until the last instance finishes, including
+    /// redone work and restart overheads.
+    pub makespan_s: f64,
+    /// Interruptions suffered across the fleet.
+    pub interruptions: u64,
+    /// Compute seconds discarded and redone because of interruptions.
+    pub lost_work_s: f64,
+    /// Restart-overhead seconds paid across the fleet.
+    pub overhead_s: f64,
+    /// Total instance-seconds billed (active time per instance, summed).
+    pub paid_instance_s: f64,
+    /// Makespan relative to the interruption-free schedule (`>= 1`).
+    pub makespan_inflation: f64,
+    /// Billed instance time relative to the interruption-free work total
+    /// (`>= 1`) — how much extra capacity interruptions make you buy.
+    pub cost_inflation: f64,
+}
+
+impl SpotRun {
+    /// Spot bill relative to running the same work on on-demand
+    /// capacity: values below `1.0` mean spot is still the cheaper buy
+    /// despite the redone work.
+    pub fn cost_vs_on_demand(&self, market: &SpotMarket) -> f64 {
+        self.cost_inflation * market.price_fraction
+    }
+}
+
+/// Replays `schedule` (built by [`schedule_jobs`] over `durations_s`)
+/// on spot capacity: each instance works through its assigned jobs in
+/// longest-first order while seeded exponential interarrivals interrupt
+/// it. An interruption discards the in-flight job's progress — and, under
+/// [`CheckpointPolicy::None`], everything the instance completed since
+/// its last (re)start — then charges [`SpotMarket::restart_overhead_s`]
+/// before work resumes.
+///
+/// The same seed, schedule and market reproduce the same run.
+///
+/// # Panics
+///
+/// Panics if the schedule's assignments don't match `durations_s`, if an
+/// assignment indexes past the instance count, or if the market rate is
+/// negative.
+pub fn simulate_spot_schedule(
+    durations_s: &[f64],
+    schedule: &JobSchedule,
+    market: &SpotMarket,
+    checkpoint: CheckpointPolicy,
+    seed: u64,
+) -> SpotRun {
+    assert_eq!(
+        schedule.assignments.len(),
+        durations_s.len(),
+        "schedule does not cover the job list"
+    );
+    assert!(
+        market.interruptions_per_hour >= 0.0,
+        "interruption rate must be non-negative"
+    );
+    let instances = schedule.instance_busy_s.len();
+    assert!(
+        schedule.assignments.iter().all(|&i| i < instances),
+        "assignment indexes past the instance count"
+    );
+
+    let lambda = market.interruptions_per_hour / 3600.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut interruptions = 0u64;
+    let mut lost_work_s = 0.0f64;
+    let mut overhead_s = 0.0f64;
+    let mut paid_instance_s = 0.0f64;
+    let mut makespan_s = 0.0f64;
+
+    for instance in 0..instances {
+        // This instance's queue, longest first (the order LPT filled it).
+        let mut queue: Vec<f64> = (0..durations_s.len())
+            .filter(|&j| schedule.assignments[j] == instance)
+            .map(|j| durations_s[j])
+            .collect();
+        queue.sort_by(|a, b| b.total_cmp(a));
+
+        let mut clock = 0.0f64;
+        let mut next_interrupt = if lambda > 0.0 {
+            let u: f64 = rng.random();
+            -(1.0 - u).ln() / lambda
+        } else {
+            f64::INFINITY
+        };
+        let mut job = 0usize;
+        let mut done_since_restart = 0.0f64;
+        // Without checkpoints, a market whose mean interarrival is far
+        // below the queue length may effectively never finish (expected
+        // restarts grow as e^{rate × work}); bound the replay and report
+        // an infinite makespan instead of spinning.
+        let mut restarts_here = 0u64;
+        const RESTART_CAP: u64 = 100_000;
+        while job < queue.len() {
+            if restarts_here >= RESTART_CAP {
+                clock = f64::INFINITY;
+                break;
+            }
+            let remaining = queue[job];
+            if clock + remaining <= next_interrupt {
+                // The chromosome completes (and checkpoints) first.
+                clock += remaining;
+                done_since_restart += remaining;
+                job += 1;
+                continue;
+            }
+            interruptions += 1;
+            restarts_here += 1;
+            let in_flight = next_interrupt - clock;
+            lost_work_s += in_flight;
+            if checkpoint == CheckpointPolicy::None {
+                lost_work_s += done_since_restart;
+                job = 0;
+            }
+            done_since_restart = 0.0;
+            clock = next_interrupt + market.restart_overhead_s;
+            overhead_s += market.restart_overhead_s;
+            let u: f64 = rng.random();
+            next_interrupt = clock + -(1.0 - u).ln() / lambda;
+        }
+        paid_instance_s += clock;
+        makespan_s = makespan_s.max(clock);
+    }
+
+    let clean_work: f64 = durations_s.iter().sum();
+    SpotRun {
+        makespan_s,
+        interruptions,
+        lost_work_s,
+        overhead_s,
+        paid_instance_s,
+        makespan_inflation: if schedule.makespan_s > 0.0 {
+            makespan_s / schedule.makespan_s
+        } else {
+            1.0
+        },
+        cost_inflation: if clean_work > 0.0 {
+            paid_instance_s / clean_work
+        } else {
+            1.0
+        },
     }
 }
 
@@ -149,9 +378,142 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one instance")]
-    fn zero_instances_panics() {
-        let _ = schedule_jobs(&[1.0], 0);
+    fn zero_instances_yields_the_degenerate_plan() {
+        let schedule = schedule_jobs(&[1.0, 2.0], 0);
+        assert!(schedule.makespan_s.is_infinite());
+        assert!(schedule.assignments.is_empty());
+        assert!(schedule.instance_busy_s.is_empty());
+        assert!(schedule.is_degenerate());
+        assert_eq!(schedule.utilization(), 0.0);
+
+        let empty = schedule_jobs(&[], 0);
+        assert_eq!(empty.makespan_s, 0.0);
+        assert!(!empty.is_degenerate(), "no work pending means no failure");
+        assert_eq!(empty.utilization(), 0.0);
+    }
+
+    #[test]
+    fn healthy_schedules_are_not_degenerate() {
+        assert!(!schedule_jobs(&[1.0, 2.0], 2).is_degenerate());
+        assert!(!schedule_jobs(&[], 2).is_degenerate());
+    }
+
+    #[test]
+    fn quiet_spot_market_changes_nothing() {
+        let durations = [8.0, 5.0, 4.0, 2.0];
+        let schedule = schedule_jobs(&durations, 2);
+        let market = SpotMarket {
+            interruptions_per_hour: 0.0,
+            ..SpotMarket::calm()
+        };
+        let run = simulate_spot_schedule(
+            &durations,
+            &schedule,
+            &market,
+            CheckpointPolicy::PerChromosome,
+            1,
+        );
+        assert_eq!(run.interruptions, 0);
+        assert_eq!(run.lost_work_s, 0.0);
+        assert!((run.makespan_s - schedule.makespan_s).abs() < 1e-9);
+        assert!((run.makespan_inflation - 1.0).abs() < 1e-9);
+        assert!((run.cost_inflation - 1.0).abs() < 1e-9);
+        assert!(run.cost_vs_on_demand(&market) < 1.0, "spot stays cheap");
+    }
+
+    #[test]
+    fn spot_runs_are_reproducible() {
+        // 22 chromosome-ish jobs over 4 instances in a churning market.
+        let durations: Vec<f64> = (1..=22).map(|c| 60.0 + 10.0 * c as f64).collect();
+        let schedule = schedule_jobs(&durations, 4);
+        let run = |seed| {
+            simulate_spot_schedule(
+                &durations,
+                &schedule,
+                &SpotMarket::volatile(),
+                CheckpointPolicy::PerChromosome,
+                seed,
+            )
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn interruptions_inflate_makespan_and_cost() {
+        let durations: Vec<f64> = (1..=22).map(|c| 120.0 + 30.0 * c as f64).collect();
+        let schedule = schedule_jobs(&durations, 4);
+        // Aggressive market so every seed sees interruptions.
+        let market = SpotMarket {
+            interruptions_per_hour: 20.0,
+            ..SpotMarket::volatile()
+        };
+        let run = simulate_spot_schedule(
+            &durations,
+            &schedule,
+            &market,
+            CheckpointPolicy::PerChromosome,
+            3,
+        );
+        assert!(run.interruptions > 0);
+        assert!(run.lost_work_s > 0.0);
+        assert!(run.makespan_inflation > 1.0);
+        assert!(run.cost_inflation > 1.0);
+        assert!(run.makespan_s > schedule.makespan_s);
+    }
+
+    #[test]
+    fn checkpointing_beats_restarting_from_scratch() {
+        let durations: Vec<f64> = (1..=22).map(|c| 120.0 + 30.0 * c as f64).collect();
+        let schedule = schedule_jobs(&durations, 4);
+        let market = SpotMarket {
+            interruptions_per_hour: 20.0,
+            ..SpotMarket::volatile()
+        };
+        let with = simulate_spot_schedule(
+            &durations,
+            &schedule,
+            &market,
+            CheckpointPolicy::PerChromosome,
+            5,
+        );
+        let without =
+            simulate_spot_schedule(&durations, &schedule, &market, CheckpointPolicy::None, 5);
+        assert!(
+            without.lost_work_s > with.lost_work_s,
+            "scratch restarts {} must lose more than checkpointed {}",
+            without.lost_work_s,
+            with.lost_work_s
+        );
+        assert!(without.cost_inflation >= with.cost_inflation);
+    }
+
+    #[test]
+    fn hopeless_market_reports_infinite_makespan() {
+        // Mean interarrival of ~0.36 s against a 3600 s job, no
+        // checkpoints: the replay hits the restart cap and gives up.
+        let durations = [3600.0];
+        let schedule = schedule_jobs(&durations, 1);
+        let market = SpotMarket {
+            interruptions_per_hour: 10_000.0,
+            restart_overhead_s: 1.0,
+            price_fraction: 0.3,
+        };
+        let run =
+            simulate_spot_schedule(&durations, &schedule, &market, CheckpointPolicy::None, 2);
+        assert!(run.makespan_s.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn mismatched_schedule_panics() {
+        let schedule = schedule_jobs(&[1.0, 2.0], 2);
+        let _ = simulate_spot_schedule(
+            &[1.0],
+            &schedule,
+            &SpotMarket::calm(),
+            CheckpointPolicy::PerChromosome,
+            0,
+        );
     }
 
     #[test]

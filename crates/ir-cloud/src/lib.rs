@@ -25,5 +25,8 @@ mod fleet;
 mod instances;
 
 pub use cost::{cost_efficiency_ratio, gpu_speedup_needed, run_cost_usd, CostedRun};
-pub use fleet::{schedule_jobs, FleetPlan, FleetSizing, JobSchedule};
+pub use fleet::{
+    schedule_jobs, simulate_spot_schedule, CheckpointPolicy, FleetPlan, FleetSizing, JobSchedule,
+    SpotMarket, SpotRun,
+};
 pub use instances::{Accelerator, Instance};

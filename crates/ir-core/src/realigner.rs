@@ -100,6 +100,17 @@ impl IndelRealigner {
         }
     }
 
+    /// Realigns one target and returns only the per-read outcomes — the
+    /// software fallback entry point the accelerator's resilience layer
+    /// uses when a target exhausts its hardware retries (`ir-fpga`'s
+    /// `ResiliencePolicy::software_fallback`). Identical to
+    /// [`Self::realign`] followed by cloning
+    /// [`RealignmentResult::outcomes`], without keeping the grid and
+    /// scores alive.
+    pub fn realign_outcomes(&self, target: &RealignmentTarget) -> Vec<ReadOutcome> {
+        self.realign(target).outcomes
+    }
+
     /// Realigns a batch of targets, summing the operation counts.
     pub fn realign_all<'a, I>(&self, targets: I) -> (Vec<RealignmentResult>, OpCounts)
     where
@@ -209,6 +220,16 @@ mod tests {
         assert_eq!(result.scores(), &[0, 30, 35]);
         assert_eq!(result.realigned_count(), 1);
         assert_eq!(result.read_outcome(0).new_pos(), Some(23));
+    }
+
+    #[test]
+    fn realign_outcomes_matches_full_result() {
+        let target = figure4_target();
+        let realigner = IndelRealigner::new();
+        assert_eq!(
+            realigner.realign_outcomes(&target),
+            realigner.realign(&target).outcomes
+        );
     }
 
     #[test]

@@ -7,6 +7,13 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{DmaFault, FaultPlan};
+use crate::FpgaError;
+
+/// Watchdog multiple: a DMA chain is declared timed out after this many
+/// nominal transfer times (the EDMA driver's completion-poll budget).
+pub const DMA_WATCHDOG_FACTOR: f64 = 10.0;
+
 /// DMA transfer parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DmaParams {
@@ -34,6 +41,36 @@ impl DmaParams {
             0.0
         } else {
             self.transfer_time_s(total)
+        }
+    }
+
+    /// Transfer time for one chunk, with fault injection: the chain can
+    /// time out (the host's completion poll gives up after
+    /// [`DMA_WATCHDOG_FACTOR`] nominal transfer times) or complete short
+    /// (the descriptor count check catches the truncation on read-back).
+    ///
+    /// With an inert plan this is exactly [`Self::transfer_time_s`].
+    ///
+    /// # Errors
+    ///
+    /// - [`FpgaError::Timeout`] when the chain never completes.
+    /// - [`FpgaError::CorruptOutput`] when fewer bytes than requested
+    ///   arrive.
+    pub fn transfer_time_checked(
+        &self,
+        bytes: u64,
+        plan: &mut FaultPlan,
+    ) -> Result<f64, FpgaError> {
+        match plan.dma_fault(bytes) {
+            None => Ok(self.transfer_time_s(bytes)),
+            Some(DmaFault::Timeout) => Err(FpgaError::Timeout {
+                site: "pcie dma",
+                waited_s: DMA_WATCHDOG_FACTOR * self.transfer_time_s(bytes),
+            }),
+            Some(DmaFault::Truncation { delivered }) => Err(FpgaError::CorruptOutput {
+                detail: "pcie dma delivered a truncated payload",
+                observed: delivered,
+            }),
         }
     }
 }
@@ -76,6 +113,43 @@ mod tests {
             DmaParams::default().batch_transfer_time_s(std::iter::empty()),
             0.0
         );
+    }
+
+    #[test]
+    fn checked_transfer_matches_unchecked_without_faults() {
+        let dma = DmaParams::default();
+        let t = dma
+            .transfer_time_checked(65_536, &mut FaultPlan::none())
+            .unwrap();
+        assert_eq!(t, dma.transfer_time_s(65_536));
+    }
+
+    #[test]
+    fn checked_transfer_surfaces_injected_faults() {
+        use crate::fault::FaultRates;
+        let dma = DmaParams::default();
+        let mut timeout = FaultPlan::seeded(
+            0,
+            FaultRates {
+                dma_timeout: 1.0,
+                ..FaultRates::none()
+            },
+        );
+        assert!(matches!(
+            dma.transfer_time_checked(1024, &mut timeout),
+            Err(FpgaError::Timeout { site: "pcie dma", .. })
+        ));
+        let mut truncate = FaultPlan::seeded(
+            0,
+            FaultRates {
+                dma_truncation: 1.0,
+                ..FaultRates::none()
+            },
+        );
+        assert!(matches!(
+            dma.transfer_time_checked(1024, &mut truncate),
+            Err(FpgaError::CorruptOutput { observed, .. }) if observed < 1024
+        ));
     }
 
     #[test]

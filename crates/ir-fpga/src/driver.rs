@@ -13,9 +13,11 @@
 //! the output buffers. It is the strongest end-to-end check that the ISA,
 //! the buffer layout, the codec and the datapath compose correctly.
 
-use ir_core::ReadOutcome;
+use ir_core::{IndelRealigner, ReadOutcome};
 use ir_genome::RealignmentTarget;
 
+use crate::dma::DmaParams;
+use crate::fault::{FaultCounts, FaultPlan};
 use crate::isa::IrCommand;
 use crate::layout::{decode_outputs, encode_outputs, HostBuffers};
 use crate::mmio::{MmioHub, UnitResponse};
@@ -26,12 +28,109 @@ use crate::FpgaError;
 /// The outcome of one target driven through the full functional path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DriverRun {
-    /// Unit that executed the target.
+    /// Unit that executed the target (the last unit attempted, for
+    /// software-fallback targets).
     pub unit_id: usize,
     /// Decoded per-read outcomes (from the output buffer images).
     pub outcomes: Vec<ReadOutcome>,
-    /// Cycle breakdown reported by the unit.
+    /// Cycle breakdown reported by the unit (zero for software-fallback
+    /// targets — the work left the fabric).
     pub cycles: UnitCycles,
+    /// Whether the target exhausted its hardware retries and was
+    /// realigned by the `ir-core` software path instead.
+    pub via_fallback: bool,
+}
+
+/// Host-side recovery policy: what the control program does when the
+/// hardware misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Cycle budget the watchdog grants one dispatched target before
+    /// declaring it hung (covers a lost response or a wedged FSM).
+    pub watchdog_cycles: u64,
+    /// Hardware retries per target before giving up on the fabric.
+    pub max_retries: u32,
+    /// Backoff before retry *k* is `backoff_base_cycles << k` host
+    /// cycles (lets a transiently congested hub drain).
+    pub backoff_base_cycles: u64,
+    /// Fraction of targets whose read-back is verified byte-for-byte
+    /// against the golden model (1.0 = every target; silent corruption
+    /// is impossible only at 1.0).
+    pub verify_rate: f64,
+    /// Failures attributed to one unit before it is quarantined and
+    /// receives no further targets. The last healthy unit is never
+    /// quarantined.
+    pub quarantine_threshold: u32,
+    /// Realign targets that exhaust hardware retries with the `ir-core`
+    /// software path, so a run always completes.
+    pub software_fallback: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            // ~0.5 s at 125 MHz — far above any single target's cycles.
+            watchdog_cycles: 1 << 26,
+            max_retries: 3,
+            backoff_base_cycles: 4096,
+            verify_rate: 1.0,
+            quarantine_threshold: 3,
+            software_fallback: true,
+        }
+    }
+}
+
+/// What the resilience layer saw and did over one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResilienceReport {
+    /// Faults the plan actually injected (ground truth to reconcile the
+    /// detection counters against).
+    pub faults: FaultCounts,
+    /// DMA transfers that failed (timeout or truncation).
+    pub dma_faults: u64,
+    /// Watchdog expirations waiting on a response.
+    pub timeouts: u64,
+    /// Read-backs rejected as corrupt (decode error or golden-model
+    /// verification mismatch).
+    pub corrupt_detected: u64,
+    /// Units caught hung and reset.
+    pub unit_hangs: u64,
+    /// Stale or duplicate responses drained and discarded.
+    pub stale_responses: u64,
+    /// Hardware retries issued.
+    pub retries: u64,
+    /// Targets that fell back to the software path.
+    pub fallbacks: u64,
+    /// Units quarantined during the run.
+    pub quarantined_units: Vec<usize>,
+    /// Targets that completed on hardware after at least one retry.
+    pub recovered_targets: u64,
+    /// Compute cycles of the eventual successful attempt of recovered
+    /// targets (work the retry policy salvaged for the fabric).
+    pub recovered_cycles: u64,
+    /// Cycles burned on failed attempts, watchdog waits and backoff.
+    pub lost_cycles: u64,
+}
+
+impl ResilienceReport {
+    /// Whether the run saw no faults and took no recovery action.
+    pub fn is_clean(&self) -> bool {
+        self == &ResilienceReport::default()
+    }
+}
+
+/// How one failed hardware attempt is handled.
+struct AttemptFailure {
+    error: FpgaError,
+    /// Cycles burned by the failed attempt (watchdog wait, discarded
+    /// compute).
+    lost_cycles: u64,
+    /// Whether the failure is attributed to the unit (counts toward its
+    /// quarantine threshold).
+    unit_at_fault: bool,
+    /// Deterministic failures (a target that cannot fit) skip the retry
+    /// loop and go straight to the fallback decision.
+    permanent: bool,
 }
 
 /// A host driver bound to a sea of units through one MMIO hub.
@@ -40,6 +139,9 @@ pub struct HostDriver {
     params: FpgaParams,
     hub: MmioHub,
     units: Vec<IrUnit>,
+    dma: DmaParams,
+    failures: Vec<u32>,
+    quarantined: Vec<bool>,
 }
 
 impl HostDriver {
@@ -51,17 +153,30 @@ impl HostDriver {
     /// [`crate::resources::validate`].
     pub fn new(params: FpgaParams) -> Result<Self, FpgaError> {
         crate::resources::validate(&params)?;
-        let units = (0..params.num_units).map(IrUnit::new).collect();
+        let num_units = params.num_units;
+        let units = (0..num_units).map(IrUnit::new).collect();
         Ok(HostDriver {
             params,
             hub: MmioHub::new(64),
             units,
+            dma: DmaParams::default(),
+            failures: vec![0; num_units],
+            quarantined: vec![false; num_units],
         })
     }
 
     /// Number of units under this driver.
     pub fn num_units(&self) -> usize {
         self.units.len()
+    }
+
+    /// Units currently quarantined by the resilience layer.
+    pub fn quarantined_units(&self) -> Vec<usize> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(u, &q)| q.then_some(u))
+            .collect()
     }
 
     /// Drives one target end to end on `unit_id`: build buffer images,
@@ -93,7 +208,10 @@ impl HostDriver {
         // router pops and dispatches to the addressed unit.
         for cmd in IrUnit::command_sequence(target, unit_id as u8) {
             self.hub.push_command(cmd.encode())?;
-            let wire = self.hub.pop_command().expect("just enqueued");
+            let wire = self
+                .hub
+                .pop_command()
+                .ok_or(FpgaError::NotConfigured("command queue empty at dispatch"))?;
             let decoded = IrCommand::decode(wire)?;
             self.units[unit_id].apply(decoded)?;
         }
@@ -115,6 +233,7 @@ impl HostDriver {
             unit_id: response.unit_id,
             outcomes,
             cycles: run.cycles,
+            via_fallback: false,
         })
     }
 
@@ -132,6 +251,257 @@ impl HostDriver {
             .enumerate()
             .map(|(i, t)| self.run_target(i % self.units.len(), t))
             .collect()
+    }
+
+    /// First non-quarantined unit at or after `preferred` (wrapping), or
+    /// `None` if the whole sea is quarantined.
+    fn pick_unit(&self, preferred: usize) -> Option<usize> {
+        let n = self.units.len();
+        (0..n)
+            .map(|k| (preferred + k) % n)
+            .find(|&u| !self.quarantined[u])
+    }
+
+    /// One hardware attempt: the full functional path of
+    /// [`Self::run_target`] with every fault-injection site armed and
+    /// every read-back integrity-checked.
+    fn attempt_target(
+        &mut self,
+        unit_id: usize,
+        target: &RealignmentTarget,
+        plan: &mut FaultPlan,
+        policy: &ResiliencePolicy,
+        report: &mut ResilienceReport,
+    ) -> Result<DriverRun, AttemptFailure> {
+        let permanent = |error| AttemptFailure {
+            error,
+            lost_cycles: 0,
+            unit_at_fault: false,
+            permanent: true,
+        };
+        let watchdog = policy.watchdog_cycles;
+
+        // Steps 1–2: host arrays and the PCIe DMA transfer, which can
+        // time out or truncate.
+        let buffers = HostBuffers::from_target(target);
+        buffers.check_fit().map_err(permanent)?;
+        if let Err(error) = self
+            .dma
+            .transfer_time_checked(buffers.payload_bytes(), plan)
+        {
+            report.dma_faults += 1;
+            return Err(AttemptFailure {
+                error,
+                lost_cycles: 0,
+                unit_at_fault: false,
+                permanent: false,
+            });
+        }
+
+        // A prior failed attempt can strand a stale or duplicate
+        // response; drain the queue before dispatching.
+        while self.hub.poll_response().is_some() {
+            report.stale_responses += 1;
+        }
+
+        // Step 3: configure and start through the MMIO queues.
+        for cmd in IrUnit::command_sequence(target, unit_id as u8) {
+            let step: Result<(), FpgaError> = (|| {
+                self.hub.push_command(cmd.encode())?;
+                let wire = self
+                    .hub
+                    .pop_command()
+                    .ok_or(FpgaError::NotConfigured("command queue empty at dispatch"))?;
+                self.units[unit_id].apply(IrCommand::decode(wire)?)
+            })();
+            step.map_err(permanent)?;
+        }
+
+        // Execute; the FSM can hang stuck-busy (the watchdog burns its
+        // whole budget noticing).
+        let run = self.units[unit_id]
+            .execute_with_faults(target, &self.params, plan)
+            .map_err(|error| AttemptFailure {
+                error,
+                lost_cycles: watchdog,
+                unit_at_fault: true,
+                permanent: false,
+            })?;
+
+        // The hub can drop or duplicate the completion response.
+        self.hub.push_response_faulty(
+            UnitResponse {
+                unit_id,
+                cycles: run.cycles.total(),
+            },
+            plan,
+        );
+
+        // Step 4: poll for this unit's response; anything else in the
+        // queue is stale. A dropped response means the work completed but
+        // the result is stranded — the watchdog expires.
+        let response = loop {
+            match self.hub.poll_response() {
+                Some(r) if r.unit_id == unit_id => break Some(r),
+                Some(_) => report.stale_responses += 1,
+                None => break None,
+            }
+        };
+        let Some(response) = response else {
+            return Err(AttemptFailure {
+                error: FpgaError::Timeout {
+                    site: "mmio response queue",
+                    waited_s: watchdog as f64 * self.params.cycle_time_s(),
+                },
+                lost_cycles: run.cycles.total() + watchdog,
+                unit_at_fault: true,
+                permanent: false,
+            });
+        };
+
+        // Read back the output buffers, which can come back with flipped
+        // bits; decode rejects structurally invalid images, and the
+        // sampled golden-model check catches the rest.
+        let (mut flags, mut positions) = encode_outputs(&run.outcomes, target.start_pos());
+        plan.corrupt_outputs(&mut flags, &mut positions);
+        let corrupt = |error| AttemptFailure {
+            error,
+            lost_cycles: run.cycles.total(),
+            unit_at_fault: true,
+            permanent: false,
+        };
+        let outcomes = decode_outputs(&flags, &positions, target.num_reads(), target.start_pos())
+            .map_err(corrupt)?;
+        if plan.sample_verify(policy.verify_rate) {
+            let golden = IndelRealigner::new().realign_outcomes(target);
+            let (want_flags, want_positions) = encode_outputs(&golden, target.start_pos());
+            if flags != want_flags || positions != want_positions {
+                return Err(corrupt(FpgaError::CorruptOutput {
+                    detail: "read-back differs from the golden model",
+                    observed: response.unit_id as u64,
+                }));
+            }
+        }
+
+        Ok(DriverRun {
+            unit_id: response.unit_id,
+            outcomes,
+            cycles: run.cycles,
+            via_fallback: false,
+        })
+    }
+
+    /// Drives one target with the full resilience policy: bounded retry
+    /// with exponential backoff, watchdog recovery of hung units and
+    /// lost responses, integrity-checked read-back, quarantine of
+    /// repeatedly failing units, and (if enabled) software fallback so
+    /// the target always completes. Recovery actions accumulate into
+    /// `report`.
+    ///
+    /// With [`FaultPlan::none`] this is functionally identical to
+    /// [`Self::run_target`] and the report stays clean.
+    ///
+    /// # Errors
+    ///
+    /// Only when every hardware retry failed *and*
+    /// [`ResiliencePolicy::software_fallback`] is off (the last hardware
+    /// error is returned), or for out-of-range `unit_id`.
+    pub fn run_target_resilient(
+        &mut self,
+        unit_id: usize,
+        target: &RealignmentTarget,
+        plan: &mut FaultPlan,
+        policy: &ResiliencePolicy,
+        report: &mut ResilienceReport,
+    ) -> Result<DriverRun, FpgaError> {
+        if unit_id >= self.units.len() {
+            return Err(FpgaError::NoSuchUnit {
+                unit: unit_id,
+                available: self.units.len(),
+            });
+        }
+        let mut last_unit = unit_id;
+        let mut last_error = None;
+        for attempt in 0..=policy.max_retries {
+            let Some(unit) = self.pick_unit(unit_id) else {
+                break; // the whole sea is quarantined
+            };
+            last_unit = unit;
+            match self.attempt_target(unit, target, plan, policy, report) {
+                Ok(run) => {
+                    self.failures[unit] = 0;
+                    if attempt > 0 {
+                        report.recovered_targets += 1;
+                        report.recovered_cycles += run.cycles.total();
+                    }
+                    return Ok(run);
+                }
+                Err(failure) => {
+                    match &failure.error {
+                        FpgaError::Timeout { .. } => report.timeouts += 1,
+                        FpgaError::CorruptOutput { .. } => report.corrupt_detected += 1,
+                        FpgaError::UnitHung { .. } => report.unit_hangs += 1,
+                        _ => {}
+                    }
+                    report.lost_cycles += failure.lost_cycles;
+                    if matches!(failure.error, FpgaError::UnitHung { .. }) {
+                        self.units[unit].reset();
+                    }
+                    if failure.unit_at_fault {
+                        self.failures[unit] += 1;
+                        let healthy = self.quarantined.iter().filter(|&&q| !q).count();
+                        if self.failures[unit] >= policy.quarantine_threshold && healthy > 1 {
+                            self.quarantined[unit] = true;
+                            report.quarantined_units.push(unit);
+                        }
+                    }
+                    let permanent = failure.permanent;
+                    last_error = Some(failure.error);
+                    if permanent {
+                        break;
+                    }
+                    if attempt < policy.max_retries {
+                        report.retries += 1;
+                        report.lost_cycles += policy.backoff_base_cycles << attempt;
+                    }
+                }
+            }
+        }
+        if policy.software_fallback {
+            report.fallbacks += 1;
+            return Ok(DriverRun {
+                unit_id: last_unit,
+                outcomes: IndelRealigner::new().realign_outcomes(target),
+                cycles: UnitCycles::default(),
+                via_fallback: true,
+            });
+        }
+        Err(last_error.unwrap_or(FpgaError::NoResponse))
+    }
+
+    /// Drives a batch of targets round-robin with the resilience policy.
+    /// The run always completes when software fallback is on; the report
+    /// records every fault seen and recovery action taken, with the
+    /// plan's injection counts snapshotted into
+    /// [`ResilienceReport::faults`].
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first unrecoverable target (fallback disabled).
+    pub fn run_batch_resilient(
+        &mut self,
+        targets: &[RealignmentTarget],
+        plan: &mut FaultPlan,
+        policy: &ResiliencePolicy,
+    ) -> Result<(Vec<DriverRun>, ResilienceReport), FpgaError> {
+        let mut report = ResilienceReport::default();
+        let mut runs = Vec::with_capacity(targets.len());
+        for (i, target) in targets.iter().enumerate() {
+            let preferred = i % self.units.len();
+            runs.push(self.run_target_resilient(preferred, target, plan, policy, &mut report)?);
+        }
+        report.faults = plan.counts();
+        Ok((runs, report))
     }
 }
 
@@ -222,5 +592,163 @@ mod tests {
         let run = driver.run_target(0, &figure4_target()).unwrap();
         assert!(run.cycles.total() > 0);
         assert!(run.cycles.hdc > run.cycles.selector);
+    }
+
+    #[test]
+    fn resilient_run_with_inert_plan_matches_plain_run() {
+        let target = figure4_target();
+        let mut plain = HostDriver::new(FpgaParams::iracc()).unwrap();
+        let want = plain.run_target(3, &target).unwrap();
+
+        let mut driver = HostDriver::new(FpgaParams::iracc()).unwrap();
+        let mut plan = FaultPlan::none();
+        let mut report = ResilienceReport::default();
+        let got = driver
+            .run_target_resilient(
+                3,
+                &target,
+                &mut plan,
+                &ResiliencePolicy::default(),
+                &mut report,
+            )
+            .unwrap();
+        assert_eq!(got, want);
+        assert!(report.is_clean(), "clean run, clean report: {report:?}");
+    }
+
+    #[test]
+    fn permanent_hangs_fall_back_to_software() {
+        use crate::fault::FaultRates;
+        let target = figure4_target();
+        let mut driver = HostDriver::new(FpgaParams::iracc()).unwrap();
+        let mut plan = FaultPlan::seeded(
+            0,
+            FaultRates {
+                unit_hang: 1.0,
+                ..FaultRates::none()
+            },
+        );
+        let policy = ResiliencePolicy::default();
+        let mut report = ResilienceReport::default();
+        let run = driver
+            .run_target_resilient(0, &target, &mut plan, &policy, &mut report)
+            .unwrap();
+        assert!(run.via_fallback);
+        assert_eq!(run.cycles.total(), 0);
+        assert_eq!(run.outcomes, IndelRealigner::new().realign_outcomes(&target));
+        assert_eq!(report.fallbacks, 1);
+        assert_eq!(report.unit_hangs, u64::from(policy.max_retries) + 1);
+        assert_eq!(report.retries, u64::from(policy.max_retries));
+        assert!(report.lost_cycles > 0);
+        // Every attempt hung a unit; the repeat offenders are quarantined.
+        assert!(!driver.quarantined_units().is_empty());
+    }
+
+    #[test]
+    fn fallback_disabled_surfaces_the_hardware_error() {
+        use crate::fault::FaultRates;
+        let target = figure4_target();
+        let mut driver = HostDriver::new(FpgaParams::iracc()).unwrap();
+        let mut plan = FaultPlan::seeded(
+            7,
+            FaultRates {
+                response_drop: 1.0,
+                ..FaultRates::none()
+            },
+        );
+        let policy = ResiliencePolicy {
+            software_fallback: false,
+            max_retries: 1,
+            ..ResiliencePolicy::default()
+        };
+        let mut report = ResilienceReport::default();
+        let err = driver
+            .run_target_resilient(0, &target, &mut plan, &policy, &mut report)
+            .unwrap_err();
+        assert!(matches!(err, FpgaError::Timeout { .. }));
+        assert_eq!(report.timeouts, 2);
+    }
+
+    #[test]
+    fn corrupted_read_back_is_detected_and_retried() {
+        use crate::fault::FaultRates;
+        let target = figure4_target();
+        let mut driver = HostDriver::new(FpgaParams::iracc()).unwrap();
+        // Corrupt every read-back on the first tries; retries eventually
+        // lose the race only if the rate stays 1.0 — so use 1.0 and let
+        // fallback prove no corrupt result ever escapes.
+        let mut plan = FaultPlan::seeded(
+            21,
+            FaultRates {
+                output_bit_flip: 1.0,
+                ..FaultRates::none()
+            },
+        );
+        let mut report = ResilienceReport::default();
+        let run = driver
+            .run_target_resilient(
+                0,
+                &target,
+                &mut plan,
+                &ResiliencePolicy::default(),
+                &mut report,
+            )
+            .unwrap();
+        assert!(run.via_fallback);
+        assert_eq!(run.outcomes, IndelRealigner::new().realign_outcomes(&target));
+        assert!(report.corrupt_detected > 0);
+    }
+
+    #[test]
+    fn batch_completes_under_moderate_fault_rates() {
+        use crate::fault::FaultRates;
+        let params = FpgaParams {
+            num_units: 4,
+            ..FpgaParams::iracc()
+        };
+        let mut driver = HostDriver::new(params).unwrap();
+        let targets = vec![figure4_target(); 24];
+        let mut plan = FaultPlan::seeded(5, FaultRates::uniform(0.05));
+        let (runs, report) = driver
+            .run_batch_resilient(&targets, &mut plan, &ResiliencePolicy::default())
+            .unwrap();
+        assert_eq!(runs.len(), targets.len());
+        // Byte-identical to the golden model: compare the encoded output
+        // images (decode does not transmit offsets of non-realigned
+        // reads, so the images are the canonical representation).
+        let golden = IndelRealigner::new().realign_outcomes(&targets[0]);
+        let want = encode_outputs(&golden, targets[0].start_pos());
+        for run in &runs {
+            assert_eq!(
+                encode_outputs(&run.outcomes, targets[0].start_pos()),
+                want,
+                "no silent corruption, ever"
+            );
+        }
+        assert_eq!(report.faults, plan.counts());
+    }
+
+    #[test]
+    fn quarantine_never_claims_the_last_unit() {
+        use crate::fault::FaultRates;
+        let params = FpgaParams {
+            num_units: 2,
+            ..FpgaParams::iracc()
+        };
+        let mut driver = HostDriver::new(params).unwrap();
+        let targets = vec![figure4_target(); 16];
+        let mut plan = FaultPlan::seeded(
+            3,
+            FaultRates {
+                unit_hang: 1.0,
+                ..FaultRates::none()
+            },
+        );
+        let (runs, report) = driver
+            .run_batch_resilient(&targets, &mut plan, &ResiliencePolicy::default())
+            .unwrap();
+        assert!(runs.iter().all(|r| r.via_fallback));
+        assert!(driver.quarantined_units().len() < driver.num_units());
+        assert_eq!(report.fallbacks, targets.len() as u64);
     }
 }

@@ -45,6 +45,31 @@ pub enum FpgaError {
     NotConfigured(&'static str),
     /// Response queue polled while empty.
     NoResponse,
+    /// A hardware interaction exceeded its cycle/time budget (DMA chain
+    /// that never completed, response that never arrived).
+    Timeout {
+        /// The boundary that timed out (e.g. `"pcie dma"`,
+        /// `"mmio response queue"`).
+        site: &'static str,
+        /// Seconds the host waited before declaring the timeout.
+        waited_s: f64,
+    },
+    /// Read-back data failed an integrity check (short DMA payload,
+    /// malformed flag byte, golden-model verification mismatch).
+    CorruptOutput {
+        /// What failed the check.
+        detail: &'static str,
+        /// The observed value (delivered bytes, bad flag, mismatching
+        /// read index — whatever the detail names).
+        observed: u64,
+    },
+    /// A unit's FSM hung mid-execution and sits stuck-busy until reset.
+    UnitHung {
+        /// The wedged unit.
+        unit: usize,
+        /// Targets the unit had completed before hanging.
+        targets_completed: u64,
+    },
 }
 
 impl fmt::Display for FpgaError {
@@ -82,6 +107,19 @@ impl fmt::Display for FpgaError {
                 write!(f, "accelerator started before configuring {what}")
             }
             FpgaError::NoResponse => write!(f, "response queue is empty"),
+            FpgaError::Timeout { site, waited_s } => {
+                write!(f, "timeout at {site} after {waited_s:.6} s with no completion")
+            }
+            FpgaError::CorruptOutput { detail, observed } => {
+                write!(f, "corrupt read-back data: {detail} (observed {observed})")
+            }
+            FpgaError::UnitHung {
+                unit,
+                targets_completed,
+            } => write!(
+                f,
+                "unit {unit} hung mid-execution after {targets_completed} completed targets"
+            ),
         }
     }
 }
@@ -115,6 +153,18 @@ mod tests {
             },
             FpgaError::NotConfigured("buffer addresses"),
             FpgaError::NoResponse,
+            FpgaError::Timeout {
+                site: "pcie dma",
+                waited_s: 0.004,
+            },
+            FpgaError::CorruptOutput {
+                detail: "realign flag byte out of range",
+                observed: 7,
+            },
+            FpgaError::UnitHung {
+                unit: 12,
+                targets_completed: 900,
+            },
         ];
         for e in errors {
             let msg = e.to_string();

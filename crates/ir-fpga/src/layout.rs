@@ -140,9 +140,14 @@ pub fn encode_outputs(outcomes: &[ReadOutcome], target_start_pos: u64) -> (Vec<u
 
 /// Decodes the two output-buffer images back into outcomes.
 ///
+/// This is the hot read-back path, so it never panics: every malformed
+/// input (short buffer, bad flag byte, ragged position words — e.g. a
+/// truncated DMA read-back or an injected bit flip) is reported as a
+/// typed error the driver's retry logic can act on.
+///
 /// # Errors
 ///
-/// Returns [`FpgaError::InvalidCommand`] if the buffer sizes disagree with
+/// Returns [`FpgaError::CorruptOutput`] if the buffer sizes disagree with
 /// `num_reads` or a flag byte is not 0/1.
 pub fn decode_outputs(
     flags: &[u8],
@@ -150,18 +155,34 @@ pub fn decode_outputs(
     num_reads: usize,
     target_start_pos: u64,
 ) -> Result<Vec<ReadOutcome>, FpgaError> {
-    if flags.len() < num_reads || positions.len() < num_reads * 4 {
-        return Err(FpgaError::InvalidCommand(num_reads as u32));
+    if flags.len() < num_reads {
+        return Err(FpgaError::CorruptOutput {
+            detail: "flag buffer shorter than the read count",
+            observed: flags.len() as u64,
+        });
+    }
+    if positions.len() < num_reads * 4 {
+        return Err(FpgaError::CorruptOutput {
+            detail: "position buffer shorter than 4 bytes per read",
+            observed: positions.len() as u64,
+        });
     }
     let mut outcomes = Vec::with_capacity(num_reads);
     for j in 0..num_reads {
         let flag = flags[j];
         if flag > 1 {
-            return Err(FpgaError::InvalidCommand(u32::from(flag)));
+            return Err(FpgaError::CorruptOutput {
+                detail: "realign flag byte out of range",
+                observed: u64::from(flag),
+            });
         }
-        let word: [u8; 4] = positions[j * 4..j * 4 + 4]
-            .try_into()
-            .expect("4-byte slice");
+        let word: [u8; 4] =
+            positions[j * 4..j * 4 + 4]
+                .try_into()
+                .map_err(|_| FpgaError::CorruptOutput {
+                    detail: "position word is not 4 bytes",
+                    observed: j as u64,
+                })?;
         let pos = u64::from(u32::from_le_bytes(word));
         let offset = (pos - target_start_pos.min(pos)) as usize;
         outcomes.push(ReadOutcome::from_parts(flag == 1, offset, pos));
@@ -258,7 +279,17 @@ mod tests {
 
     #[test]
     fn decode_rejects_short_buffers_and_bad_flags() {
-        assert!(decode_outputs(&[1], &[0, 0, 0, 0], 2, 0).is_err());
-        assert!(decode_outputs(&[2], &[0, 0, 0, 0], 1, 0).is_err());
+        assert!(matches!(
+            decode_outputs(&[1], &[0, 0, 0, 0], 2, 0),
+            Err(FpgaError::CorruptOutput { observed: 1, .. })
+        ));
+        assert!(matches!(
+            decode_outputs(&[1, 1], &[0, 0, 0, 0], 2, 0),
+            Err(FpgaError::CorruptOutput { observed: 4, .. })
+        ));
+        assert!(matches!(
+            decode_outputs(&[2], &[0, 0, 0, 0], 1, 0),
+            Err(FpgaError::CorruptOutput { observed: 2, .. })
+        ));
     }
 }

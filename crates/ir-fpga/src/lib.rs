@@ -24,6 +24,10 @@
 //!   runtime including transfers.
 //! - [`hls`] — the degraded SDAccel/HLS configuration the paper compares
 //!   against (16 units, no pruning).
+//! - [`fault`] / [`driver`] — seeded fault injection at the hardware
+//!   boundaries (DMA, MMIO, unit FSM, output buffers) and the host-side
+//!   resilience layer (watchdog, bounded retry, verified read-back,
+//!   quarantine, software fallback) that recovers from it.
 //!
 //! # Example
 //!
@@ -53,6 +57,7 @@ pub mod arbiter;
 pub mod bram;
 pub mod dma;
 pub mod driver;
+pub mod fault;
 pub mod fsm;
 pub mod hdc;
 pub mod hls;
@@ -69,7 +74,9 @@ pub mod unit;
 mod error;
 mod params;
 
+pub use driver::{DriverRun, HostDriver, ResiliencePolicy, ResilienceReport};
 pub use error::FpgaError;
+pub use fault::{FaultCounts, FaultPlan, FaultRates};
 pub use isa::{BufferIndex, IrCommand};
 pub use params::{ClockRecipe, FpgaParams};
 pub use rocc::RoccInstruction;

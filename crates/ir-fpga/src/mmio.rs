@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 
+use crate::fault::{FaultPlan, ResponseFault};
 use crate::isa::WireCommand;
 use crate::FpgaError;
 
@@ -89,6 +90,28 @@ impl MmioHub {
     /// (mirrors a credit-based response channel).
     pub fn push_response(&mut self, resp: UnitResponse) {
         self.responses.push_back(resp);
+    }
+
+    /// Unit side under fault injection: the hub can lose the response
+    /// (the host's poll loop then spins until its watchdog fires) or post
+    /// it twice (the host must drain the stale duplicate). Returns what
+    /// the hub actually did; with an inert plan this is exactly
+    /// [`Self::push_response`].
+    pub fn push_response_faulty(
+        &mut self,
+        resp: UnitResponse,
+        plan: &mut FaultPlan,
+    ) -> ResponseFault {
+        let fault = plan.response_fault();
+        match fault {
+            ResponseFault::Delivered => self.push_response(resp),
+            ResponseFault::Dropped => {}
+            ResponseFault::Duplicated => {
+                self.push_response(resp);
+                self.push_response(resp);
+            }
+        }
+        fault
     }
 
     /// Host side: poll the "response valid" register and pop one response.
@@ -173,5 +196,48 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_panics() {
         let _ = MmioHub::new(0);
+    }
+
+    #[test]
+    fn faulty_push_drops_and_duplicates() {
+        use crate::fault::FaultRates;
+        let resp = UnitResponse {
+            unit_id: 3,
+            cycles: 99,
+        };
+        let mut hub = MmioHub::new(4);
+        assert_eq!(
+            hub.push_response_faulty(resp, &mut FaultPlan::none()),
+            ResponseFault::Delivered
+        );
+        assert_eq!(hub.pending_responses(), 1);
+
+        let mut drop_plan = FaultPlan::seeded(
+            0,
+            FaultRates {
+                response_drop: 1.0,
+                ..FaultRates::none()
+            },
+        );
+        let mut hub = MmioHub::new(4);
+        assert_eq!(
+            hub.push_response_faulty(resp, &mut drop_plan),
+            ResponseFault::Dropped
+        );
+        assert_eq!(hub.pending_responses(), 0);
+
+        let mut dup_plan = FaultPlan::seeded(
+            0,
+            FaultRates {
+                response_duplicate: 1.0,
+                ..FaultRates::none()
+            },
+        );
+        let mut hub = MmioHub::new(4);
+        assert_eq!(
+            hub.push_response_faulty(resp, &mut dup_plan),
+            ResponseFault::Duplicated
+        );
+        assert_eq!(hub.pending_responses(), 2);
     }
 }

@@ -119,6 +119,14 @@ pub fn routing_fraction(units: usize) -> f64 {
 /// - [`FpgaError::TimingFailure`] if the clock recipe has negative slack,
 ///   reproducing the paper's rejected 250 MHz experiment.
 pub fn validate(params: &FpgaParams) -> Result<ResourceReport, FpgaError> {
+    if params.num_units == 0 {
+        // A unitless system validates against no floorplan constraint but
+        // can never schedule anything; reject it up front rather than
+        // letting the dispatch loops panic.
+        return Err(FpgaError::NotConfigured(
+            "any IR units (num_units is zero)",
+        ));
+    }
     let rpt = report(params.num_units, params.lanes);
     if !rpt.fits {
         return Err(FpgaError::DoesNotFit {
@@ -156,6 +164,18 @@ mod tests {
             "LUT utilization {:.4} should be ≈ 0.325",
             rpt.lut_utilization
         );
+    }
+
+    #[test]
+    fn zero_units_is_rejected() {
+        let params = crate::FpgaParams {
+            num_units: 0,
+            ..crate::FpgaParams::iracc()
+        };
+        assert!(matches!(
+            validate(&params),
+            Err(FpgaError::NotConfigured(_))
+        ));
     }
 
     #[test]

@@ -8,7 +8,10 @@ use std::collections::BinaryHeap;
 use ir_genome::RealignmentTarget;
 
 use crate::dma::DmaParams;
+use crate::driver::{ResiliencePolicy, ResilienceReport};
+use crate::fault::{FaultPlan, ResponseFault};
 use crate::isa::IrCommand;
+use crate::layout::{decode_outputs, encode_outputs};
 use crate::params::FpgaParams;
 use crate::resources::{validate, ResourceReport};
 use crate::unit::{simulate_target, UnitRun};
@@ -87,6 +90,10 @@ pub struct SystemRun {
     /// Timeline of transfer/compute intervals (only populated by
     /// [`AcceleratedSystem::run_traced`]).
     pub timeline: Vec<TimelineEvent>,
+    /// Recovery accounting (only populated by
+    /// [`AcceleratedSystem::run_resilient`]; `None` on fault-free entry
+    /// points).
+    pub resilience: Option<ResilienceReport>,
 }
 
 impl SystemRun {
@@ -117,6 +124,125 @@ impl SystemRun {
         } else {
             self.comparisons as f64 / self.wall_time_s
         }
+    }
+}
+
+/// Per-run recovery state threaded through the schedulers when
+/// [`AcceleratedSystem::run_resilient`] is driving. It mirrors the
+/// [`crate::driver::HostDriver`] policy machinery at the timing level:
+/// instead of replaying transfers through queues it charges the cycles
+/// each recovery action costs to the unit that paid them.
+struct FaultState<'a> {
+    plan: &'a mut FaultPlan,
+    policy: &'a ResiliencePolicy,
+    report: ResilienceReport,
+    failures: Vec<u32>,
+    quarantined: Vec<bool>,
+}
+
+impl FaultState<'_> {
+    fn healthy_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| !q).count()
+    }
+
+    /// Plays the recovery state machine for one dispatched target and
+    /// returns the extra cycles (watchdog waits, discarded attempts,
+    /// backoff) the executing unit burned beyond the successful compute.
+    ///
+    /// Side effects mirror the driver: counters accumulate into the
+    /// report, repeated unit-attributed failures quarantine the unit
+    /// (never the last healthy one), a target that exhausts its retries
+    /// falls back to the software result (cycles zeroed — the fabric
+    /// never finished it), and a corrupt read-back that escapes sampled
+    /// verification replaces `run.outcomes` with the corrupt decode.
+    fn resolve(&mut self, target: &RealignmentTarget, run: &mut UnitRun, unit: usize) -> u64 {
+        let policy = *self.policy;
+        let mut extra = 0u64;
+        let mut succeeded = false;
+        for attempt in 0..=policy.max_retries {
+            let mut failed = false;
+            let mut unit_at_fault = false;
+            if self.plan.dma_fault(target.shape().input_bytes()).is_some() {
+                // Per-target re-transfer; not attributed to the unit.
+                self.report.dma_faults += 1;
+                failed = true;
+            } else if self.plan.unit_hangs() {
+                self.report.unit_hangs += 1;
+                extra += policy.watchdog_cycles;
+                failed = true;
+                unit_at_fault = true;
+            } else {
+                match self.plan.response_fault() {
+                    ResponseFault::Dropped => {
+                        // The work completed but the completion vanished:
+                        // the compute is stranded and the host waits out
+                        // its watchdog before re-dispatching.
+                        self.report.timeouts += 1;
+                        extra += run.cycles.total() + policy.watchdog_cycles;
+                        failed = true;
+                        unit_at_fault = true;
+                    }
+                    ResponseFault::Duplicated => self.report.stale_responses += 1,
+                    ResponseFault::Delivered => {}
+                }
+                if !failed {
+                    let (mut flags, mut positions) =
+                        encode_outputs(&run.outcomes, target.start_pos());
+                    if self.plan.corrupt_outputs(&mut flags, &mut positions) {
+                        let decoded = decode_outputs(
+                            &flags,
+                            &positions,
+                            run.outcomes.len(),
+                            target.start_pos(),
+                        );
+                        if decoded.is_err() || self.plan.sample_verify(policy.verify_rate) {
+                            self.report.corrupt_detected += 1;
+                            extra += run.cycles.total();
+                            failed = true;
+                            unit_at_fault = true;
+                        } else if let Ok(corrupt) = decoded {
+                            // Undetected single-bit flip: the corrupt
+                            // outcomes ship. This is exactly what
+                            // `verify_rate < 1` risks.
+                            run.outcomes = corrupt;
+                        }
+                    }
+                }
+            }
+            if !failed {
+                if attempt > 0 {
+                    self.report.recovered_targets += 1;
+                    self.report.recovered_cycles += run.cycles.total();
+                }
+                self.failures[unit] = 0;
+                succeeded = true;
+                break;
+            }
+            if unit_at_fault {
+                self.failures[unit] += 1;
+                if self.failures[unit] >= policy.quarantine_threshold
+                    && !self.quarantined[unit]
+                    && self.healthy_count() > 1
+                {
+                    self.quarantined[unit] = true;
+                    self.report.quarantined_units.push(unit);
+                }
+            }
+            if attempt < policy.max_retries {
+                self.report.retries += 1;
+                extra += policy.backoff_base_cycles << attempt;
+            }
+        }
+        if !succeeded {
+            // Software fallback: the golden outcomes already in `run`
+            // stand, but the fabric never finished this target — its
+            // cycles and comparisons happened on host cores instead.
+            self.report.fallbacks += 1;
+            run.cycles = crate::unit::UnitCycles::default();
+            run.comparisons = 0;
+        }
+        self.report.lost_cycles += extra;
+        extra
     }
 }
 
@@ -180,21 +306,64 @@ impl AcceleratedSystem {
 
     /// Runs `targets` end to end and reports timing (no timeline).
     pub fn run(&self, targets: &[RealignmentTarget]) -> SystemRun {
-        self.run_inner(targets, false)
+        self.run_inner(targets, false, None)
     }
 
     /// Runs `targets` and records the full transfer/compute timeline
     /// (use for small target sets, e.g. the Figure 7 reproduction).
     pub fn run_traced(&self, targets: &[RealignmentTarget]) -> SystemRun {
-        self.run_inner(targets, true)
+        self.run_inner(targets, true, None)
     }
 
-    fn run_inner(&self, targets: &[RealignmentTarget], trace: bool) -> SystemRun {
+    /// Runs `targets` with fault injection and the host resilience
+    /// policy. Each dispatched target plays the driver's recovery state
+    /// machine (watchdog, bounded retry with exponential backoff,
+    /// integrity-checked read-back, quarantine, software fallback); every
+    /// failed attempt's cycles are charged to the executing unit, so the
+    /// wall clock shows the price of recovery. The run always completes —
+    /// targets that exhaust hardware retries keep the golden software
+    /// result — and [`SystemRun::resilience`] records what happened.
+    ///
+    /// With [`FaultPlan::none`] the output is bit-identical to
+    /// [`Self::run`] except for an all-zero report (asserted by
+    /// `tests/resilience.rs`).
+    ///
+    /// Modeling notes: quarantine shrinks scheduling capacity (a
+    /// quarantined unit receives no further targets); per-target DMA
+    /// retries are charged to the unit rather than re-simulated through
+    /// the batched descriptor chains; software-fallback compute happens
+    /// on host cores off the modeled fabric clock, so it adds no fabric
+    /// wall time, while the discarded hardware attempts it replaces do.
+    pub fn run_resilient(
+        &self,
+        targets: &[RealignmentTarget],
+        plan: &mut FaultPlan,
+        policy: &ResiliencePolicy,
+    ) -> SystemRun {
+        let mut state = FaultState {
+            plan,
+            policy,
+            report: ResilienceReport::default(),
+            failures: vec![0; self.params.num_units],
+            quarantined: vec![false; self.params.num_units],
+        };
+        let mut run = self.run_inner(targets, false, Some(&mut state));
+        state.report.faults = state.plan.counts();
+        run.resilience = Some(state.report);
+        run
+    }
+
+    fn run_inner(
+        &self,
+        targets: &[RealignmentTarget],
+        trace: bool,
+        fault: Option<&mut FaultState>,
+    ) -> SystemRun {
         match self.scheduling {
             Scheduling::Synchronous
             | Scheduling::SynchronousUnsorted
-            | Scheduling::SynchronousByWorstCase => self.run_synchronous(targets, trace),
-            Scheduling::Asynchronous => self.run_asynchronous(targets, trace),
+            | Scheduling::SynchronousByWorstCase => self.run_synchronous(targets, trace, fault),
+            Scheduling::Asynchronous => self.run_asynchronous(targets, trace, fault),
         }
     }
 
@@ -203,7 +372,12 @@ impl AcceleratedSystem {
         IrCommand::commands_per_target(target.num_consensuses()) as f64 * self.params.cmd_latency_s
     }
 
-    fn run_synchronous(&self, targets: &[RealignmentTarget], trace: bool) -> SystemRun {
+    fn run_synchronous(
+        &self,
+        targets: &[RealignmentTarget],
+        trace: bool,
+        mut fault: Option<&mut FaultState>,
+    ) -> SystemRun {
         let p = &self.params;
         let cycle_s = p.cycle_time_s();
         let units = p.num_units;
@@ -232,7 +406,16 @@ impl AcceleratedSystem {
         let mut comparisons = 0u64;
         let mut unit_busy = vec![0.0f64; units];
 
-        for batch in order.chunks(units) {
+        // Batches are sized to the *healthy* unit count, which shrinks as
+        // the resilience layer quarantines units (all units, fault-free).
+        let mut cursor = 0usize;
+        while cursor < order.len() {
+            let healthy: Vec<usize> = match fault.as_deref() {
+                Some(fs) => (0..units).filter(|&u| !fs.quarantined[u]).collect(),
+                None => (0..units).collect(),
+            };
+            let batch = &order[cursor..order.len().min(cursor + healthy.len())];
+            cursor += batch.len();
             // One chunked DMA transfer for the whole batch.
             let dma_s = self
                 .dma
@@ -255,11 +438,16 @@ impl AcceleratedSystem {
             // compute in parallel; the batch ends when the slowest unit
             // finishes and the whole fabric is flushed.
             let mut batch_end = now;
-            for (unit, &t) in batch.iter().enumerate() {
+            for (slot, &t) in batch.iter().enumerate() {
+                let unit = healthy[slot];
                 let cfg = self.config_time_s(&targets[t]);
                 command_s += cfg;
-                let run = simulate_target(&targets[t], p);
-                let busy = run.cycles.total() as f64 * cycle_s;
+                let mut run = simulate_target(&targets[t], p);
+                let extra = match fault.as_deref_mut() {
+                    Some(fs) => fs.resolve(&targets[t], &mut run, unit),
+                    None => 0,
+                };
+                let busy = (run.cycles.total() + extra) as f64 * cycle_s;
                 let start = now + cfg;
                 let end = start + busy;
                 if trace {
@@ -295,10 +483,16 @@ impl AcceleratedSystem {
             comparisons,
             unit_busy_s: unit_busy,
             timeline,
+            resilience: None,
         }
     }
 
-    fn run_asynchronous(&self, targets: &[RealignmentTarget], trace: bool) -> SystemRun {
+    fn run_asynchronous(
+        &self,
+        targets: &[RealignmentTarget],
+        trace: bool,
+        mut fault: Option<&mut FaultState>,
+    ) -> SystemRun {
         let p = &self.params;
         let cycle_s = p.cycle_time_s();
         let units = p.num_units;
@@ -359,8 +553,12 @@ impl AcceleratedSystem {
             let Reverse((free_ps, unit)) = heap.pop().expect("at least one unit");
             let cfg = self.config_time_s(target);
             command_s += cfg;
-            let run = simulate_target(target, p);
-            let busy = run.cycles.total() as f64 * cycle_s;
+            let mut run = simulate_target(target, p);
+            let extra = match fault.as_deref_mut() {
+                Some(fs) => fs.resolve(target, &mut run, unit),
+                None => 0,
+            };
+            let busy = (run.cycles.total() + extra) as f64 * cycle_s;
             let start = from_ps(free_ps).max(dma_done[t]) + cfg;
             let end = start + busy + self.params.response_latency_s;
             command_s += self.params.response_latency_s;
@@ -378,7 +576,13 @@ impl AcceleratedSystem {
             comparisons += run.comparisons;
             wall = wall.max(end);
             results[t] = Some(run);
-            heap.push(Reverse((to_ps(end), unit)));
+            // A freshly quarantined unit receives no further dispatches;
+            // the guard in `FaultState::resolve` keeps at least one unit
+            // in the heap.
+            let still_healthy = fault.as_deref().is_none_or(|fs| !fs.quarantined[unit]);
+            if still_healthy {
+                heap.push(Reverse((to_ps(end), unit)));
+            }
         }
 
         SystemRun {
@@ -393,6 +597,7 @@ impl AcceleratedSystem {
             comparisons,
             unit_busy_s: unit_busy,
             timeline,
+            resilience: None,
         }
     }
 }
@@ -610,6 +815,109 @@ mod tests {
         assert_eq!(run.wall_time_s, 0.0);
         assert!(run.results.is_empty());
         assert_eq!(run.utilization(), 0.0);
+    }
+
+    #[test]
+    fn resilient_run_with_inert_plan_is_bit_identical() {
+        use crate::fault::FaultPlan;
+        use crate::driver::ResiliencePolicy;
+        let targets = small_workload();
+        for sched in [Scheduling::Synchronous, Scheduling::Asynchronous] {
+            let system = AcceleratedSystem::new(FpgaParams::iracc(), sched).unwrap();
+            let plain = system.run(&targets);
+            let mut plan = FaultPlan::none();
+            let resilient =
+                system.run_resilient(&targets, &mut plan, &ResiliencePolicy::default());
+            assert_eq!(resilient.wall_time_s, plain.wall_time_s, "{sched:?}");
+            assert_eq!(resilient.results.len(), plain.results.len());
+            for (a, b) in resilient.results.iter().zip(plain.results.iter()) {
+                assert_eq!(a.outcomes, b.outcomes);
+                assert_eq!(a.cycles, b.cycles);
+            }
+            assert_eq!(resilient.unit_busy_s, plain.unit_busy_s);
+            assert_eq!(resilient.compute_cycles, plain.compute_cycles);
+            let report = resilient.resilience.expect("report attached");
+            assert!(report.is_clean(), "{report:?}");
+        }
+    }
+
+    #[test]
+    fn resilient_run_completes_under_default_fault_rates() {
+        use crate::fault::{FaultPlan, FaultRates};
+        use crate::driver::ResiliencePolicy;
+        let targets = small_workload();
+        let golden: Vec<_> = targets
+            .iter()
+            .map(|t| IndelRealigner::new().realign(t))
+            .collect();
+        for sched in [Scheduling::Synchronous, Scheduling::Asynchronous] {
+            let system = AcceleratedSystem::new(FpgaParams::iracc(), sched).unwrap();
+            let mut plan = FaultPlan::seeded(11, FaultRates::default_rates());
+            let run = system.run_resilient(&targets, &mut plan, &ResiliencePolicy::default());
+            assert_eq!(run.results.len(), targets.len());
+            for (got, want) in run.results.iter().zip(golden.iter()) {
+                // verify_rate = 1.0: no silent corruption is possible.
+                assert_eq!(got.outcomes, want.outcomes());
+            }
+            let report = run.resilience.expect("report attached");
+            assert_eq!(report.faults, plan.counts());
+        }
+    }
+
+    #[test]
+    fn heavy_faults_quarantine_units_but_never_all() {
+        use crate::fault::{FaultPlan, FaultRates};
+        use crate::driver::ResiliencePolicy;
+        let targets: Vec<_> = (0..48)
+            .map(|s| target_with(4, 48, 160, s + 1))
+            .collect();
+        let system = AcceleratedSystem::new(
+            FpgaParams {
+                num_units: 4,
+                ..FpgaParams::iracc()
+            },
+            Scheduling::Asynchronous,
+        )
+        .unwrap();
+        let mut plan = FaultPlan::seeded(
+            5,
+            FaultRates {
+                unit_hang: 0.9,
+                ..FaultRates::none()
+            },
+        );
+        let policy = ResiliencePolicy {
+            quarantine_threshold: 2,
+            ..ResiliencePolicy::default()
+        };
+        let run = system.run_resilient(&targets, &mut plan, &policy);
+        let report = run.resilience.expect("report attached");
+        assert!(!report.quarantined_units.is_empty(), "{report:?}");
+        assert!(report.quarantined_units.len() < 4, "one unit must survive");
+        assert!(report.lost_cycles > 0);
+        // Every target still completed (hardware retry or fallback).
+        assert_eq!(run.results.len(), targets.len());
+        let golden: Vec<_> = targets
+            .iter()
+            .map(|t| IndelRealigner::new().realign(t))
+            .collect();
+        for (got, want) in run.results.iter().zip(golden.iter()) {
+            assert_eq!(got.outcomes, want.outcomes());
+        }
+    }
+
+    #[test]
+    fn faulty_run_is_not_faster_than_fault_free() {
+        use crate::fault::{FaultPlan, FaultRates};
+        use crate::driver::ResiliencePolicy;
+        let targets = small_workload();
+        let system = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous).unwrap();
+        let clean = system.run(&targets).wall_time_s;
+        let mut plan = FaultPlan::seeded(2, FaultRates::uniform(0.05));
+        let faulty = system
+            .run_resilient(&targets, &mut plan, &ResiliencePolicy::default())
+            .wall_time_s;
+        assert!(faulty >= clean, "recovery must cost wall time: {faulty} < {clean}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use ir_core::{MinWhd, MinWhdGrid, ReadOutcome};
 use ir_genome::{RealignmentTarget, TargetShape};
 
+use crate::fault::FaultPlan;
 use crate::hdc::{run_pair, HdcConfig};
 use crate::isa::{BufferIndex, IrCommand};
 use crate::mem;
@@ -241,6 +242,42 @@ impl IrUnit {
         Ok(run)
     }
 
+    /// [`Self::execute`] under fault injection: the FSM can hang
+    /// mid-target. A hung unit stays stuck-busy (`is_started` remains
+    /// `true`) and posts no response; the host's watchdog must notice and
+    /// [`Self::reset`] it. With an inert plan this is exactly `execute`.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::UnitHung`] on an injected hang, plus everything
+    /// [`Self::execute`] returns.
+    pub fn execute_with_faults(
+        &mut self,
+        target: &RealignmentTarget,
+        params: &FpgaParams,
+        plan: &mut FaultPlan,
+    ) -> Result<UnitRun, FpgaError> {
+        if !self.started {
+            return Err(FpgaError::NotConfigured("unit not started"));
+        }
+        if plan.unit_hangs() {
+            // Stuck-busy: keep `started`, complete nothing.
+            return Err(FpgaError::UnitHung {
+                unit: self.id,
+                targets_completed: self.targets_completed,
+            });
+        }
+        self.execute(target, params)
+    }
+
+    /// Host-initiated recovery: clears all configuration and the busy
+    /// flag, returning the unit to the idle state (what the control
+    /// program does after its watchdog declares the unit hung).
+    pub fn reset(&mut self) {
+        self.config = UnitConfig::default();
+        self.started = false;
+    }
+
     fn check_shape(&self, shape: &TargetShape) -> Result<(), FpgaError> {
         let (consensuses, reads) = self.config.sizes.expect("start checked sizes");
         if usize::from(consensuses) != shape.num_consensuses
@@ -378,6 +415,39 @@ mod tests {
         let mut unit = IrUnit::new(0);
         let err = unit.apply(IrCommand::Start { unit_id: 0 }).unwrap_err();
         assert!(matches!(err, FpgaError::NotConfigured(_)));
+    }
+
+    #[test]
+    fn hang_leaves_unit_stuck_busy_until_reset() {
+        use crate::fault::{FaultPlan, FaultRates};
+        let target = figure4_target();
+        let mut unit = IrUnit::new(4);
+        for cmd in IrUnit::command_sequence(&target, 4) {
+            unit.apply(cmd).unwrap();
+        }
+        let mut plan = FaultPlan::seeded(
+            0,
+            FaultRates {
+                unit_hang: 1.0,
+                ..FaultRates::none()
+            },
+        );
+        let err = unit
+            .execute_with_faults(&target, &FpgaParams::iracc(), &mut plan)
+            .unwrap_err();
+        assert!(matches!(err, FpgaError::UnitHung { unit: 4, .. }));
+        assert!(unit.is_started(), "hung unit is stuck busy");
+        assert_eq!(unit.targets_completed(), 0);
+        unit.reset();
+        assert!(!unit.is_started());
+        // After recovery the full flow works again (inert plan).
+        for cmd in IrUnit::command_sequence(&target, 4) {
+            unit.apply(cmd).unwrap();
+        }
+        let run = unit
+            .execute_with_faults(&target, &FpgaParams::iracc(), &mut FaultPlan::none())
+            .unwrap();
+        assert_eq!(run.best_consensus(), 1);
     }
 
     #[test]

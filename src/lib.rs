@@ -6,7 +6,10 @@
 //!
 //! - [`genome`] — genomic primitives (bases, reads, targets).
 //! - [`core`] — the INDEL realignment algorithm (golden model).
-//! - [`fpga`] — the cycle-level IR accelerator and SoC simulator.
+//! - [`fpga`] — the cycle-level IR accelerator and SoC simulator, with
+//!   seeded fault injection ([`fpga::fault`]) and the host resilience
+//!   layer ([`fpga::driver`],
+//!   [`fpga::AcceleratedSystem::run_resilient`]).
 //! - [`baselines`] — GATK3-, ADAM- and GPU-like software baselines.
 //! - [`workloads`] — synthetic NA12878-like workload generation.
 //! - [`cloud`] — AWS EC2 instance catalogue and cost analysis.

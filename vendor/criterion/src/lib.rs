@@ -1,0 +1,202 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`Throughput`], `b.iter(..)`, and
+//! the `criterion_group!`/`criterion_main!` macros — measured with plain
+//! wall-clock timing: a short warm-up, then a fixed measurement window,
+//! reporting mean time per iteration (and throughput when declared). No
+//! statistics, plots, or baselines; results print to stdout.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the measured closure; `iter` runs and times the payload.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over a warm-up pass plus a fixed measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until ~50 ms have passed (at least once).
+        let warmup_end = Instant::now() + Duration::from_millis(50);
+        let mut warmup_iters: u64 = 0;
+        while Instant::now() < warmup_end || warmup_iters == 0 {
+            std_black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        // Measurement: a fixed window, timed in batches sized from the
+        // warm-up estimate to keep clock overhead negligible.
+        let batch = (warmup_iters / 10).max(1);
+        let window = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < window {
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            iters += batch;
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters == 0 {
+        println!("{name:<50} (no iterations)");
+        return;
+    }
+    let per_iter = bencher.total.as_secs_f64() / bencher.iters as f64;
+    let time = if per_iter < 1e-6 {
+        format!("{:.1} ns", per_iter * 1e9)
+    } else if per_iter < 1e-3 {
+        format!("{:.2} µs", per_iter * 1e6)
+    } else {
+        format!("{:.3} ms", per_iter * 1e3)
+    };
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.1} Melem/s", n as f64 / per_iter / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => format!("  {:.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64),
+        None => String::new(),
+    };
+    println!("{name:<50} {time:>12}/iter{thrpt}");
+}
+
+/// A named group of related benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+    }
+
+    /// Ends the group (no-op; parity with upstream).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,115 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn`,
+//! which std has provided natively since 1.63. This shim adapts
+//! [`std::thread::scope`] to crossbeam's signatures: the scope closure
+//! and each spawned closure receive a `&Scope` (crossbeam passes the
+//! scope to children so they can spawn siblings), and `scope` returns a
+//! `Result` (always `Ok` here — a panicking child propagates its panic at
+//! scope exit exactly like upstream's default `.expect` usage).
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::thread as std_thread;
+
+    /// The error type `scope` reports when a child panics (upstream
+    /// crossbeam); this shim never constructs it — child panics propagate
+    /// at scope exit instead, which callers treat identically.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle that can spawn threads borrowing from the caller.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the child's panic payload if it panicked.
+        pub fn join(self) -> Result<T, ScopeError> {
+            self.inner.join().map_err(|e| e as ScopeError)
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope; the closure receives the
+        /// scope so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads all join before
+    /// `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Never errors in this shim (see module docs).
+    #[allow(clippy::missing_errors_doc)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("scope joins");
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn join_handles_return_values() {
+        let r = thread::scope(|s| {
+            let h = s.spawn(|_| 7usize);
+            h.join().expect("no panic")
+        })
+        .expect("scope joins");
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("scope joins");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

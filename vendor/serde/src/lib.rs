@@ -1,0 +1,49 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no serializer
+//! backend such as `serde_json` is in the dependency tree), so marker
+//! traits are all that is required for the derives to compile and for
+//! `T: Serialize` bounds to be satisfiable. The real crate can be swapped
+//! back in unchanged once the build environment has registry access.
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_markers!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+
+macro_rules! impl_tuple_markers {
+    ($(($($n:ident),+)),+) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {}
+        impl<'de, $($n: Deserialize<'de>),+> Deserialize<'de> for ($($n,)+) {}
+    )+};
+}
+impl_tuple_markers!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));

@@ -1,0 +1,52 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` traits are empty markers, so the derives only
+//! need the type's name to emit an empty impl. The name is read straight
+//! from the token stream — no `syn`/`quote`, keeping the stub
+//! dependency-free. Generic types and `#[serde(...)]` attributes are not
+//! supported; no type in this workspace uses either.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if matches!(tokens.next(), Some(TokenTree::Punct(p)) if p.as_char() == '<')
+                        {
+                            panic!(
+                                "vendored serde_derive does not support generic type `{name}`"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("no type name after {kw}: {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("derive input is neither a struct nor an enum");
+}
+
+/// Derives the vendored `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
