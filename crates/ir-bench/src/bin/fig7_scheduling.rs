@@ -70,7 +70,7 @@ fn main() {
             format!("{:.1}×", *c as f64 / fastest),
         ]);
     }
-    table.emit("fig7_target_variance");
+    table.emit("fig7_scheduling");
 
     gantt(&sync, 4, "SYNCHRONOUS-PARALLEL (batch, flush, repeat)");
     gantt(

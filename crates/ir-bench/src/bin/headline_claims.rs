@@ -13,7 +13,7 @@
 //! measured by simulation at `IR_SCALE` and applied to the same work.
 
 use ir_baselines::gatk::GatkModel;
-use ir_bench::{bench_workload, default_workload, fmt_duration, scale_from_env};
+use ir_bench::{bench_workload, default_workload, fmt_duration, scale_from_env, Table};
 use ir_cloud::{run_cost_usd, Instance};
 use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling};
 
@@ -89,4 +89,46 @@ fn main() {
          {throughput:.2e} naive-equivalent cmp/s",
         bench_executed as f64 / bench_wall
     );
+
+    let mut table = Table::new(vec!["claim", "measured", "paper"]);
+    table.row(vec![
+        "peak comparisons/s (serial fabric)".into(),
+        format!(
+            "{:.1e}",
+            FpgaParams::serial().peak_comparisons_per_second() as f64
+        ),
+        "4e9".into(),
+    ]);
+    table.row(vec![
+        "IR ACC Ch1-22 wall".into(),
+        fmt_duration(iracc_full),
+        "~31 min".into(),
+    ]);
+    table.row(vec![
+        "IR ACC Ch1-22 cost USD".into(),
+        format!("{iracc_cost:.2}"),
+        "<1".into(),
+    ]);
+    table.row(vec![
+        "GATK3 Ch1-22 wall".into(),
+        fmt_duration(gatk_full),
+        ">42 h".into(),
+    ]);
+    table.row(vec![
+        "GATK3 Ch1-22 cost USD".into(),
+        format!("{gatk_cost:.2}"),
+        "28".into(),
+    ]);
+    table.row(vec![
+        "speedup".into(),
+        format!("{:.1}x", gatk_full / iracc_full),
+        "81x".into(),
+    ]);
+    table.row(vec![
+        "cost efficiency".into(),
+        format!("{:.0}x", gatk_cost / iracc_cost),
+        "32x".into(),
+    ]);
+    println!();
+    table.emit("headline_claims");
 }

@@ -2,7 +2,7 @@
 //! scheduler (not a paper figure; used to sanity-check the workload's
 //! pruning-variance structure against the paper's Figure 7 narrative).
 
-use ir_bench::bench_workload;
+use ir_bench::{bench_workload, Table};
 use ir_fpga::unit::simulate_target;
 use ir_fpga::FpgaParams;
 use ir_genome::Chromosome;
@@ -41,22 +41,40 @@ fn main() {
     );
 
     let mut utils = Vec::new();
-    for batch in rows.chunks(32) {
-        let max = batch.iter().map(|r| r.2).max().unwrap() as f64;
+    let mut table = Table::new(vec![
+        "batch",
+        "targets",
+        "min cycles",
+        "mean cycles",
+        "max cycles",
+        "batch util",
+    ]);
+    for (i, batch) in rows.chunks(32).enumerate() {
+        let min = batch.iter().map(|r| r.2).min().unwrap();
+        let max = batch.iter().map(|r| r.2).max().unwrap();
         let mean = batch.iter().map(|r| r.2).sum::<u64>() as f64 / batch.len() as f64;
-        utils.push(mean / max);
+        let util = mean / max as f64;
+        utils.push(util);
+        table.row(vec![
+            i.to_string(),
+            batch.len().to_string(),
+            min.to_string(),
+            format!("{mean:.0}"),
+            max.to_string(),
+            format!("{util:.3}"),
+        ]);
         let works: Vec<f64> = batch
             .iter()
             .map(|r| (r.2 as f64 / 1e3).round() / 1e3)
             .collect();
         let reads: Vec<usize> = batch.iter().map(|r| r.0).collect();
         println!(
-            "batch util {:.2} | reads {:?} | Mcycles {:?}",
-            mean / max,
+            "batch util {util:.2} | reads {:?} | Mcycles {:?}",
             &reads[..reads.len().min(8)],
             &works[..works.len().min(8)]
         );
     }
+    table.emit("probe_variance");
     let avg = utils.iter().sum::<f64>() / utils.len() as f64;
     println!(
         "sync batch utilization avg: {avg:.3} → async gain ≈ {:.1}",

@@ -17,12 +17,11 @@
 //! fault rates reach ~1e-2 per event.
 
 use ir_bench::{bench_workload, scale_from_env, Table};
-use ir_cloud::{
-    schedule_jobs, simulate_spot_schedule, CheckpointPolicy, SpotMarket,
-};
+use ir_cloud::{schedule_jobs, simulate_spot_schedule_traced, CheckpointPolicy, SpotMarket};
 use ir_core::IndelRealigner;
 use ir_fpga::fault::{FaultPlan, FaultRates};
 use ir_fpga::layout::encode_outputs;
+use ir_fpga::Telemetry;
 use ir_fpga::{AcceleratedSystem, FpgaParams, ResiliencePolicy, Scheduling};
 use ir_genome::{Chromosome, RealignmentTarget};
 
@@ -33,18 +32,14 @@ const SWEEP_TARGETS: usize = 512;
 
 /// Counts targets whose shipped outcomes differ from the golden model —
 /// the silent corruptions that escaped detection.
-fn silent_corruptions(
-    targets: &[RealignmentTarget],
-    run: &ir_fpga::SystemRun,
-) -> usize {
+fn silent_corruptions(targets: &[RealignmentTarget], run: &ir_fpga::SystemRun) -> usize {
     let golden = IndelRealigner::new();
     targets
         .iter()
         .zip(&run.results)
         .filter(|(t, r)| {
             let want = golden.realign_outcomes(t);
-            encode_outputs(&r.outcomes, t.start_pos())
-                != encode_outputs(&want, t.start_pos())
+            encode_outputs(&r.outcomes, t.start_pos()) != encode_outputs(&want, t.start_pos())
         })
         .count()
 }
@@ -54,7 +49,8 @@ fn main() {
     let targets = bench_workload(scale).targets(SWEEP_TARGETS, 0xFA01);
     let targets = &targets[..];
     let system = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous)
-        .expect("iracc fits");
+        .expect("iracc fits")
+        .with_telemetry(true);
     let clean_wall = system.run(targets).wall_time_s;
     println!(
         "Resilience study ({} targets, 32 async units; fleet sweep at scale {scale})\n",
@@ -88,15 +84,18 @@ fn main() {
                 ..ResiliencePolicy::default()
             };
             let run = system.run_resilient(targets, &mut plan, &policy);
-            let report = run.resilience.as_ref().expect("resilient run reports");
+            // The resilience layer publishes its tallies into the
+            // telemetry registry; read them from there rather than
+            // keeping a parallel set of counters in this binary.
+            let tele = run.telemetry.as_ref().expect("telemetry enabled");
             table.row(vec![
                 format!("{rate:.0e}"),
                 format!("{verify:.1}"),
                 format!("{:+.2}%", (run.wall_time_s / clean_wall - 1.0) * 100.0),
-                report.retries.to_string(),
-                report.fallbacks.to_string(),
-                report.quarantined_units.len().to_string(),
-                format!("{:.2}", report.lost_cycles as f64 / 1e6),
+                tele.counter("resilience/retries").to_string(),
+                tele.counter("resilience/fallbacks").to_string(),
+                tele.counter("resilience/quarantined_units").to_string(),
+                format!("{:.2}", tele.counter("resilience/lost_cycles") as f64 / 1e6),
                 silent_corruptions(targets, &run).to_string(),
             ]);
         }
@@ -132,13 +131,19 @@ fn main() {
         "cost inflation",
         "vs on-demand",
     ]);
-    for (name, market) in [("calm", SpotMarket::calm()), ("volatile", SpotMarket::volatile())] {
+    for (name, market) in [
+        ("calm", SpotMarket::calm()),
+        ("volatile", SpotMarket::volatile()),
+    ] {
         for policy in [CheckpointPolicy::PerChromosome, CheckpointPolicy::None] {
-            let run = simulate_spot_schedule(&stretched, &schedule, &market, policy, 7);
+            let mut tele = Telemetry::on();
+            let run =
+                simulate_spot_schedule_traced(&stretched, &schedule, &market, policy, 7, &mut tele);
+            let snapshot = tele.finish().expect("telemetry on");
             spot.row(vec![
                 name.to_string(),
                 format!("{policy:?}"),
-                run.interruptions.to_string(),
+                snapshot.counter("fleet/interruptions").to_string(),
                 format!("{:.2}×", run.makespan_inflation),
                 format!("{:.2}×", run.cost_inflation),
                 format!("{:.2}×", run.cost_vs_on_demand(&market)),

@@ -169,11 +169,24 @@ impl Table {
         path
     }
 
-    /// Prints the table and writes the CSV.
+    /// Writes the rendered text table as `results/<name>.txt` and returns
+    /// the path.
+    pub fn write_txt(&self, name: &str) -> PathBuf {
+        let path = results_dir().join(format!("{name}.txt"));
+        if let Err(e) = fs::write(&path, self.render()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        path
+    }
+
+    /// Prints the table and writes the matching `<name>.csv` +
+    /// `<name>.txt` pair under `results/`.
     pub fn emit(&self, name: &str) {
         println!("{}", self.render());
         let path = self.write_csv(name);
         println!("[csv] {}", path.display());
+        let path = self.write_txt(name);
+        println!("[txt] {}", path.display());
     }
 }
 

@@ -14,6 +14,7 @@
 //! instance time inflate — the host-side twin of the on-fabric fault
 //! model in `ir-fpga`.
 
+use ir_telemetry::{SpanKind, Telemetry, Track};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -247,6 +248,23 @@ pub fn simulate_spot_schedule(
     checkpoint: CheckpointPolicy,
     seed: u64,
 ) -> SpotRun {
+    let mut tele = Telemetry::off();
+    simulate_spot_schedule_traced(durations_s, schedule, market, checkpoint, seed, &mut tele)
+}
+
+/// [`simulate_spot_schedule`] with telemetry: per-instance job and
+/// restart spans land on [`Track::Instance`] rows of the tracer and the
+/// `fleet/*` counter block tallies interruptions, completed/redone jobs
+/// and lost/overhead time. Collection is purely observational — the
+/// returned [`SpotRun`] is identical whether `tele` is on or off.
+pub fn simulate_spot_schedule_traced(
+    durations_s: &[f64],
+    schedule: &JobSchedule,
+    market: &SpotMarket,
+    checkpoint: CheckpointPolicy,
+    seed: u64,
+    tele: &mut Telemetry,
+) -> SpotRun {
     assert_eq!(
         schedule.assignments.len(),
         durations_s.len(),
@@ -270,13 +288,16 @@ pub fn simulate_spot_schedule(
     let mut paid_instance_s = 0.0f64;
     let mut makespan_s = 0.0f64;
 
+    tele.gauge_max("fleet", "instances", instances as u64);
+    tele.gauge_max("fleet", "jobs", durations_s.len() as u64);
     for instance in 0..instances {
-        // This instance's queue, longest first (the order LPT filled it).
-        let mut queue: Vec<f64> = (0..durations_s.len())
+        // This instance's queue, longest first (the order LPT filled it);
+        // job indices ride along so trace spans can name their job.
+        let mut queue: Vec<(usize, f64)> = (0..durations_s.len())
             .filter(|&j| schedule.assignments[j] == instance)
-            .map(|j| durations_s[j])
+            .map(|j| (j, durations_s[j]))
             .collect();
-        queue.sort_by(|a, b| b.total_cmp(a));
+        queue.sort_by(|a, b| b.1.total_cmp(&a.1));
 
         let mut clock = 0.0f64;
         let mut next_interrupt = if lambda > 0.0 {
@@ -298,9 +319,20 @@ pub fn simulate_spot_schedule(
                 clock = f64::INFINITY;
                 break;
             }
-            let remaining = queue[job];
+            let (job_idx, remaining) = queue[job];
             if clock + remaining <= next_interrupt {
                 // The chromosome completes (and checkpoints) first.
+                if tele.is_enabled() {
+                    tele.span(
+                        Track::Instance(instance),
+                        SpanKind::Job,
+                        &format!("chr job {job_idx}"),
+                        Some(job_idx),
+                        clock,
+                        clock + remaining,
+                    );
+                }
+                tele.add("fleet", "jobs_completed", 1);
                 clock += remaining;
                 done_since_restart += remaining;
                 job += 1;
@@ -310,16 +342,48 @@ pub fn simulate_spot_schedule(
             restarts_here += 1;
             let in_flight = next_interrupt - clock;
             lost_work_s += in_flight;
+            tele.add("fleet", "interruptions", 1);
+            tele.add("fleet", "lost_work_ms", (in_flight * 1e3).round() as u64);
+            if tele.is_enabled() {
+                tele.span(
+                    Track::Instance(instance),
+                    SpanKind::Job,
+                    &format!("chr job {job_idx} (interrupted)"),
+                    Some(job_idx),
+                    clock,
+                    next_interrupt,
+                );
+                tele.span(
+                    Track::Instance(instance),
+                    SpanKind::Restart,
+                    "spot restart",
+                    None,
+                    next_interrupt,
+                    next_interrupt + market.restart_overhead_s,
+                );
+            }
             if checkpoint == CheckpointPolicy::None {
                 lost_work_s += done_since_restart;
+                tele.add("fleet", "jobs_redone", job as u64);
+                tele.add(
+                    "fleet",
+                    "lost_work_ms",
+                    (done_since_restart * 1e3).round() as u64,
+                );
                 job = 0;
             }
             done_since_restart = 0.0;
             clock = next_interrupt + market.restart_overhead_s;
             overhead_s += market.restart_overhead_s;
+            tele.add(
+                "fleet",
+                "overhead_ms",
+                (market.restart_overhead_s * 1e3).round() as u64,
+            );
             let u: f64 = rng.random();
             next_interrupt = clock + -(1.0 - u).ln() / lambda;
         }
+        tele.gauge_max("fleet", "restarts_per_instance_hwm", restarts_here);
         paid_instance_s += clock;
         makespan_s = makespan_s.max(clock);
     }
@@ -498,9 +562,54 @@ mod tests {
             restart_overhead_s: 1.0,
             price_fraction: 0.3,
         };
-        let run =
-            simulate_spot_schedule(&durations, &schedule, &market, CheckpointPolicy::None, 2);
+        let run = simulate_spot_schedule(&durations, &schedule, &market, CheckpointPolicy::None, 2);
         assert!(run.makespan_s.is_infinite());
+    }
+
+    #[test]
+    fn traced_spot_run_is_identical_and_records_spans() {
+        let durations: Vec<f64> = (1..=22).map(|c| 120.0 + 30.0 * c as f64).collect();
+        let schedule = schedule_jobs(&durations, 4);
+        let market = SpotMarket {
+            interruptions_per_hour: 20.0,
+            ..SpotMarket::volatile()
+        };
+        let plain = simulate_spot_schedule(
+            &durations,
+            &schedule,
+            &market,
+            CheckpointPolicy::PerChromosome,
+            3,
+        );
+        let mut tele = Telemetry::on();
+        let traced = simulate_spot_schedule_traced(
+            &durations,
+            &schedule,
+            &market,
+            CheckpointPolicy::PerChromosome,
+            3,
+            &mut tele,
+        );
+        assert_eq!(plain, traced, "telemetry must be purely observational");
+        let snapshot = tele.finish().expect("telemetry was on");
+        assert_eq!(
+            snapshot.counter("fleet/jobs_completed"),
+            durations.len() as u64
+        );
+        assert_eq!(
+            snapshot.counter("fleet/interruptions"),
+            traced.interruptions
+        );
+        assert!(snapshot
+            .trace
+            .events
+            .iter()
+            .any(|e| matches!(e.track, Track::Instance(_)) && e.kind == SpanKind::Restart));
+        assert!(snapshot
+            .trace
+            .events
+            .iter()
+            .any(|e| e.kind == SpanKind::Job && e.target.is_some()));
     }
 
     #[test]

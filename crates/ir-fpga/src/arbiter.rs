@@ -89,6 +89,47 @@ pub fn drain_round_robin(demands: &[u64]) -> Vec<u64> {
     completion
 }
 
+/// Contention summary of one arbitrated drain (what the telemetry layer
+/// records per target without re-running the cycle loop).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArbiterStats {
+    /// Beats granted (= total demand; the channel never idles mid-drain).
+    pub grants: u64,
+    /// Cycles during which two or more ports held pending beats — the
+    /// cycles round-robin interleaving actually cost somebody.
+    pub conflict_cycles: u64,
+    /// Most ports simultaneously pending (the queue-depth high-water mark,
+    /// reached on the very first cycle).
+    pub queue_depth_hwm: u64,
+}
+
+/// Round-robin contention statistics for `demands` beats per port,
+/// exact with respect to [`drain_round_robin`]: a cycle is a conflict
+/// cycle iff two or more ports held pending beats at its start, and —
+/// since the pending count only ever decreases — the number of such
+/// cycles is exactly the second-largest port completion time.
+pub fn contention_stats(demands: &[u64]) -> ArbiterStats {
+    let queue_depth_hwm = demands.iter().filter(|&&d| d > 0).count() as u64;
+    if queue_depth_hwm == 0 {
+        return ArbiterStats::default();
+    }
+    let completion = drain_round_robin(demands);
+    let (mut largest, mut second) = (0u64, 0u64);
+    for &c in &completion {
+        if c > largest {
+            second = largest;
+            largest = c;
+        } else if c > second {
+            second = c;
+        }
+    }
+    ArbiterStats {
+        grants: demands.iter().sum(),
+        conflict_cycles: second,
+        queue_depth_hwm,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +225,62 @@ mod tests {
     #[test]
     fn zero_demands_complete_at_zero() {
         assert_eq!(drain_round_robin(&[0, 0, 3]), vec![0, 0, 3]);
+    }
+
+    /// Re-runs the exact cycle loop counting, per granted cycle, how many
+    /// ports still held pending beats.
+    fn exact_stats(demands: &[u64]) -> ArbiterStats {
+        let mut remaining = demands.to_vec();
+        let mut arb = RoundRobinArbiter::new(demands.len().max(1));
+        let mut stats = ArbiterStats {
+            queue_depth_hwm: demands.iter().filter(|&&d| d > 0).count() as u64,
+            ..ArbiterStats::default()
+        };
+        loop {
+            let requests: Vec<bool> = remaining.iter().map(|&r| r > 0).collect();
+            let pending = requests.iter().filter(|&&r| r).count() as u64;
+            let Some(port) = arb.grant(&requests) else {
+                break;
+            };
+            stats.grants += 1;
+            if pending >= 2 {
+                stats.conflict_cycles += 1;
+            }
+            remaining[port] -= 1;
+        }
+        stats
+    }
+
+    #[test]
+    fn contention_stats_match_exact_drain() {
+        for demands in [
+            vec![0u64, 0, 0],
+            vec![7],
+            vec![100; 5],
+            vec![10, 400, 400, 400, 400],
+            vec![0, 3, 9, 1, 0, 27],
+            vec![64; 32],
+        ] {
+            assert_eq!(
+                contention_stats(&demands),
+                exact_stats(&demands),
+                "demands {demands:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn contention_stats_edge_cases() {
+        assert_eq!(contention_stats(&[]), ArbiterStats::default());
+        let solo = contention_stats(&[42]);
+        assert_eq!(solo.grants, 42);
+        assert_eq!(solo.conflict_cycles, 0);
+        assert_eq!(solo.queue_depth_hwm, 1);
+        // Two equal demands conflict until the first port drains its last
+        // beat (cycle 9 of 10); the final beat moves uncontended.
+        let pair = contention_stats(&[5, 5]);
+        assert_eq!(pair.grants, 10);
+        assert_eq!(pair.conflict_cycles, 9);
+        assert_eq!(pair.queue_depth_hwm, 2);
     }
 }

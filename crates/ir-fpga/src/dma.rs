@@ -137,7 +137,10 @@ mod tests {
         );
         assert!(matches!(
             dma.transfer_time_checked(1024, &mut timeout),
-            Err(FpgaError::Timeout { site: "pcie dma", .. })
+            Err(FpgaError::Timeout {
+                site: "pcie dma",
+                ..
+            })
         ));
         let mut truncate = FaultPlan::seeded(
             0,

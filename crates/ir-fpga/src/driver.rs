@@ -117,6 +117,45 @@ impl ResilienceReport {
     pub fn is_clean(&self) -> bool {
         self == &ResilienceReport::default()
     }
+
+    /// Publishes every field of this report into `counters` under the
+    /// `resilience/` block, so the telemetry snapshot is the single place
+    /// downstream tooling reads fault/recovery tallies from.
+    pub fn record_into(&self, counters: &mut ir_telemetry::PerfCounters) {
+        counters.set("resilience/injected_dma_timeouts", self.faults.dma_timeouts);
+        counters.set(
+            "resilience/injected_dma_truncations",
+            self.faults.dma_truncations,
+        );
+        counters.set(
+            "resilience/injected_responses_dropped",
+            self.faults.responses_dropped,
+        );
+        counters.set(
+            "resilience/injected_responses_duplicated",
+            self.faults.responses_duplicated,
+        );
+        counters.set("resilience/injected_unit_hangs", self.faults.unit_hangs);
+        counters.set(
+            "resilience/injected_output_bit_flips",
+            self.faults.output_bit_flips,
+        );
+        counters.set("resilience/injected_total", self.faults.total());
+        counters.set("resilience/dma_faults", self.dma_faults);
+        counters.set("resilience/timeouts", self.timeouts);
+        counters.set("resilience/corrupt_detected", self.corrupt_detected);
+        counters.set("resilience/unit_hangs", self.unit_hangs);
+        counters.set("resilience/stale_responses", self.stale_responses);
+        counters.set("resilience/retries", self.retries);
+        counters.set("resilience/fallbacks", self.fallbacks);
+        counters.set(
+            "resilience/quarantined_units",
+            self.quarantined_units.len() as u64,
+        );
+        counters.set("resilience/recovered_targets", self.recovered_targets);
+        counters.set("resilience/recovered_cycles", self.recovered_cycles);
+        counters.set("resilience/lost_cycles", self.lost_cycles);
+    }
 }
 
 /// How one failed hardware attempt is handled.
@@ -635,7 +674,10 @@ mod tests {
             .unwrap();
         assert!(run.via_fallback);
         assert_eq!(run.cycles.total(), 0);
-        assert_eq!(run.outcomes, IndelRealigner::new().realign_outcomes(&target));
+        assert_eq!(
+            run.outcomes,
+            IndelRealigner::new().realign_outcomes(&target)
+        );
         assert_eq!(report.fallbacks, 1);
         assert_eq!(report.unit_hangs, u64::from(policy.max_retries) + 1);
         assert_eq!(report.retries, u64::from(policy.max_retries));
@@ -695,7 +737,10 @@ mod tests {
             )
             .unwrap();
         assert!(run.via_fallback);
-        assert_eq!(run.outcomes, IndelRealigner::new().realign_outcomes(&target));
+        assert_eq!(
+            run.outcomes,
+            IndelRealigner::new().realign_outcomes(&target)
+        );
         assert!(report.corrupt_detected > 0);
     }
 

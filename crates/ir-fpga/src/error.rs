@@ -108,7 +108,10 @@ impl fmt::Display for FpgaError {
             }
             FpgaError::NoResponse => write!(f, "response queue is empty"),
             FpgaError::Timeout { site, waited_s } => {
-                write!(f, "timeout at {site} after {waited_s:.6} s with no completion")
+                write!(
+                    f,
+                    "timeout at {site} after {waited_s:.6} s with no completion"
+                )
             }
             FpgaError::CorruptOutput { detail, observed } => {
                 write!(f, "corrupt read-back data: {detail} (observed {observed})")

@@ -316,7 +316,13 @@ mod tests {
         let observe = |seed| {
             let mut plan = FaultPlan::seeded(seed, FaultRates::uniform(0.3));
             (0..200)
-                .map(|_| (plan.dma_fault(100), plan.response_fault(), plan.unit_hangs()))
+                .map(|_| {
+                    (
+                        plan.dma_fault(100),
+                        plan.response_fault(),
+                        plan.unit_hangs(),
+                    )
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(observe(42), observe(42));
@@ -367,7 +373,10 @@ mod tests {
     #[test]
     fn verify_sampling_is_always_on_at_rate_one() {
         assert!(FaultPlan::none().sample_verify(1.0));
-        assert!(!FaultPlan::none().sample_verify(0.5), "inert plan cannot sample");
+        assert!(
+            !FaultPlan::none().sample_verify(0.5),
+            "inert plan cannot sample"
+        );
         let mut plan = FaultPlan::seeded(3, FaultRates::none());
         let sampled = (0..10_000).filter(|_| plan.sample_verify(0.25)).count();
         assert!((2000..3000).contains(&sampled));
@@ -376,9 +385,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "probability")]
     fn out_of_range_rate_panics() {
-        let _ = FaultPlan::seeded(0, FaultRates {
-            unit_hang: 1.5,
-            ..FaultRates::none()
-        });
+        let _ = FaultPlan::seeded(
+            0,
+            FaultRates {
+                unit_hang: 1.5,
+                ..FaultRates::none()
+            },
+        );
     }
 }

@@ -29,6 +29,13 @@
 //!   resilience layer (watchdog, bounded retry, verified read-back,
 //!   quarantine, software fallback) that recovers from it.
 //!
+//! Every modeled block is additionally instrumented with the
+//! [`ir_telemetry`] perf-counter registry and Chrome-trace tracer; enable
+//! collection with [`AcceleratedSystem::with_telemetry`] and read the
+//! [`TelemetrySnapshot`] off [`SystemRun::telemetry`]. Instrumentation is
+//! purely observational: an enabled run reports exactly the same cycle
+//! counts as a disabled one.
+//!
 //! # Example
 //!
 //! ```
@@ -77,6 +84,7 @@ mod params;
 pub use driver::{DriverRun, HostDriver, ResiliencePolicy, ResilienceReport};
 pub use error::FpgaError;
 pub use fault::{FaultCounts, FaultPlan, FaultRates};
+pub use ir_telemetry::{BottleneckReport, PerfCounters, Telemetry, TelemetrySnapshot};
 pub use isa::{BufferIndex, IrCommand};
 pub use params::{ClockRecipe, FpgaParams};
 pub use rocc::RoccInstruction;

@@ -14,6 +14,57 @@ use ir_genome::TargetShape;
 /// Fixed DRAM access latency charged once per load/drain burst, in cycles.
 pub const BURST_LATENCY_CYCLES: u64 = 40;
 
+/// DDR4 row-buffer size in bytes (1 KiB pages on the F1's DDR4-2133
+/// DIMMs). Sequential streams that stay inside an open row hit the row
+/// buffer; each new row costs an activate.
+pub const DDR_ROW_BYTES: u64 = 1024;
+
+/// Per-target DDR traffic summary the telemetry layer records: the five
+/// per-unit streams (three MemReaders, two MemWriters) expressed as beats,
+/// row activations and row-buffer hits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BurstStats {
+    /// Beats per stream: consensus bases, read bases, quality scores,
+    /// realign flags, new positions.
+    pub stream_beats: [u64; 5],
+    /// Total beats across all five streams.
+    pub beats: u64,
+    /// DDR rows activated (each stream is sequential, so one activate per
+    /// [`DDR_ROW_BYTES`] touched per stream).
+    pub rows_activated: u64,
+    /// Beats served from an already-open row.
+    pub row_hits: u64,
+    /// Total bytes moved (input + output).
+    pub bytes: u64,
+}
+
+/// Computes the [`BurstStats`] for one target's load + drain through a
+/// `bus_bytes`-per-beat port.
+pub fn burst_stats(shape: &TargetShape, bus_bytes: u64) -> BurstStats {
+    let consensus_bytes: u64 = shape.consensus_lens.iter().map(|&l| l as u64).sum();
+    let read_bytes: u64 = shape.read_lens.iter().map(|&l| l as u64).sum();
+    let stream_bytes = [
+        consensus_bytes,
+        read_bytes,
+        read_bytes,                 // one quality byte per base
+        shape.num_reads as u64,     // one realign flag per read
+        4 * shape.num_reads as u64, // one 4-byte new position per read
+    ];
+    let mut stats = BurstStats::default();
+    for (i, &bytes) in stream_bytes.iter().enumerate() {
+        let beats = bytes.div_ceil(bus_bytes);
+        let rows = bytes.div_ceil(DDR_ROW_BYTES);
+        stats.stream_beats[i] = beats;
+        stats.beats += beats;
+        stats.rows_activated += rows;
+        // With bus_bytes ≤ row size every row boundary lands on a beat
+        // boundary, so exactly one beat per touched row misses.
+        stats.row_hits += beats.saturating_sub(rows);
+        stats.bytes += bytes;
+    }
+    stats
+}
+
 /// Cycles for a unit to fill its three input buffers for `shape` through
 /// its 5:1-arbitrated TileLink port of `bus_bytes` per beat.
 pub fn load_cycles(shape: &TargetShape, bus_bytes: u64) -> u64 {
@@ -160,6 +211,30 @@ mod tests {
         let s = shape(&[2048; 32], &[256; 256]);
         // output = 5 × 256 = 1280 bytes → 40 beats.
         assert_eq!(drain_cycles(&s, 32), BURST_LATENCY_CYCLES + 40);
+    }
+
+    #[test]
+    fn burst_stats_count_streams_rows_and_beats() {
+        let s = shape(&[2048, 2048], &[256; 8]);
+        let stats = burst_stats(&s, 32);
+        // consensus 4096 B → 128 beats, 4 rows; reads/quals 2048 B → 64
+        // beats, 2 rows each; flags 8 B → 1 beat, 1 row; positions 32 B →
+        // 1 beat, 1 row.
+        assert_eq!(stats.stream_beats, [128, 64, 64, 1, 1]);
+        assert_eq!(stats.beats, 258);
+        assert_eq!(stats.rows_activated, 4 + 2 + 2 + 1 + 1);
+        assert_eq!(stats.row_hits, 258 - 10);
+        assert_eq!(stats.bytes, s.input_bytes() + s.output_bytes());
+    }
+
+    #[test]
+    fn burst_stats_row_hits_never_exceed_beats() {
+        let s = shape(&[100, 37], &[50, 3]);
+        let stats = burst_stats(&s, 32);
+        assert!(stats.row_hits <= stats.beats);
+        assert_eq!(stats.rows_activated, 5, "every stream opens one row");
+        let total: u64 = stats.stream_beats.iter().sum();
+        assert_eq!(total, stats.beats);
     }
 
     #[test]

@@ -123,9 +123,7 @@ pub fn validate(params: &FpgaParams) -> Result<ResourceReport, FpgaError> {
         // A unitless system validates against no floorplan constraint but
         // can never schedule anything; reject it up front rather than
         // letting the dispatch loops panic.
-        return Err(FpgaError::NotConfigured(
-            "any IR units (num_units is zero)",
-        ));
+        return Err(FpgaError::NotConfigured("any IR units (num_units is zero)"));
     }
     let rpt = report(params.num_units, params.lanes);
     if !rpt.fits {

@@ -5,13 +5,16 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use ir_genome::RealignmentTarget;
+use ir_genome::{RealignmentTarget, TargetShape};
+use ir_telemetry::{SpanKind, Telemetry, TelemetrySnapshot, Track};
 
+use crate::arbiter::contention_stats;
 use crate::dma::DmaParams;
 use crate::driver::{ResiliencePolicy, ResilienceReport};
 use crate::fault::{FaultPlan, ResponseFault};
 use crate::isa::IrCommand;
 use crate::layout::{decode_outputs, encode_outputs};
+use crate::mem::burst_stats;
 use crate::params::FpgaParams;
 use crate::resources::{validate, ResourceReport};
 use crate::unit::{simulate_target, UnitRun};
@@ -87,13 +90,20 @@ pub struct SystemRun {
     pub comparisons: u64,
     /// Per-unit busy seconds.
     pub unit_busy_s: Vec<f64>,
-    /// Timeline of transfer/compute intervals (only populated by
-    /// [`AcceleratedSystem::run_traced`]).
+    /// Timeline of transfer/compute intervals, derived from the telemetry
+    /// trace (populated whenever telemetry is enabled, e.g. by
+    /// [`AcceleratedSystem::run_traced`] or
+    /// [`AcceleratedSystem::with_telemetry`]).
     pub timeline: Vec<TimelineEvent>,
     /// Recovery accounting (only populated by
     /// [`AcceleratedSystem::run_resilient`]; `None` on fault-free entry
     /// points).
     pub resilience: Option<ResilienceReport>,
+    /// Cycle-level perf counters and the span trace (populated whenever
+    /// telemetry is enabled; `None` otherwise). Enabling telemetry never
+    /// changes any reported cycle count — the instrumentation only reads
+    /// values the schedulers already compute.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl SystemRun {
@@ -246,6 +256,262 @@ impl FaultState<'_> {
     }
 }
 
+/// One dispatched target's observables, handed to [`TeleAcc`]. Everything
+/// here is a value the scheduler already computed — recording it cannot
+/// perturb timing.
+struct DispatchRecord<'a> {
+    unit: usize,
+    target_index: usize,
+    start_s: f64,
+    busy_s: f64,
+    /// Integer cycles the unit was busy (compute + fault-recovery extra).
+    busy_cycles: u64,
+    /// Seconds this dispatch stalled the unit (data wait, config,
+    /// response).
+    stall_s: f64,
+    /// Portion of the stall spent waiting on DMA data specifically.
+    dma_wait_s: f64,
+    /// Units concurrently streaming/computing, including this one (drives
+    /// the 32:1 arbiter counters).
+    active_units: u64,
+    run: &'a UnitRun,
+    shape: &'a TargetShape,
+}
+
+/// The telemetry accumulator both schedulers thread their observations
+/// through. When disabled every method returns immediately; when enabled
+/// it gathers per-unit cycle ledgers, block counters and spans, then
+/// [`TeleAcc::finalize`] closes the books so that for every unit
+/// `busy + stall + quarantined + idle == total` holds exactly.
+struct TeleAcc {
+    tele: Telemetry,
+    cycle_s: f64,
+    busy_cycles: Vec<u64>,
+    stall_s: Vec<f64>,
+    dispatches: Vec<u64>,
+    /// Wall time at which the unit was quarantined (`f64::INFINITY` =
+    /// never); cycles from then to the end of the run are charged as
+    /// quarantined rather than idle.
+    quarantine_at_s: Vec<f64>,
+}
+
+impl TeleAcc {
+    fn new(enabled: bool, units: usize, cycle_s: f64) -> Self {
+        TeleAcc {
+            tele: Telemetry::with_enabled(enabled),
+            cycle_s,
+            busy_cycles: vec![0; units],
+            stall_s: vec![0.0; units],
+            dispatches: vec![0; units],
+            quarantine_at_s: vec![f64::INFINITY; units],
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.tele.is_enabled()
+    }
+
+    fn to_cycles(&self, s: f64) -> u64 {
+        if s <= 0.0 {
+            0
+        } else {
+            (s / self.cycle_s).round() as u64
+        }
+    }
+
+    /// Records one DMA descriptor chain: chain-level counters plus one
+    /// transfer span per carried target (the spans reconstruct the
+    /// Figure 7 timeline).
+    fn record_chain(&mut self, targets: &[usize], bytes: u64, start_s: f64, end_s: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.tele.add("dma", "bytes", bytes);
+        self.tele.add("dma", "chains", 1);
+        self.tele.observe("dma", "chain_bytes", bytes);
+        self.tele
+            .gauge_max("dma", "chain_targets_hwm", targets.len() as u64);
+        for &t in targets {
+            self.tele.span(
+                Track::Dma,
+                SpanKind::Transfer,
+                &format!("xfer t{t}"),
+                Some(t),
+                start_s,
+                end_s,
+            );
+        }
+    }
+
+    fn record_quarantine(&mut self, unit: usize, at_s: f64) {
+        if self.enabled() {
+            self.quarantine_at_s[unit] = self.quarantine_at_s[unit].min(at_s);
+        }
+    }
+
+    /// Records one target landing on one unit: the compute span, per-unit
+    /// ledger entries, and every block-level counter the dispatch touches
+    /// (HDC, 5:1 and 32:1 arbiters, DDR, BRAM occupancy).
+    fn record_dispatch(&mut self, params: &FpgaParams, d: DispatchRecord) {
+        if !self.enabled() {
+            return;
+        }
+        let DispatchRecord {
+            unit,
+            target_index,
+            start_s,
+            busy_s,
+            busy_cycles,
+            stall_s,
+            dma_wait_s,
+            active_units,
+            run,
+            shape,
+        } = d;
+        self.busy_cycles[unit] += busy_cycles;
+        self.stall_s[unit] += stall_s;
+        self.dispatches[unit] += 1;
+
+        self.tele.span_args(
+            Track::Unit(unit),
+            SpanKind::Compute,
+            &format!("t{target_index}"),
+            Some(target_index),
+            start_s,
+            start_s + busy_s,
+            &[("cycles", busy_cycles), ("comparisons", run.comparisons)],
+        );
+        if dma_wait_s > 0.0 {
+            self.tele.span(
+                Track::Unit(unit),
+                SpanKind::Stall,
+                "dma wait",
+                Some(target_index),
+                start_s - dma_wait_s,
+                start_s,
+            );
+        }
+
+        self.tele.add("sched", "dispatches", 1);
+        self.tele
+            .add("dma", "stall_cycles", self.to_cycles(dma_wait_s));
+        self.tele.observe("unit", "target_cycles", busy_cycles);
+
+        let c = run.cycles;
+        self.tele.add("unit_phase", "load_cycles", c.load);
+        self.tele.add("unit_phase", "hdc_cycles", c.hdc);
+        self.tele.add("unit_phase", "selector_cycles", c.selector);
+        self.tele.add("unit_phase", "drain_cycles", c.drain);
+        self.tele.add("hdc", "comparisons", run.comparisons);
+        self.tele.add("hdc", "pruned_offsets", run.offsets_pruned);
+
+        // 5:1 intra-unit arbiter: the five memory streams of this target
+        // contend for the unit's single TileLink port.
+        let burst = burst_stats(shape, params.bus_bytes);
+        let arb5 = contention_stats(&burst.stream_beats);
+        self.tele.add("arbiter5", "grants", arb5.grants);
+        self.tele
+            .add("arbiter5", "conflict_cycles", arb5.conflict_cycles);
+        self.tele
+            .gauge_max("arbiter5", "queue_depth_hwm", arb5.queue_depth_hwm);
+
+        // 32:1 system arbiter: every beat this target moves was granted
+        // there too; beats issued while other units stream are conflicted.
+        self.tele.add("arbiter32", "grants", burst.beats);
+        if active_units > 1 {
+            self.tele.add("arbiter32", "conflict_grants", burst.beats);
+        }
+        self.tele
+            .gauge_max("arbiter32", "active_units_hwm", active_units);
+
+        self.tele.add("ddr", "bytes", burst.bytes);
+        self.tele.add("ddr", "beats", burst.beats);
+        self.tele.add("ddr", "rows_activated", burst.rows_activated);
+        self.tele.add("ddr", "row_hits", burst.row_hits);
+
+        // BRAM occupancy high-water marks against the fixed buffer
+        // geometry of `crate::bram::unit_buffers`.
+        let consensus_bytes: u64 = shape.consensus_lens.iter().map(|&l| l as u64).sum();
+        let read_bytes: u64 = shape.read_lens.iter().map(|&l| l as u64).sum();
+        self.tele
+            .gauge_max("bram", "consensus_bytes_hwm", consensus_bytes);
+        self.tele.gauge_max("bram", "read_bytes_hwm", read_bytes);
+        self.tele.gauge_max("bram", "qual_bytes_hwm", read_bytes);
+        self.tele
+            .gauge_max("bram", "output_bytes_hwm", shape.output_bytes());
+    }
+
+    /// Closes the per-unit cycle ledgers against the final wall clock and
+    /// returns the snapshot (`None` when disabled).
+    ///
+    /// Busy cycles are exact integers from the datapath model; stall and
+    /// quarantined cycles are rounded from seconds and clamped so the
+    /// conservation invariant `busy + stall + quarantined + idle == total`
+    /// holds exactly, with idle as the derived remainder.
+    fn finalize(
+        mut self,
+        wall_s: f64,
+        command_s: f64,
+        dma_busy_s: f64,
+        num_targets: usize,
+    ) -> Option<TelemetrySnapshot> {
+        if !self.enabled() {
+            return None;
+        }
+        let total = self.to_cycles(wall_s);
+        for unit in 0..self.busy_cycles.len() {
+            let busy = self.busy_cycles[unit].min(total);
+            let stall = self.to_cycles(self.stall_s[unit]).min(total - busy);
+            let quarantined = if self.quarantine_at_s[unit].is_finite() {
+                self.to_cycles(wall_s - self.quarantine_at_s[unit])
+                    .min(total - busy - stall)
+            } else {
+                0
+            };
+            let idle = total - busy - stall - quarantined;
+            self.tele.add_idx("unit", unit, "busy_cycles", busy);
+            self.tele.add_idx("unit", unit, "stall_cycles", stall);
+            self.tele
+                .add_idx("unit", unit, "quarantined_cycles", quarantined);
+            self.tele.add_idx("unit", unit, "idle_cycles", idle);
+            self.tele.add_idx("unit", unit, "total_cycles", total);
+            self.tele
+                .add_idx("unit", unit, "targets", self.dispatches[unit]);
+        }
+        self.tele.add("system", "wall_cycles", total);
+        self.tele.add("system", "targets", num_targets as u64);
+        self.tele
+            .add("host", "command_cycles", self.to_cycles(command_s));
+        self.tele
+            .add("dma", "busy_cycles", self.to_cycles(dma_busy_s));
+        self.tele.finish()
+    }
+}
+
+/// Rebuilds the [`TimelineEvent`] list older consumers (the Figure 7
+/// gantt renderers) expect from the recorded trace spans.
+fn timeline_from_snapshot(snapshot: &TelemetrySnapshot) -> Vec<TimelineEvent> {
+    snapshot
+        .trace
+        .events
+        .iter()
+        .filter_map(|e| {
+            let (unit, phase) = match (e.track, e.kind) {
+                (Track::Dma, SpanKind::Transfer) => (usize::MAX, TimelinePhase::Transfer),
+                (Track::Unit(u), SpanKind::Compute) => (u, TimelinePhase::Compute),
+                _ => return None,
+            };
+            Some(TimelineEvent {
+                unit,
+                target_index: e.target?,
+                start_s: e.start_s,
+                end_s: e.end_s,
+                phase,
+            })
+        })
+        .collect()
+}
+
 /// The accelerated system: validated configuration plus a scheduler.
 ///
 /// # Example
@@ -264,6 +530,7 @@ pub struct AcceleratedSystem {
     scheduling: Scheduling,
     dma: DmaParams,
     resources: ResourceReport,
+    telemetry: bool,
 }
 
 impl AcceleratedSystem {
@@ -280,6 +547,7 @@ impl AcceleratedSystem {
             scheduling,
             dma: DmaParams::default(),
             resources,
+            telemetry: false,
         })
     }
 
@@ -287,6 +555,20 @@ impl AcceleratedSystem {
     pub fn with_dma(mut self, dma: DmaParams) -> Self {
         self.dma = dma;
         self
+    }
+
+    /// Enables or disables cycle-level telemetry for subsequent runs
+    /// (disabled by default; zero cost when disabled). Enabled runs attach
+    /// a [`TelemetrySnapshot`] to [`SystemRun::telemetry`] and populate
+    /// [`SystemRun::timeline`] without changing any reported cycle count.
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Whether telemetry collection is enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry
     }
 
     /// The validated FPGA parameters.
@@ -304,13 +586,23 @@ impl AcceleratedSystem {
         &self.resources
     }
 
-    /// Runs `targets` end to end and reports timing (no timeline).
+    /// Runs `targets` end to end and reports timing. Telemetry (counters,
+    /// trace, timeline) is attached iff [`Self::with_telemetry`] enabled
+    /// it.
     pub fn run(&self, targets: &[RealignmentTarget]) -> SystemRun {
-        self.run_inner(targets, false, None)
+        self.run_inner(targets, self.telemetry, None)
+    }
+
+    /// Runs `targets` with telemetry forced on, regardless of the
+    /// [`Self::with_telemetry`] flag.
+    pub fn run_telemetry(&self, targets: &[RealignmentTarget]) -> SystemRun {
+        self.run_inner(targets, true, None)
     }
 
     /// Runs `targets` and records the full transfer/compute timeline
     /// (use for small target sets, e.g. the Figure 7 reproduction).
+    /// Equivalent to [`Self::run_telemetry`]: the timeline is derived from
+    /// the telemetry trace, which subsumes it.
     pub fn run_traced(&self, targets: &[RealignmentTarget]) -> SystemRun {
         self.run_inner(targets, true, None)
     }
@@ -347,8 +639,11 @@ impl AcceleratedSystem {
             failures: vec![0; self.params.num_units],
             quarantined: vec![false; self.params.num_units],
         };
-        let mut run = self.run_inner(targets, false, Some(&mut state));
+        let mut run = self.run_inner(targets, self.telemetry, Some(&mut state));
         state.report.faults = state.plan.counts();
+        if let Some(snapshot) = run.telemetry.as_mut() {
+            state.report.record_into(&mut snapshot.counters);
+        }
         run.resilience = Some(state.report);
         run
     }
@@ -356,14 +651,14 @@ impl AcceleratedSystem {
     fn run_inner(
         &self,
         targets: &[RealignmentTarget],
-        trace: bool,
+        telemetry: bool,
         fault: Option<&mut FaultState>,
     ) -> SystemRun {
         match self.scheduling {
             Scheduling::Synchronous
             | Scheduling::SynchronousUnsorted
-            | Scheduling::SynchronousByWorstCase => self.run_synchronous(targets, trace, fault),
-            Scheduling::Asynchronous => self.run_asynchronous(targets, trace, fault),
+            | Scheduling::SynchronousByWorstCase => self.run_synchronous(targets, telemetry, fault),
+            Scheduling::Asynchronous => self.run_asynchronous(targets, telemetry, fault),
         }
     }
 
@@ -375,12 +670,13 @@ impl AcceleratedSystem {
     fn run_synchronous(
         &self,
         targets: &[RealignmentTarget],
-        trace: bool,
+        telemetry: bool,
         mut fault: Option<&mut FaultState>,
     ) -> SystemRun {
         let p = &self.params;
         let cycle_s = p.cycle_time_s();
         let units = p.num_units;
+        let mut acc = TeleAcc::new(telemetry, units, cycle_s);
 
         // "The targets could be sorted by read and consensus sizes to
         // ensure that all the targets that are scheduled in the same batch
@@ -398,7 +694,6 @@ impl AcceleratedSystem {
         }
 
         let mut results: Vec<Option<UnitRun>> = (0..targets.len()).map(|_| None).collect();
-        let mut timeline = Vec::new();
         let mut now = 0.0f64;
         let mut dma_busy = 0.0f64;
         let mut command_s = 0.0f64;
@@ -417,20 +712,17 @@ impl AcceleratedSystem {
             let batch = &order[cursor..order.len().min(cursor + healthy.len())];
             cursor += batch.len();
             // One chunked DMA transfer for the whole batch.
+            let batch_bytes: u64 = batch
+                .iter()
+                .map(|&t| targets[t].shape().input_bytes())
+                .sum();
             let dma_s = self
                 .dma
                 .batch_transfer_time_s(batch.iter().map(|&t| targets[t].shape().input_bytes()));
-            if trace {
-                for &t in batch {
-                    timeline.push(TimelineEvent {
-                        unit: usize::MAX,
-                        target_index: t,
-                        start_s: now,
-                        end_s: now + dma_s,
-                        phase: TimelinePhase::Transfer,
-                    });
-                }
-            }
+            acc.record_chain(batch, batch_bytes, now, now + dma_s);
+            acc.tele.add("sched", "batches", 1);
+            acc.tele
+                .gauge_max("dma", "prefetch_depth_hwm", batch.len() as u64);
             now += dma_s;
             dma_busy += dma_s;
 
@@ -443,6 +735,7 @@ impl AcceleratedSystem {
                 let cfg = self.config_time_s(&targets[t]);
                 command_s += cfg;
                 let mut run = simulate_target(&targets[t], p);
+                let was_quarantined = fault.as_deref().is_some_and(|fs| fs.quarantined[unit]);
                 let extra = match fault.as_deref_mut() {
                     Some(fs) => fs.resolve(&targets[t], &mut run, unit),
                     None => 0,
@@ -450,27 +743,54 @@ impl AcceleratedSystem {
                 let busy = (run.cycles.total() + extra) as f64 * cycle_s;
                 let start = now + cfg;
                 let end = start + busy;
-                if trace {
-                    timeline.push(TimelineEvent {
-                        unit,
-                        target_index: t,
-                        start_s: start,
-                        end_s: end,
-                        phase: TimelinePhase::Compute,
-                    });
+                if !was_quarantined && fault.as_deref().is_some_and(|fs| fs.quarantined[unit]) {
+                    acc.record_quarantine(unit, end);
                 }
                 unit_busy[unit] += busy;
                 compute_cycles += run.cycles.total();
                 comparisons += run.comparisons;
                 batch_end = batch_end.max(end);
+                let shape = targets[t].shape();
+                acc.record_dispatch(
+                    p,
+                    DispatchRecord {
+                        unit,
+                        target_index: t,
+                        start_s: start,
+                        busy_s: busy,
+                        busy_cycles: run.cycles.total() + extra,
+                        // The unit sat out the batch DMA and its own
+                        // configuration before computing.
+                        stall_s: dma_s + cfg,
+                        dma_wait_s: dma_s,
+                        active_units: batch.len() as u64,
+                        run: &run,
+                        shape: &shape,
+                    },
+                );
                 results[t] = Some(run);
             }
-            // Synchronous flush + response drain.
+            // Synchronous flush + response drain: every batch member
+            // stalls until the whole fabric is flushed.
             let flush = self.params.response_latency_s * batch.len() as f64;
             command_s += flush;
+            if acc.enabled() {
+                for &unit in healthy.iter().take(batch.len()) {
+                    acc.stall_s[unit] += flush;
+                }
+                acc.tele.span(
+                    Track::Host,
+                    SpanKind::Stall,
+                    "batch flush",
+                    None,
+                    batch_end,
+                    batch_end + flush,
+                );
+            }
             now = batch_end + flush;
         }
 
+        let snapshot = acc.finalize(now, command_s, dma_busy, targets.len());
         SystemRun {
             wall_time_s: now,
             results: results
@@ -482,23 +802,27 @@ impl AcceleratedSystem {
             compute_cycles,
             comparisons,
             unit_busy_s: unit_busy,
-            timeline,
+            timeline: snapshot
+                .as_ref()
+                .map(timeline_from_snapshot)
+                .unwrap_or_default(),
             resilience: None,
+            telemetry: snapshot,
         }
     }
 
     fn run_asynchronous(
         &self,
         targets: &[RealignmentTarget],
-        trace: bool,
+        telemetry: bool,
         mut fault: Option<&mut FaultState>,
     ) -> SystemRun {
         let p = &self.params;
         let cycle_s = p.cycle_time_s();
         let units = p.num_units;
+        let mut acc = TeleAcc::new(telemetry, units, cycle_s);
 
         let mut results: Vec<Option<UnitRun>> = (0..targets.len()).map(|_| None).collect();
-        let mut timeline = Vec::new();
         let mut dma_busy = 0.0f64;
         let mut command_s = 0.0f64;
         let mut compute_cycles = 0u64;
@@ -518,6 +842,10 @@ impl AcceleratedSystem {
         let mut dma_done = vec![0.0f64; targets.len()];
         let mut dma_free = 0.0f64;
         for chunk in order.chunks(units.max(1)) {
+            let chunk_bytes: u64 = chunk
+                .iter()
+                .map(|&t| targets[t].shape().input_bytes())
+                .sum();
             let dt = self
                 .dma
                 .batch_transfer_time_s(chunk.iter().map(|&t| targets[t].shape().input_bytes()));
@@ -526,16 +854,8 @@ impl AcceleratedSystem {
             dma_busy += dt;
             for &t in chunk {
                 dma_done[t] = dma_free;
-                if trace {
-                    timeline.push(TimelineEvent {
-                        unit: usize::MAX,
-                        target_index: t,
-                        start_s: start,
-                        end_s: dma_free,
-                        phase: TimelinePhase::Transfer,
-                    });
-                }
             }
+            acc.record_chain(chunk, chunk_bytes, start, dma_free);
         }
 
         // Min-heap of (free_time, unit): the next target goes to the unit
@@ -547,34 +867,69 @@ impl AcceleratedSystem {
         let to_ps = |s: f64| (s * 1e12) as u64;
         let from_ps = |ps: u64| ps as f64 / 1e12;
 
+        // Per-unit compute-end times (32:1 arbiter concurrency) and the
+        // prefetch pointer (how far ahead of compute the DMA ran), only
+        // consulted when telemetry is on.
+        let mut unit_end_s = vec![0.0f64; units];
+        let mut arrived = 0usize;
+
         let mut wall = 0.0f64;
-        for &t in &order {
+        for (dispatch_idx, &t) in order.iter().enumerate() {
             let target = &targets[t];
             let Reverse((free_ps, unit)) = heap.pop().expect("at least one unit");
             let cfg = self.config_time_s(target);
             command_s += cfg;
             let mut run = simulate_target(target, p);
+            let was_quarantined = fault.as_deref().is_some_and(|fs| fs.quarantined[unit]);
             let extra = match fault.as_deref_mut() {
                 Some(fs) => fs.resolve(target, &mut run, unit),
                 None => 0,
             };
             let busy = (run.cycles.total() + extra) as f64 * cycle_s;
-            let start = from_ps(free_ps).max(dma_done[t]) + cfg;
+            let free = from_ps(free_ps);
+            let start = free.max(dma_done[t]) + cfg;
+            let dma_wait = (dma_done[t] - free).max(0.0);
             let end = start + busy + self.params.response_latency_s;
             command_s += self.params.response_latency_s;
-            if trace {
-                timeline.push(TimelineEvent {
-                    unit,
-                    target_index: t,
-                    start_s: start,
-                    end_s: start + busy,
-                    phase: TimelinePhase::Compute,
-                });
+            if !was_quarantined && fault.as_deref().is_some_and(|fs| fs.quarantined[unit]) {
+                acc.record_quarantine(unit, end);
             }
             unit_busy[unit] += busy;
             compute_cycles += run.cycles.total();
             comparisons += run.comparisons;
             wall = wall.max(end);
+            if acc.enabled() {
+                let active_units = 1 + unit_end_s
+                    .iter()
+                    .enumerate()
+                    .filter(|&(u, &e)| u != unit && e > start)
+                    .count() as u64;
+                unit_end_s[unit] = start + busy;
+                while arrived < order.len() && dma_done[order[arrived]] <= start {
+                    arrived += 1;
+                }
+                let prefetch_depth = arrived.saturating_sub(dispatch_idx + 1) as u64;
+                acc.tele
+                    .gauge_max("dma", "prefetch_depth_hwm", prefetch_depth);
+                let shape = target.shape();
+                acc.record_dispatch(
+                    p,
+                    DispatchRecord {
+                        unit,
+                        target_index: t,
+                        start_s: start,
+                        busy_s: busy,
+                        busy_cycles: run.cycles.total() + extra,
+                        // Waiting on data, configuration, and the
+                        // completion response all stall the unit.
+                        stall_s: dma_wait + cfg + self.params.response_latency_s,
+                        dma_wait_s: dma_wait,
+                        active_units,
+                        run: &run,
+                        shape: &shape,
+                    },
+                );
+            }
             results[t] = Some(run);
             // A freshly quarantined unit receives no further dispatches;
             // the guard in `FaultState::resolve` keeps at least one unit
@@ -585,6 +940,7 @@ impl AcceleratedSystem {
             }
         }
 
+        let snapshot = acc.finalize(wall, command_s, dma_busy, targets.len());
         SystemRun {
             wall_time_s: wall,
             results: results
@@ -596,8 +952,12 @@ impl AcceleratedSystem {
             compute_cycles,
             comparisons,
             unit_busy_s: unit_busy,
-            timeline,
+            timeline: snapshot
+                .as_ref()
+                .map(timeline_from_snapshot)
+                .unwrap_or_default(),
             resilience: None,
+            telemetry: snapshot,
         }
     }
 }
@@ -819,15 +1179,14 @@ mod tests {
 
     #[test]
     fn resilient_run_with_inert_plan_is_bit_identical() {
-        use crate::fault::FaultPlan;
         use crate::driver::ResiliencePolicy;
+        use crate::fault::FaultPlan;
         let targets = small_workload();
         for sched in [Scheduling::Synchronous, Scheduling::Asynchronous] {
             let system = AcceleratedSystem::new(FpgaParams::iracc(), sched).unwrap();
             let plain = system.run(&targets);
             let mut plan = FaultPlan::none();
-            let resilient =
-                system.run_resilient(&targets, &mut plan, &ResiliencePolicy::default());
+            let resilient = system.run_resilient(&targets, &mut plan, &ResiliencePolicy::default());
             assert_eq!(resilient.wall_time_s, plain.wall_time_s, "{sched:?}");
             assert_eq!(resilient.results.len(), plain.results.len());
             for (a, b) in resilient.results.iter().zip(plain.results.iter()) {
@@ -843,8 +1202,8 @@ mod tests {
 
     #[test]
     fn resilient_run_completes_under_default_fault_rates() {
-        use crate::fault::{FaultPlan, FaultRates};
         use crate::driver::ResiliencePolicy;
+        use crate::fault::{FaultPlan, FaultRates};
         let targets = small_workload();
         let golden: Vec<_> = targets
             .iter()
@@ -866,11 +1225,9 @@ mod tests {
 
     #[test]
     fn heavy_faults_quarantine_units_but_never_all() {
-        use crate::fault::{FaultPlan, FaultRates};
         use crate::driver::ResiliencePolicy;
-        let targets: Vec<_> = (0..48)
-            .map(|s| target_with(4, 48, 160, s + 1))
-            .collect();
+        use crate::fault::{FaultPlan, FaultRates};
+        let targets: Vec<_> = (0..48).map(|s| target_with(4, 48, 160, s + 1)).collect();
         let system = AcceleratedSystem::new(
             FpgaParams {
                 num_units: 4,
@@ -908,8 +1265,8 @@ mod tests {
 
     #[test]
     fn faulty_run_is_not_faster_than_fault_free() {
-        use crate::fault::{FaultPlan, FaultRates};
         use crate::driver::ResiliencePolicy;
+        use crate::fault::{FaultPlan, FaultRates};
         let targets = small_workload();
         let system = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous).unwrap();
         let clean = system.run(&targets).wall_time_s;
@@ -917,7 +1274,10 @@ mod tests {
         let faulty = system
             .run_resilient(&targets, &mut plan, &ResiliencePolicy::default())
             .wall_time_s;
-        assert!(faulty >= clean, "recovery must cost wall time: {faulty} < {clean}");
+        assert!(
+            faulty >= clean,
+            "recovery must cost wall time: {faulty} < {clean}"
+        );
     }
 
     #[test]

@@ -52,6 +52,9 @@ pub struct UnitRun {
     pub cycles: UnitCycles,
     /// Base comparisons executed (post-pruning).
     pub comparisons: u64,
+    /// Candidate offsets the pruning comparator cut short (0 with pruning
+    /// disabled) — the early-exit count the telemetry layer reports.
+    pub offsets_pruned: u64,
 }
 
 impl UnitRun {
@@ -318,6 +321,7 @@ pub fn simulate_target(target: &RealignmentTarget, params: &FpgaParams) -> UnitR
     let mut cells = Vec::with_capacity(shape.num_consensuses * shape.num_reads);
     let mut hdc_cycles = 0u64;
     let mut comparisons = 0u64;
+    let mut offsets_pruned = 0u64;
     for i in 0..shape.num_consensuses {
         let cons = target.consensus(i);
         for j in 0..shape.num_reads {
@@ -325,6 +329,7 @@ pub fn simulate_target(target: &RealignmentTarget, params: &FpgaParams) -> UnitR
             let pair = run_pair(cons, read.bases(), read.quals(), hdc_cfg);
             hdc_cycles += pair.cycles;
             comparisons += pair.comparisons;
+            offsets_pruned += pair.offsets_pruned;
             cells.push(MinWhd {
                 whd: pair.min.whd,
                 offset: pair.min.offset,
@@ -351,6 +356,7 @@ pub fn simulate_target(target: &RealignmentTarget, params: &FpgaParams) -> UnitR
         outcomes: sel.outcomes,
         cycles,
         comparisons,
+        offsets_pruned,
     }
 }
 

@@ -5,7 +5,8 @@
 #   scale — fraction of the paper's full NA12878 workload (default 1e-3;
 #           the recorded results in EXPERIMENTS.md use 5e-3).
 #
-# Outputs: results/<name>.txt (full text) and results/<name>.csv (data).
+# Outputs: results/<name>.log (full console text) plus the
+# results/<name>.csv + results/<name>.txt pairs every table emits.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,7 +20,9 @@ cargo build --release -p ir-bench
 run() {
     local name="$1"
     echo "=== $name (IR_SCALE=$IR_SCALE) ==="
-    ./target/release/"$name" | tee "results/$name.txt"
+    # Full console output goes to .log; the binaries themselves write the
+    # results/<name>.csv + results/<name>.txt table pairs.
+    ./target/release/"$name" | tee "results/$name.log"
     echo
 }
 
@@ -33,6 +36,7 @@ run complexity_table
 
 # Microarchitecture and scheduling.
 run fig7_scheduling
+run probe_variance
 run fig8_data_parallel
 run pruning_ablation
 run dma_overhead
@@ -42,6 +46,10 @@ run ablation_scheduling
 run multi_fpga
 
 run accuracy_eval
+
+# Observability and resilience.
+run telemetry_report
+run resilience_study
 
 # Evaluation headliners.
 run fig3_ir_fraction

@@ -81,8 +81,11 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     let seed: u64 = args.flag_parse("seed", WorkloadConfig::default().seed)?;
     let out = args.flag("out").unwrap_or("targets.tio").to_string();
 
-    let generator =
-        WorkloadGenerator::new(WorkloadConfig { scale, seed, ..WorkloadConfig::default() });
+    let generator = WorkloadGenerator::new(WorkloadConfig {
+        scale,
+        seed,
+        ..WorkloadConfig::default()
+    });
     let workload = generator.chromosome(chromosome);
     let stats = workload.stats();
 
@@ -97,7 +100,10 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
 }
 
 fn load_targets(args: &Args) -> Result<Vec<RealignmentTarget>, String> {
-    let path = args.positional.get(1).ok_or("missing target file argument")?;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("missing target file argument")?;
     let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
     let targets = tio::read_targets(file).map_err(|e| e.to_string())?;
     if targets.is_empty() {
@@ -146,7 +152,11 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown --sched '{other}' (sync|async)")),
     };
 
-    let params = FpgaParams { num_units: units, lanes, ..FpgaParams::iracc() };
+    let params = FpgaParams {
+        num_units: units,
+        lanes,
+        ..FpgaParams::iracc()
+    };
     let system = AcceleratedSystem::new(params, scheduling).map_err(|e| e.to_string())?;
     let run = system.run(&targets);
     println!(

@@ -38,4 +38,5 @@ pub use ir_cloud as cloud;
 pub use ir_core as core;
 pub use ir_fpga as fpga;
 pub use ir_genome as genome;
+pub use ir_telemetry as telemetry;
 pub use ir_workloads as workloads;

@@ -16,27 +16,61 @@ fn gen_realign_simulate_pipeline() {
     let path = temp_path("pipeline");
 
     let out = cli()
-        .args(["gen", "--chromosome", "21", "--scale", "2e-5", "--seed", "9"])
+        .args([
+            "gen",
+            "--chromosome",
+            "21",
+            "--scale",
+            "2e-5",
+            "--seed",
+            "9",
+        ])
         .args(["--out", path.to_str().unwrap()])
         .output()
         .expect("gen runs");
-    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "gen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
 
     let out = cli()
-        .args(["realign", path.to_str().unwrap(), "--rule", "gatk", "--threads", "2"])
+        .args([
+            "realign",
+            path.to_str().unwrap(),
+            "--rule",
+            "gatk",
+            "--threads",
+            "2",
+        ])
         .output()
         .expect("realign runs");
-    assert!(out.status.success(), "realign failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "realign failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("base comparisons"), "{text}");
 
     let out = cli()
-        .args(["simulate", path.to_str().unwrap(), "--units", "8", "--lanes", "32"])
+        .args([
+            "simulate",
+            path.to_str().unwrap(),
+            "--units",
+            "8",
+            "--lanes",
+            "32",
+        ])
         .args(["--sched", "async"])
         .output()
         .expect("simulate runs");
-    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("bit-identical to software"), "{text}");
 
@@ -52,7 +86,10 @@ fn unknown_subcommand_fails_with_usage() {
 
 #[test]
 fn missing_file_is_a_clean_error() {
-    let out = cli().args(["realign", "/nonexistent/definitely_missing.tio"]).output().unwrap();
+    let out = cli()
+        .args(["realign", "/nonexistent/definitely_missing.tio"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr).to_string();
     assert!(err.contains("opening"), "{err}");

@@ -51,7 +51,9 @@ fn inert_plan_system_run_is_bit_identical() {
             assert_eq!(a.cycles, b.cycles);
             assert_eq!(a.best, b.best);
         }
-        let report = resilient.resilience.expect("resilient run attaches a report");
+        let report = resilient
+            .resilience
+            .expect("resilient run attaches a report");
         assert!(report.is_clean(), "inert plan must leave a clean report");
         assert_eq!(plan.counts().total(), 0, "inert plan draws nothing");
     }

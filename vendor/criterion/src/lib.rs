@@ -106,7 +106,9 @@ fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
         Some(Throughput::Elements(n)) => {
             format!("  {:.1} Melem/s", n as f64 / per_iter / 1e6)
         }
-        Some(Throughput::Bytes(n)) => format!("  {:.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64),
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64)
+        }
         None => String::new(),
     };
     println!("{name:<50} {time:>12}/iter{thrpt}");

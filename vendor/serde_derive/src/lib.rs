@@ -19,9 +19,7 @@ fn type_name(input: TokenStream) -> String {
                     Some(TokenTree::Ident(name)) => {
                         if matches!(tokens.next(), Some(TokenTree::Punct(p)) if p.as_char() == '<')
                         {
-                            panic!(
-                                "vendored serde_derive does not support generic type `{name}`"
-                            );
+                            panic!("vendored serde_derive does not support generic type `{name}`");
                         }
                         return name.to_string();
                     }
