@@ -1,0 +1,51 @@
+//! Criterion benchmark of the two simulation backends: the legacy
+//! cycle-stepping schedulers vs the `ir-sim` discrete-event engine.
+//!
+//! The grid covers the workload scales the figure binaries run at
+//! (`IR_SCALE` ∈ {1e-4, 1e-3, 5e-3}) and the unit counts the paper's
+//! configurations span ({1, 8, 32}). Both backends produce bitwise-
+//! identical `SystemRun`s (asserted by `tests/event_parity.rs`); this
+//! bench measures the only thing that differs — host wall clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ir_bench::bench_workload;
+use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling, SimBackend};
+use ir_genome::RealignmentTarget;
+
+/// Target count at a given scale — the same `IR_SCALE` proportionality
+/// the telemetry report uses, floored low enough to keep the full grid
+/// affordable under the fixed measurement window.
+fn grid_targets(scale: f64) -> usize {
+    ((25_600.0 * scale).round() as usize).max(32)
+}
+
+fn bench_backends(c: &mut Criterion) {
+    for scale in [1e-4, 1e-3, 5e-3] {
+        let targets: Vec<RealignmentTarget> =
+            bench_workload(scale).targets(grid_targets(scale), 0x7E1E);
+        let mut group = c.benchmark_group(format!("system_run_scale_{scale:e}"));
+        for units in [1usize, 8, 32] {
+            let params = FpgaParams {
+                num_units: units,
+                ..FpgaParams::serial()
+            };
+            for (backend_name, backend) in [
+                ("engine", SimBackend::EventDriven),
+                ("legacy", SimBackend::LegacyStepper),
+            ] {
+                let system = AcceleratedSystem::new(params, Scheduling::Asynchronous)
+                    .expect("serial config fits at every unit count")
+                    .with_backend(backend);
+                group.bench_function(format!("units_{units:02}_{backend_name}"), |b| {
+                    b.iter(|| system.run(black_box(&targets)))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -48,10 +48,10 @@ fn main() {
 
     let sync = AcceleratedSystem::new(params, Scheduling::Synchronous)
         .expect("4-unit config fits")
-        .run_traced(&targets);
+        .run_telemetry(&targets);
     let asynchronous = AcceleratedSystem::new(params, Scheduling::Asynchronous)
         .expect("4-unit config fits")
-        .run_traced(&targets);
+        .run_telemetry(&targets);
 
     // Per-target compute times: same-sized targets, very different work.
     let mut table = Table::new(vec![

@@ -14,25 +14,42 @@
 //! emitted JSON, and prints the bottleneck report derived from the
 //! per-unit cycle accounting.
 //!
+//! By default the runs go through the discrete-event engine with a shared
+//! [`FunctionalOracle`], so the three configurations reuse each other's
+//! memoized unit results where their datapath parameters coincide. Pass
+//! `--legacy-stepper` to force the original cycle-stepping schedulers —
+//! the outputs are bitwise identical (CI diffs the trace files across the
+//! two backends byte for byte); only the wall clock differs.
+//!
 //! The cross-check at the end measures the paper's Figure 7 claim: the
 //! asynchronous scheduler removes the worst-case idle time that
 //! synchronous batch flushes leave on the slowest-matched units.
 
 use std::fs;
+use std::time::Instant;
 
 use ir_bench::{bench_workload, results_dir, scale_from_env, Table};
-use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling};
+use ir_fpga::{AcceleratedSystem, FpgaParams, FunctionalOracle, Scheduling, SimBackend};
 use ir_telemetry::json::validate_json;
 
-/// Fixed target count (like the resilience sweep) so per-unit statistics
-/// are meaningful even at the default laptop scale.
-const REPORT_TARGETS: usize = 256;
+/// Target count floor so per-unit statistics are meaningful even at the
+/// default laptop scale; above it the count tracks `IR_SCALE` so the
+/// report exercises the simulator at the scale the user asked for.
+fn report_targets(scale: f64) -> usize {
+    ((51_200.0 * scale).round() as usize).max(64)
+}
 
 fn main() {
+    let legacy = std::env::args().any(|a| a == "--legacy-stepper");
+    let backend = if legacy {
+        SimBackend::LegacyStepper
+    } else {
+        SimBackend::EventDriven
+    };
     let scale = scale_from_env();
-    let targets = bench_workload(scale).targets(REPORT_TARGETS, 0x7E1E);
+    let targets = bench_workload(scale).targets(report_targets(scale), 0x7E1E);
     println!(
-        "Telemetry report ({} targets, bench-profile workload at scale {scale})\n",
+        "Telemetry report ({} targets, bench-profile workload at scale {scale}, {backend:?} backend)\n",
         targets.len()
     );
 
@@ -46,6 +63,9 @@ fn main() {
         ("iracc", FpgaParams::iracc(), Scheduling::Asynchronous),
     ];
 
+    // Host wall-clock is printed to stdout only: every emitted artifact
+    // (counter CSVs, traces, this summary table) stays deterministic and
+    // byte-identical across backends and repeat runs.
     let mut summary = Table::new(vec![
         "config",
         "wall ms",
@@ -57,12 +77,20 @@ fn main() {
         "trace events",
     ]);
     let mut worst_idle = Vec::new();
+    let mut oracle = FunctionalOracle::new();
 
     for (name, params, scheduling) in configs {
         let system = AcceleratedSystem::new(params, scheduling)
             .expect("paper configurations fit the VU9P")
-            .with_telemetry(true);
-        let run = system.run(&targets);
+            .with_telemetry(true)
+            .with_backend(backend);
+        let host_start = Instant::now();
+        let run = if legacy {
+            system.run(&targets)
+        } else {
+            system.run_with_oracle(&targets, &mut oracle)
+        };
+        let host_s = host_start.elapsed().as_secs_f64();
         let snapshot = run.telemetry.as_ref().expect("telemetry enabled");
 
         let csv_path = results_dir().join(format!("telemetry_{name}.csv"));
@@ -83,9 +111,10 @@ fn main() {
         );
         println!("{}", report.render());
         println!(
-            "[csv] {}\n[trace] {}\n",
+            "[csv] {}\n[trace] {}\n[host] {:.1} ms on the {backend:?} backend\n",
             csv_path.display(),
-            trace_path.display()
+            trace_path.display(),
+            host_s * 1e3
         );
 
         let max_idle = report

@@ -14,6 +14,7 @@
 //! instance time inflate — the host-side twin of the on-fabric fault
 //! model in `ir-fpga`.
 
+use ir_sim::{EventQueue, SimTime};
 use ir_telemetry::{SpanKind, Telemetry, Track};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -226,6 +227,22 @@ impl SpotRun {
     }
 }
 
+/// Spot-replay events on one instance's [`EventQueue`]. A job completion
+/// scheduled for the same instant as an interruption wins the tie
+/// (checkpoint-then-interrupt), which the queue encodes as a lower
+/// priority; completions scheduled before an interruption landed are
+/// invalidated by bumping the restart epoch rather than by queue surgery.
+#[derive(Debug, Clone, Copy)]
+enum FleetEv {
+    /// The in-flight job finishes (valid only if `epoch` is current).
+    JobDone { epoch: u64 },
+    /// The spot market reclaims the instance.
+    Interrupt,
+}
+
+const PRIO_JOB_DONE: u64 = 0;
+const PRIO_INTERRUPT: u64 = 1;
+
 /// Replays `schedule` (built by [`schedule_jobs`] over `durations_s`)
 /// on spot capacity: each instance works through its assigned jobs in
 /// longest-first order while seeded exponential interarrivals interrupt
@@ -233,6 +250,11 @@ impl SpotRun {
 /// [`CheckpointPolicy::None`], everything the instance completed since
 /// its last (re)start — then charges [`SpotMarket::restart_overhead_s`]
 /// before work resumes.
+///
+/// Each instance is replayed as a discrete-event simulation on the
+/// [`ir_sim`] clock: the only events are job completions and market
+/// interruptions, so the makespan costs two queue operations per state
+/// change instead of any stepping.
 ///
 /// The same seed, schedule and market reproduce the same run.
 ///
@@ -314,74 +336,123 @@ pub fn simulate_spot_schedule_traced(
         // an infinite makespan instead of spinning.
         let mut restarts_here = 0u64;
         const RESTART_CAP: u64 = 100_000;
-        while job < queue.len() {
-            if restarts_here >= RESTART_CAP {
-                clock = f64::INFINITY;
-                break;
+        let mut epoch = 0u64;
+        let mut events: EventQueue<FleetEv> = EventQueue::new();
+        if job < queue.len() {
+            events.push(
+                SimTime::from_seconds(clock + queue[job].1),
+                PRIO_JOB_DONE,
+                0,
+                FleetEv::JobDone { epoch },
+            );
+            if next_interrupt.is_finite() {
+                events.push(
+                    SimTime::from_seconds(next_interrupt),
+                    PRIO_INTERRUPT,
+                    0,
+                    FleetEv::Interrupt,
+                );
             }
-            let (job_idx, remaining) = queue[job];
-            if clock + remaining <= next_interrupt {
-                // The chromosome completes (and checkpoints) first.
-                if tele.is_enabled() {
-                    tele.span(
-                        Track::Instance(instance),
-                        SpanKind::Job,
-                        &format!("chr job {job_idx}"),
-                        Some(job_idx),
-                        clock,
-                        clock + remaining,
+        }
+        while let Some(ev) = events.pop() {
+            match ev.msg {
+                FleetEv::JobDone { epoch: e } => {
+                    if e != epoch {
+                        // Superseded by an interruption; the live copy of
+                        // this job was rescheduled after the restart.
+                        continue;
+                    }
+                    // The chromosome completes (and checkpoints) first.
+                    let (job_idx, remaining) = queue[job];
+                    if tele.is_enabled() {
+                        tele.span(
+                            Track::Instance(instance),
+                            SpanKind::Job,
+                            &format!("chr job {job_idx}"),
+                            Some(job_idx),
+                            clock,
+                            clock + remaining,
+                        );
+                    }
+                    tele.add("fleet", "jobs_completed", 1);
+                    clock += remaining;
+                    done_since_restart += remaining;
+                    job += 1;
+                    if job >= queue.len() {
+                        break;
+                    }
+                    events.push(
+                        SimTime::from_seconds(clock + queue[job].1),
+                        PRIO_JOB_DONE,
+                        0,
+                        FleetEv::JobDone { epoch },
                     );
                 }
-                tele.add("fleet", "jobs_completed", 1);
-                clock += remaining;
-                done_since_restart += remaining;
-                job += 1;
-                continue;
+                FleetEv::Interrupt => {
+                    interruptions += 1;
+                    restarts_here += 1;
+                    let job_idx = queue[job].0;
+                    let in_flight = next_interrupt - clock;
+                    lost_work_s += in_flight;
+                    tele.add("fleet", "interruptions", 1);
+                    tele.add("fleet", "lost_work_ms", (in_flight * 1e3).round() as u64);
+                    if tele.is_enabled() {
+                        tele.span(
+                            Track::Instance(instance),
+                            SpanKind::Job,
+                            &format!("chr job {job_idx} (interrupted)"),
+                            Some(job_idx),
+                            clock,
+                            next_interrupt,
+                        );
+                        tele.span(
+                            Track::Instance(instance),
+                            SpanKind::Restart,
+                            "spot restart",
+                            None,
+                            next_interrupt,
+                            next_interrupt + market.restart_overhead_s,
+                        );
+                    }
+                    if checkpoint == CheckpointPolicy::None {
+                        lost_work_s += done_since_restart;
+                        tele.add("fleet", "jobs_redone", job as u64);
+                        tele.add(
+                            "fleet",
+                            "lost_work_ms",
+                            (done_since_restart * 1e3).round() as u64,
+                        );
+                        job = 0;
+                    }
+                    done_since_restart = 0.0;
+                    clock = next_interrupt + market.restart_overhead_s;
+                    overhead_s += market.restart_overhead_s;
+                    tele.add(
+                        "fleet",
+                        "overhead_ms",
+                        (market.restart_overhead_s * 1e3).round() as u64,
+                    );
+                    let u: f64 = rng.random();
+                    next_interrupt = clock + -(1.0 - u).ln() / lambda;
+                    epoch += 1;
+                    if restarts_here >= RESTART_CAP {
+                        clock = f64::INFINITY;
+                        break;
+                    }
+                    events.push(
+                        SimTime::from_seconds(clock + queue[job].1),
+                        PRIO_JOB_DONE,
+                        0,
+                        FleetEv::JobDone { epoch },
+                    );
+                    events.push(
+                        SimTime::from_seconds(next_interrupt),
+                        PRIO_INTERRUPT,
+                        0,
+                        FleetEv::Interrupt,
+                    );
+                }
             }
-            interruptions += 1;
-            restarts_here += 1;
-            let in_flight = next_interrupt - clock;
-            lost_work_s += in_flight;
-            tele.add("fleet", "interruptions", 1);
-            tele.add("fleet", "lost_work_ms", (in_flight * 1e3).round() as u64);
-            if tele.is_enabled() {
-                tele.span(
-                    Track::Instance(instance),
-                    SpanKind::Job,
-                    &format!("chr job {job_idx} (interrupted)"),
-                    Some(job_idx),
-                    clock,
-                    next_interrupt,
-                );
-                tele.span(
-                    Track::Instance(instance),
-                    SpanKind::Restart,
-                    "spot restart",
-                    None,
-                    next_interrupt,
-                    next_interrupt + market.restart_overhead_s,
-                );
-            }
-            if checkpoint == CheckpointPolicy::None {
-                lost_work_s += done_since_restart;
-                tele.add("fleet", "jobs_redone", job as u64);
-                tele.add(
-                    "fleet",
-                    "lost_work_ms",
-                    (done_since_restart * 1e3).round() as u64,
-                );
-                job = 0;
-            }
-            done_since_restart = 0.0;
-            clock = next_interrupt + market.restart_overhead_s;
-            overhead_s += market.restart_overhead_s;
-            tele.add(
-                "fleet",
-                "overhead_ms",
-                (market.restart_overhead_s * 1e3).round() as u64,
-            );
-            let u: f64 = rng.random();
-            next_interrupt = clock + -(1.0 - u).ln() / lambda;
         }
         tele.gauge_max("fleet", "restarts_per_instance_hwm", restarts_here);
         paid_instance_s += clock;

@@ -153,6 +153,138 @@ pub fn run_pair(consensus: &Sequence, read: &Sequence, quals: &Qual, cfg: HdcCon
     }
 }
 
+/// Equivalence-preserving fast path for [`run_pair`]: same [`PairRun`],
+/// computed without stepping every modeled cycle.
+///
+/// This is the kernel behind the event-driven backend — where the engine
+/// jumps the clock to a unit's completion event, this jumps the *cycle
+/// accounting* to the scan's outcome. Two shapes are accelerated:
+///
+/// - **Serial with immediate pruning** (`lanes == 1`,
+///   `prune_latency_blocks == 0`): the per-base running sum is monotone
+///   nondecreasing, so the prune point is the first prefix exceeding the
+///   running minimum. Chunked prefix sums find it without the per-base
+///   branch: if a whole chunk cannot cross the minimum it is folded in one
+///   addition, otherwise the chunk is replayed base-by-base to the exact
+///   stop index.
+/// - **Drain covers the whole scan** (`nblocks ≤ prune_latency_blocks +
+///   1`): the prune verdict can never retire the scan before block
+///   exhaustion, so every block issues regardless — the full-window WHD,
+///   `n` comparisons and `nblocks` cycles, with the offset counted pruned
+///   exactly when its total exceeds the running minimum. This covers the
+///   32-lane design for reads up to `3 × lanes` bases.
+///
+/// Any other configuration falls back to [`run_pair`] itself, so the
+/// equality `run_pair_fast(..) == run_pair(..)` holds unconditionally
+/// (asserted exhaustively by the differential proptest below).
+///
+/// # Panics
+///
+/// As [`run_pair`].
+pub fn run_pair_fast(
+    consensus: &Sequence,
+    read: &Sequence,
+    quals: &Qual,
+    cfg: HdcConfig,
+) -> PairRun {
+    assert!(cfg.lanes > 0, "HDC must have at least one lane");
+    let cons = consensus.bases();
+    let bases = read.bases();
+    let scores = quals.scores();
+    assert!(bases.len() <= cons.len(), "read longer than consensus");
+    assert!(scores.len() >= bases.len(), "missing quality scores");
+
+    let n = bases.len();
+    let max_k = cons.len() - n;
+    let mut min = MinWhd {
+        whd: u64::MAX,
+        offset: 0,
+    };
+    let mut cycles = cfg.pair_overhead_cycles;
+    let mut comparisons = 0u64;
+    let mut offsets_pruned = 0u64;
+    let nblocks = n.div_ceil(cfg.lanes) as u64;
+
+    if cfg.pruning && cfg.lanes == 1 && cfg.prune_latency_blocks == 0 {
+        // Chunk size balances the prefix-sum fold against replay cost on
+        // the chunk that crosses the minimum.
+        const CHUNK: usize = 16;
+        for k in 0..=max_k {
+            let win = &cons[k..k + n];
+            let mut whd = 0u64;
+            let mut visited = 0usize;
+            let mut stopped = false;
+            'scan: while visited < n {
+                let end = (visited + CHUNK).min(n);
+                // Scores are ≤ 255 and CHUNK ≤ 16, so a u32 cannot overflow.
+                let mut chunk_sum = 0u32;
+                for ((&c, &b), &s) in win[visited..end]
+                    .iter()
+                    .zip(&bases[visited..end])
+                    .zip(&scores[visited..end])
+                {
+                    chunk_sum += u32::from(c != b) * u32::from(s);
+                }
+                if whd + u64::from(chunk_sum) > min.whd {
+                    // The prune point is inside this chunk: replay it
+                    // base-by-base to charge the exact visited count.
+                    for ((&c, &b), &s) in win[visited..end]
+                        .iter()
+                        .zip(&bases[visited..end])
+                        .zip(&scores[visited..end])
+                    {
+                        visited += 1;
+                        if c != b {
+                            whd += u64::from(s);
+                            if whd > min.whd {
+                                stopped = true;
+                                break 'scan;
+                            }
+                        }
+                    }
+                } else {
+                    whd += u64::from(chunk_sum);
+                    visited = end;
+                }
+            }
+            comparisons += visited as u64;
+            cycles += visited as u64;
+            if stopped {
+                offsets_pruned += 1;
+            } else if whd < min.whd {
+                min = MinWhd { whd, offset: k };
+            }
+        }
+    } else if cfg.pruning && nblocks <= cfg.prune_latency_blocks + 1 {
+        // Even if block 0 trips the comparator, `prune_latency_blocks`
+        // more blocks issue before the stop lands — which is all of them.
+        for k in 0..=max_k {
+            let win = &cons[k..k + n];
+            let mut whd = 0u32;
+            for i in 0..n {
+                whd += u32::from(win[i] != bases[i]) * u32::from(scores[i]);
+            }
+            let whd = u64::from(whd);
+            comparisons += n as u64;
+            cycles += nblocks;
+            if whd > min.whd {
+                offsets_pruned += 1;
+            } else if whd < min.whd {
+                min = MinWhd { whd, offset: k };
+            }
+        }
+    } else {
+        return run_pair(consensus, read, quals, cfg);
+    }
+    debug_assert_ne!(min.whd, u64::MAX, "offset 0 always completes");
+    PairRun {
+        min,
+        cycles,
+        comparisons,
+        offsets_pruned,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +431,93 @@ mod tests {
             },
         );
         assert_eq!(with_overhead.cycles, base.cycles + 7);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_fixture() {
+        let (cons, read, quals) = fixture();
+        for cfg in [HdcConfig::serial(), HdcConfig::data_parallel()] {
+            assert_eq!(
+                run_pair_fast(&cons, &read, &quals, cfg),
+                run_pair(&cons, &read, &quals, cfg),
+                "cfg {cfg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_falls_back_outside_accelerated_shapes() {
+        // lanes=32 with a long read (nblocks > drain+1) and a no-pruning
+        // config both take the fallback; results must still match.
+        let cons: Sequence = "ACGT".repeat(80).parse().unwrap();
+        let read: Sequence = "TTGCA".repeat(30).parse().unwrap();
+        let quals = Qual::uniform(22, read.len()).unwrap();
+        for cfg in [
+            HdcConfig::data_parallel(),
+            HdcConfig {
+                pruning: false,
+                ..HdcConfig::serial()
+            },
+            HdcConfig {
+                lanes: 4,
+                prune_latency_blocks: 1,
+                ..HdcConfig::serial()
+            },
+        ] {
+            assert_eq!(
+                run_pair_fast(&cons, &read, &quals, cfg),
+                run_pair(&cons, &read, &quals, cfg),
+                "cfg {cfg:?}"
+            );
+        }
+    }
+
+    mod fast_path_differential {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn base_strategy() -> impl Strategy<Value = u8> {
+            prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')]
+        }
+
+        fn pair_strategy() -> impl Strategy<Value = (Sequence, Sequence, Qual)> {
+            (4usize..=96, 0usize..=64).prop_flat_map(|(read_len, slack)| {
+                let cons_len = read_len + slack;
+                (
+                    prop::collection::vec(base_strategy(), cons_len),
+                    prop::collection::vec(base_strategy(), read_len),
+                    prop::collection::vec(0u8..=60, read_len),
+                )
+                    .prop_map(|(cons, read, quals)| {
+                        let cons: Sequence = String::from_utf8(cons).unwrap().parse().unwrap();
+                        let read: Sequence = String::from_utf8(read).unwrap().parse().unwrap();
+                        let quals = Qual::from_raw_scores(&quals).unwrap();
+                        (cons, read, quals)
+                    })
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn fast_equals_reference_everywhere(
+                (cons, read, quals) in pair_strategy(),
+                lanes in prop_oneof![Just(1usize), Just(4), Just(32)],
+                pruning in any::<bool>(),
+                latency in 0u64..=2,
+            ) {
+                let cfg = HdcConfig {
+                    lanes,
+                    pruning,
+                    pair_overhead_cycles: 2,
+                    prune_latency_blocks: latency,
+                };
+                prop_assert_eq!(
+                    run_pair_fast(&cons, &read, &quals, cfg),
+                    run_pair(&cons, &read, &quals, cfg)
+                );
+            }
+        }
     }
 
     #[test]

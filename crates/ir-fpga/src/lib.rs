@@ -72,12 +72,14 @@ pub mod isa;
 pub mod layout;
 pub mod mem;
 pub mod mmio;
+pub mod oracle;
 pub mod resources;
 pub mod rocc;
 pub mod selector;
 pub mod system;
 pub mod unit;
 
+mod engine;
 mod error;
 mod params;
 
@@ -86,7 +88,10 @@ pub use error::FpgaError;
 pub use fault::{FaultCounts, FaultPlan, FaultRates};
 pub use ir_telemetry::{BottleneckReport, PerfCounters, Telemetry, TelemetrySnapshot};
 pub use isa::{BufferIndex, IrCommand};
+pub use oracle::FunctionalOracle;
 pub use params::{ClockRecipe, FpgaParams};
 pub use rocc::RoccInstruction;
-pub use system::{AcceleratedSystem, Scheduling, SystemRun, TimelineEvent, TimelinePhase};
+pub use system::{
+    AcceleratedSystem, Scheduling, SimBackend, SystemRun, TimelineEvent, TimelinePhase,
+};
 pub use unit::{IrUnit, UnitCycles};

@@ -1,0 +1,176 @@
+//! The functional oracle: a memoized front-end over the unit datapath
+//! model.
+//!
+//! The discrete-event backend separates *what* a unit computes (the
+//! [`UnitRun`]: grid, outcomes, cycle breakdown) from *when* the schedule
+//! makes it happen. The "what" is a pure function of the target and the
+//! handful of [`FpgaParams`] fields the datapath reads — so when the same
+//! workload is replayed under several configurations that share those
+//! fields (e.g. the synchronous and asynchronous schedulers over identical
+//! serial parameters, or a legacy-vs-engine differential run), every
+//! simulation after the first is a cache hit.
+//!
+//! The oracle computes through [`simulate_target_fast`], the
+//! equivalence-preserving jump-to-outcome kernel, so even cold misses skip
+//! per-cycle stepping.
+
+use std::collections::HashMap;
+
+use ir_genome::RealignmentTarget;
+
+use crate::params::FpgaParams;
+use crate::unit::{simulate_target_fast, UnitRun};
+
+/// The [`FpgaParams`] fields that determine a [`UnitRun`]. Everything else
+/// (unit count, clock, DMA, latencies) only moves work around in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TimingKey {
+    lanes: usize,
+    pruning: bool,
+    pair_overhead_cycles: u64,
+    bus_bytes: u64,
+    /// `compute_overhead` by bit pattern, so the key stays `Eq + Hash`.
+    compute_overhead_bits: u64,
+}
+
+impl TimingKey {
+    fn of(params: &FpgaParams) -> Self {
+        TimingKey {
+            lanes: params.lanes,
+            pruning: params.pruning,
+            pair_overhead_cycles: params.pair_overhead_cycles,
+            bus_bytes: params.bus_bytes,
+            compute_overhead_bits: params.compute_overhead.to_bits(),
+        }
+    }
+}
+
+/// Memoizes [`UnitRun`]s across runs of one fixed workload.
+///
+/// Targets are identified by their index in the submitted slice, so one
+/// oracle serves exactly one workload: create a fresh oracle when the
+/// target set changes. Hits return clones — callers (the resilience layer
+/// in particular) are free to mutate the returned run.
+///
+/// # Example
+///
+/// ```
+/// use ir_fpga::{FpgaParams, FunctionalOracle};
+/// use ir_genome::{Qual, Read, RealignmentTarget};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let target = RealignmentTarget::builder(20)
+///     .reference("CCTTAGA".parse()?)
+///     .consensus("ACCTGAA".parse()?)
+///     .read(Read::new("r0", "TGAA".parse()?, Qual::from_raw_scores(&[10, 20, 45, 10])?, 0)?)
+///     .build()?;
+/// let mut oracle = FunctionalOracle::new();
+/// let first = oracle.simulate(&target, 0, &FpgaParams::serial());
+/// let again = oracle.simulate(&target, 0, &FpgaParams::serial());
+/// assert_eq!(first, again);
+/// assert_eq!(oracle.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct FunctionalOracle {
+    cache: HashMap<(TimingKey, usize), UnitRun>,
+}
+
+impl FunctionalOracle {
+    /// An empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The [`UnitRun`] for `target` (at `index` in its workload) under
+    /// `params` — cached, or computed through the fast kernel and cached.
+    pub fn simulate(
+        &mut self,
+        target: &RealignmentTarget,
+        index: usize,
+        params: &FpgaParams,
+    ) -> UnitRun {
+        let key = (TimingKey::of(params), index);
+        if let Some(run) = self.cache.get(&key) {
+            return run.clone();
+        }
+        let run = simulate_target_fast(target, params);
+        self.cache.insert(key, run.clone());
+        run
+    }
+
+    /// Number of memoized (configuration, target) entries.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::simulate_target;
+    use ir_genome::{Qual, Read};
+
+    fn target() -> RealignmentTarget {
+        RealignmentTarget::builder(20)
+            .reference("CCTTAGA".parse().unwrap())
+            .consensus("ACCTGAA".parse().unwrap())
+            .read(
+                Read::new(
+                    "r0",
+                    "TGAA".parse().unwrap(),
+                    Qual::from_raw_scores(&[10, 20, 45, 10]).unwrap(),
+                    0,
+                )
+                .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn oracle_matches_direct_simulation() {
+        let t = target();
+        let mut oracle = FunctionalOracle::new();
+        for params in [FpgaParams::serial(), FpgaParams::iracc()] {
+            assert_eq!(
+                oracle.simulate(&t, 0, &params),
+                simulate_target(&t, &params)
+            );
+        }
+        assert_eq!(oracle.len(), 2, "distinct timing keys cache separately");
+    }
+
+    #[test]
+    fn timing_irrelevant_params_share_entries() {
+        let t = target();
+        let mut oracle = FunctionalOracle::new();
+        let serial = FpgaParams::serial();
+        let fewer_units = FpgaParams {
+            num_units: 4,
+            cmd_latency_s: 1e-3,
+            ..serial
+        };
+        let a = oracle.simulate(&t, 0, &serial);
+        let b = oracle.simulate(&t, 0, &fewer_units);
+        assert_eq!(a, b);
+        assert_eq!(oracle.len(), 1, "unit count and latencies don't key");
+    }
+
+    #[test]
+    fn mutating_a_returned_run_does_not_poison_the_cache() {
+        let t = target();
+        let mut oracle = FunctionalOracle::new();
+        let mut first = oracle.simulate(&t, 0, &FpgaParams::serial());
+        first.comparisons = 0;
+        first.cycles = Default::default();
+        let second = oracle.simulate(&t, 0, &FpgaParams::serial());
+        assert_ne!(second.comparisons, 0);
+    }
+}

@@ -7,6 +7,7 @@ use std::collections::BinaryHeap;
 
 use ir_genome::{RealignmentTarget, TargetShape};
 use ir_telemetry::{SpanKind, Telemetry, TelemetrySnapshot, Track};
+use serde::{Deserialize, Serialize};
 
 use crate::arbiter::contention_stats;
 use crate::dma::DmaParams;
@@ -15,6 +16,7 @@ use crate::fault::{FaultPlan, ResponseFault};
 use crate::isa::IrCommand;
 use crate::layout::{decode_outputs, encode_outputs};
 use crate::mem::burst_stats;
+use crate::oracle::FunctionalOracle;
 use crate::params::FpgaParams;
 use crate::resources::{validate, ResourceReport};
 use crate::unit::{simulate_target, UnitRun};
@@ -43,7 +45,22 @@ pub enum Scheduling {
     Asynchronous,
 }
 
-use serde::{Deserialize, Serialize};
+/// Which simulation core advances the modeled clock.
+///
+/// Both backends produce bitwise-identical [`SystemRun`]s, telemetry
+/// snapshots and traces (asserted by `tests/event_parity.rs`); they differ
+/// only in host wall-clock. The event-driven core is the default; the
+/// stepper survives as the differential-testing reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SimBackend {
+    /// The [`ir_sim`] discrete-event engine: units, DMA and the watchdog
+    /// are components and the clock jumps between state changes.
+    #[default]
+    EventDriven,
+    /// The original inline schedulers stepping the HDC kernel
+    /// cycle-by-cycle.
+    LegacyStepper,
+}
 
 /// What a timeline interval represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -92,7 +109,7 @@ pub struct SystemRun {
     pub unit_busy_s: Vec<f64>,
     /// Timeline of transfer/compute intervals, derived from the telemetry
     /// trace (populated whenever telemetry is enabled, e.g. by
-    /// [`AcceleratedSystem::run_traced`] or
+    /// [`AcceleratedSystem::run_telemetry`] or
     /// [`AcceleratedSystem::with_telemetry`]).
     pub timeline: Vec<TimelineEvent>,
     /// Recovery accounting (only populated by
@@ -142,12 +159,12 @@ impl SystemRun {
 /// [`crate::driver::HostDriver`] policy machinery at the timing level:
 /// instead of replaying transfers through queues it charges the cycles
 /// each recovery action costs to the unit that paid them.
-struct FaultState<'a> {
-    plan: &'a mut FaultPlan,
-    policy: &'a ResiliencePolicy,
-    report: ResilienceReport,
-    failures: Vec<u32>,
-    quarantined: Vec<bool>,
+pub(crate) struct FaultState<'a> {
+    pub(crate) plan: &'a mut FaultPlan,
+    pub(crate) policy: &'a ResiliencePolicy,
+    pub(crate) report: ResilienceReport,
+    pub(crate) failures: Vec<u32>,
+    pub(crate) quarantined: Vec<bool>,
 }
 
 impl FaultState<'_> {
@@ -165,7 +182,12 @@ impl FaultState<'_> {
     /// falls back to the software result (cycles zeroed — the fabric
     /// never finished it), and a corrupt read-back that escapes sampled
     /// verification replaces `run.outcomes` with the corrupt decode.
-    fn resolve(&mut self, target: &RealignmentTarget, run: &mut UnitRun, unit: usize) -> u64 {
+    pub(crate) fn resolve(
+        &mut self,
+        target: &RealignmentTarget,
+        run: &mut UnitRun,
+        unit: usize,
+    ) -> u64 {
         let policy = *self.policy;
         let mut extra = 0u64;
         let mut succeeded = false;
@@ -259,23 +281,23 @@ impl FaultState<'_> {
 /// One dispatched target's observables, handed to [`TeleAcc`]. Everything
 /// here is a value the scheduler already computed — recording it cannot
 /// perturb timing.
-struct DispatchRecord<'a> {
-    unit: usize,
-    target_index: usize,
-    start_s: f64,
-    busy_s: f64,
+pub(crate) struct DispatchRecord<'a> {
+    pub(crate) unit: usize,
+    pub(crate) target_index: usize,
+    pub(crate) start_s: f64,
+    pub(crate) busy_s: f64,
     /// Integer cycles the unit was busy (compute + fault-recovery extra).
-    busy_cycles: u64,
+    pub(crate) busy_cycles: u64,
     /// Seconds this dispatch stalled the unit (data wait, config,
     /// response).
-    stall_s: f64,
+    pub(crate) stall_s: f64,
     /// Portion of the stall spent waiting on DMA data specifically.
-    dma_wait_s: f64,
+    pub(crate) dma_wait_s: f64,
     /// Units concurrently streaming/computing, including this one (drives
     /// the 32:1 arbiter counters).
-    active_units: u64,
-    run: &'a UnitRun,
-    shape: &'a TargetShape,
+    pub(crate) active_units: u64,
+    pub(crate) run: &'a UnitRun,
+    pub(crate) shape: &'a TargetShape,
 }
 
 /// The telemetry accumulator both schedulers thread their observations
@@ -283,11 +305,11 @@ struct DispatchRecord<'a> {
 /// it gathers per-unit cycle ledgers, block counters and spans, then
 /// [`TeleAcc::finalize`] closes the books so that for every unit
 /// `busy + stall + quarantined + idle == total` holds exactly.
-struct TeleAcc {
-    tele: Telemetry,
+pub(crate) struct TeleAcc {
+    pub(crate) tele: Telemetry,
     cycle_s: f64,
     busy_cycles: Vec<u64>,
-    stall_s: Vec<f64>,
+    pub(crate) stall_s: Vec<f64>,
     dispatches: Vec<u64>,
     /// Wall time at which the unit was quarantined (`f64::INFINITY` =
     /// never); cycles from then to the end of the run are charged as
@@ -296,7 +318,7 @@ struct TeleAcc {
 }
 
 impl TeleAcc {
-    fn new(enabled: bool, units: usize, cycle_s: f64) -> Self {
+    pub(crate) fn new(enabled: bool, units: usize, cycle_s: f64) -> Self {
         TeleAcc {
             tele: Telemetry::with_enabled(enabled),
             cycle_s,
@@ -307,7 +329,7 @@ impl TeleAcc {
         }
     }
 
-    fn enabled(&self) -> bool {
+    pub(crate) fn enabled(&self) -> bool {
         self.tele.is_enabled()
     }
 
@@ -322,7 +344,7 @@ impl TeleAcc {
     /// Records one DMA descriptor chain: chain-level counters plus one
     /// transfer span per carried target (the spans reconstruct the
     /// Figure 7 timeline).
-    fn record_chain(&mut self, targets: &[usize], bytes: u64, start_s: f64, end_s: f64) {
+    pub(crate) fn record_chain(&mut self, targets: &[usize], bytes: u64, start_s: f64, end_s: f64) {
         if !self.enabled() {
             return;
         }
@@ -343,7 +365,7 @@ impl TeleAcc {
         }
     }
 
-    fn record_quarantine(&mut self, unit: usize, at_s: f64) {
+    pub(crate) fn record_quarantine(&mut self, unit: usize, at_s: f64) {
         if self.enabled() {
             self.quarantine_at_s[unit] = self.quarantine_at_s[unit].min(at_s);
         }
@@ -352,7 +374,7 @@ impl TeleAcc {
     /// Records one target landing on one unit: the compute span, per-unit
     /// ledger entries, and every block-level counter the dispatch touches
     /// (HDC, 5:1 and 32:1 arbiters, DDR, BRAM occupancy).
-    fn record_dispatch(&mut self, params: &FpgaParams, d: DispatchRecord) {
+    pub(crate) fn record_dispatch(&mut self, params: &FpgaParams, d: DispatchRecord) {
         if !self.enabled() {
             return;
         }
@@ -448,7 +470,7 @@ impl TeleAcc {
     /// quarantined cycles are rounded from seconds and clamped so the
     /// conservation invariant `busy + stall + quarantined + idle == total`
     /// holds exactly, with idle as the derived remainder.
-    fn finalize(
+    pub(crate) fn finalize(
         mut self,
         wall_s: f64,
         command_s: f64,
@@ -490,7 +512,7 @@ impl TeleAcc {
 
 /// Rebuilds the [`TimelineEvent`] list older consumers (the Figure 7
 /// gantt renderers) expect from the recorded trace spans.
-fn timeline_from_snapshot(snapshot: &TelemetrySnapshot) -> Vec<TimelineEvent> {
+pub(crate) fn timeline_from_snapshot(snapshot: &TelemetrySnapshot) -> Vec<TimelineEvent> {
     snapshot
         .trace
         .events
@@ -531,6 +553,7 @@ pub struct AcceleratedSystem {
     dma: DmaParams,
     resources: ResourceReport,
     telemetry: bool,
+    backend: SimBackend,
 }
 
 impl AcceleratedSystem {
@@ -548,6 +571,7 @@ impl AcceleratedSystem {
             dma: DmaParams::default(),
             resources,
             telemetry: false,
+            backend: SimBackend::default(),
         })
     }
 
@@ -569,6 +593,25 @@ impl AcceleratedSystem {
     /// Whether telemetry collection is enabled.
     pub fn telemetry_enabled(&self) -> bool {
         self.telemetry
+    }
+
+    /// Selects the simulation core (defaults to
+    /// [`SimBackend::EventDriven`]). Both backends are observationally
+    /// equivalent; [`SimBackend::LegacyStepper`] exists for differential
+    /// testing and as the `--legacy-stepper` escape hatch in the benches.
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The simulation core in use.
+    pub fn backend(&self) -> SimBackend {
+        self.backend
+    }
+
+    /// The PCIe DMA parameters in use.
+    pub fn dma_params(&self) -> &DmaParams {
+        &self.dma
     }
 
     /// The validated FPGA parameters.
@@ -594,17 +637,24 @@ impl AcceleratedSystem {
     }
 
     /// Runs `targets` with telemetry forced on, regardless of the
-    /// [`Self::with_telemetry`] flag.
+    /// [`Self::with_telemetry`] flag. The timeline older consumers (the
+    /// Figure 7 gantt renderers) expect is derived from the telemetry
+    /// trace, which subsumes it.
     pub fn run_telemetry(&self, targets: &[RealignmentTarget]) -> SystemRun {
         self.run_inner(targets, true, None)
     }
 
-    /// Runs `targets` and records the full transfer/compute timeline
-    /// (use for small target sets, e.g. the Figure 7 reproduction).
-    /// Equivalent to [`Self::run_telemetry`]: the timeline is derived from
-    /// the telemetry trace, which subsumes it.
-    pub fn run_traced(&self, targets: &[RealignmentTarget]) -> SystemRun {
-        self.run_inner(targets, true, None)
+    /// Runs `targets` through the event-driven core with a shared
+    /// [`FunctionalOracle`], so replays of the same workload under other
+    /// configurations reuse every memoized [`UnitRun`]. Ignores the
+    /// backend selection — the oracle only exists on the engine path.
+    /// Telemetry follows [`Self::with_telemetry`].
+    pub fn run_with_oracle(
+        &self,
+        targets: &[RealignmentTarget],
+        oracle: &mut FunctionalOracle,
+    ) -> SystemRun {
+        crate::engine::run_event_driven(self, targets, self.telemetry, None, Some(oracle))
     }
 
     /// Runs `targets` with fault injection and the host resilience
@@ -654,16 +704,23 @@ impl AcceleratedSystem {
         telemetry: bool,
         fault: Option<&mut FaultState>,
     ) -> SystemRun {
-        match self.scheduling {
-            Scheduling::Synchronous
-            | Scheduling::SynchronousUnsorted
-            | Scheduling::SynchronousByWorstCase => self.run_synchronous(targets, telemetry, fault),
-            Scheduling::Asynchronous => self.run_asynchronous(targets, telemetry, fault),
+        match self.backend {
+            SimBackend::EventDriven => {
+                crate::engine::run_event_driven(self, targets, telemetry, fault, None)
+            }
+            SimBackend::LegacyStepper => match self.scheduling {
+                Scheduling::Synchronous
+                | Scheduling::SynchronousUnsorted
+                | Scheduling::SynchronousByWorstCase => {
+                    self.run_synchronous(targets, telemetry, fault)
+                }
+                Scheduling::Asynchronous => self.run_asynchronous(targets, telemetry, fault),
+            },
         }
     }
 
     /// Host time to configure and start one target.
-    fn config_time_s(&self, target: &RealignmentTarget) -> f64 {
+    pub(crate) fn config_time_s(&self, target: &RealignmentTarget) -> f64 {
         IrCommand::commands_per_target(target.num_consensuses()) as f64 * self.params.cmd_latency_s
     }
 
@@ -1131,11 +1188,11 @@ mod tests {
     }
 
     #[test]
-    fn traced_run_produces_timeline() {
+    fn telemetry_run_produces_timeline() {
         let targets = small_workload();
         let run = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Synchronous)
             .unwrap()
-            .run_traced(&targets);
+            .run_telemetry(&targets);
         let transfers = run
             .timeline
             .iter()

@@ -10,12 +10,13 @@ use ir_core::{MinWhd, MinWhdGrid, ReadOutcome};
 use ir_genome::{RealignmentTarget, TargetShape};
 
 use crate::fault::FaultPlan;
-use crate::hdc::{run_pair, HdcConfig};
+use crate::hdc::{run_pair, run_pair_fast, HdcConfig, PairRun};
 use crate::isa::{BufferIndex, IrCommand};
 use crate::mem;
 use crate::params::FpgaParams;
 use crate::selector::run_selector;
 use crate::FpgaError;
+use ir_genome::{Qual, Sequence};
 
 /// Per-phase cycle counts for one target on one unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -307,9 +308,28 @@ impl IrUnit {
 }
 
 /// Runs one target through the unit datapath model without the command
-/// plumbing — the fast path the system scheduler uses. Functional results
+/// plumbing — the path the system scheduler uses. Functional results
 /// are identical to [`ir_core::IndelRealigner`].
+///
+/// This variant steps the HDC kernel cycle-by-cycle ([`run_pair`]); the
+/// event-driven backend uses [`simulate_target_fast`], which produces the
+/// identical [`UnitRun`] through the jump-to-outcome kernel.
 pub fn simulate_target(target: &RealignmentTarget, params: &FpgaParams) -> UnitRun {
+    simulate_with(target, params, run_pair)
+}
+
+/// [`simulate_target`] through the equivalence-preserving fast HDC kernel
+/// ([`run_pair_fast`]). Returns a bitwise-identical [`UnitRun`]; only host
+/// wall-clock differs.
+pub fn simulate_target_fast(target: &RealignmentTarget, params: &FpgaParams) -> UnitRun {
+    simulate_with(target, params, run_pair_fast)
+}
+
+fn simulate_with(
+    target: &RealignmentTarget,
+    params: &FpgaParams,
+    pair_fn: fn(&Sequence, &Sequence, &Qual, HdcConfig) -> PairRun,
+) -> UnitRun {
     let shape = target.shape();
     let hdc_cfg = HdcConfig {
         lanes: params.lanes,
@@ -326,7 +346,7 @@ pub fn simulate_target(target: &RealignmentTarget, params: &FpgaParams) -> UnitR
         let cons = target.consensus(i);
         for j in 0..shape.num_reads {
             let read = target.read(j);
-            let pair = run_pair(cons, read.bases(), read.quals(), hdc_cfg);
+            let pair = pair_fn(cons, read.bases(), read.quals(), hdc_cfg);
             hdc_cycles += pair.cycles;
             comparisons += pair.comparisons;
             offsets_pruned += pair.offsets_pruned;
@@ -533,6 +553,17 @@ mod tests {
             run.cycles.hdc,
             golden.ops().base_comparisons + pairs * FpgaParams::serial().pair_overhead_cycles
         );
+    }
+
+    #[test]
+    fn fast_simulation_is_bitwise_identical() {
+        let target = figure4_target();
+        for params in [FpgaParams::serial(), FpgaParams::iracc()] {
+            assert_eq!(
+                simulate_target_fast(&target, &params),
+                simulate_target(&target, &params)
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! The scheduler loop: components, contexts, and the engine.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A message type deliverable through the engine.
+///
+/// `tick()` is the distinguished self-wake message posted when a
+/// component's [`Component::wake`] returns `Some(next_wake)`.
+pub trait SimEvent {
+    /// The self-wake ("timer fired") message.
+    fn tick() -> Self;
+}
+
+/// A simulation component: a unit, arbiter, DMA engine, watchdog — any
+/// piece of modeled hardware or host logic that reacts to messages.
+///
+/// Components never busy-wait. They are woken by the engine with a
+/// message, mutate their state, optionally post messages to other
+/// components through [`Ctx`], and either go quiescent (return `None`) or
+/// request a timed self-wake (`Some(next_wake)` posts `Event::tick()` back
+/// to them at that time, with the component's own index as the priority).
+pub trait Component {
+    /// The message type this component exchanges.
+    type Event: SimEvent;
+
+    /// Handles `msg` at simulated time `now`. Returns the next self-wake
+    /// time, if any. Returning `Some(t)` with `t < now` is a bug and
+    /// panics in debug builds.
+    fn wake(
+        &mut self,
+        now: SimTime,
+        msg: Self::Event,
+        ctx: &mut Ctx<Self::Event>,
+    ) -> Option<SimTime>;
+}
+
+/// The posting surface handed to a component inside [`Component::wake`].
+///
+/// Wraps the event queue so a component can schedule messages without
+/// owning the engine, plus bookkeeping the engine needs afterwards.
+#[derive(Debug)]
+pub struct Ctx<'q, M> {
+    queue: &'q mut EventQueue<M>,
+    /// Set by the engine loop: index of the component currently awake.
+    current: usize,
+    /// When true, the engine stops after this wake returns, leaving any
+    /// remaining events in the queue.
+    halt: bool,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Schedules `msg` for component `dst` at absolute time `time`.
+    /// `priority` breaks ties among events at the same timestamp (lower
+    /// pops first); insertion order breaks priority ties.
+    pub fn post(&mut self, dst: usize, time: SimTime, priority: u64, msg: M) {
+        self.queue.push(time, priority, dst, msg);
+    }
+
+    /// Schedules `msg` for `dst` at `now + delay_s`. A zero delay is
+    /// legal and delivers in the current timestamp after already-queued
+    /// same-time, same-priority events (FIFO).
+    pub fn post_in(&mut self, dst: usize, now: SimTime, delay_s: f64, priority: u64, msg: M) {
+        self.queue.push(now + delay_s, priority, dst, msg);
+    }
+
+    /// The index of the component currently being woken.
+    pub fn self_id(&self) -> usize {
+        self.current
+    }
+
+    /// Stops the engine after the current wake returns. Remaining queued
+    /// events are dropped.
+    pub fn halt(&mut self) {
+        self.halt = true;
+    }
+
+    /// Number of events pending in the queue (excluding the one being
+    /// handled).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A typed endpoint for addressing one component: bundles the destination
+/// index and a default tie-break priority so wiring reads as
+/// `port.send(ctx, now, msg)` instead of raw index arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Port {
+    /// Destination component index.
+    pub dst: usize,
+    /// Default tie-break priority for messages through this port.
+    pub priority: u64,
+}
+
+impl Port {
+    /// A port to component `dst` with tie-break `priority`.
+    pub fn new(dst: usize, priority: u64) -> Self {
+        Port { dst, priority }
+    }
+
+    /// Posts `msg` through this port at absolute `time`.
+    pub fn send<M>(&self, ctx: &mut Ctx<M>, time: SimTime, msg: M) {
+        ctx.post(self.dst, time, self.priority, msg);
+    }
+
+    /// Posts `msg` through this port at `now + delay_s`.
+    pub fn send_in<M>(&self, ctx: &mut Ctx<M>, now: SimTime, delay_s: f64, msg: M) {
+        ctx.post_in(self.dst, now, delay_s, self.priority, msg);
+    }
+}
+
+/// The discrete-event engine: an event queue plus the run loop that wakes
+/// components until the queue drains (or a component halts it).
+///
+/// The engine does not own the components — `run` borrows them as a slice
+/// of trait objects so the caller keeps ownership and can extract results
+/// afterwards. Component index in that slice is its address for
+/// [`Ctx::post`].
+#[derive(Debug)]
+pub struct Engine<M> {
+    queue: EventQueue<M>,
+    now: SimTime,
+    events_processed: u64,
+}
+
+impl<M: SimEvent> Default for Engine<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: SimEvent> Engine<M> {
+    /// A fresh engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events_processed: 0,
+        }
+    }
+
+    /// Seeds an event before (or between) runs.
+    pub fn post(&mut self, dst: usize, time: SimTime, priority: u64, msg: M) {
+        self.queue.push(time, priority, dst, msg);
+    }
+
+    /// The current simulated time: the timestamp of the last delivered
+    /// event ([`SimTime::ZERO`] before any).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events delivered across all `run` calls.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Runs until the queue drains or a component calls [`Ctx::halt`].
+    /// Returns the final simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event addresses a component index out of bounds, or
+    /// (debug builds) if time would move backwards.
+    pub fn run(&mut self, components: &mut [&mut dyn Component<Event = M>]) -> SimTime {
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(
+                ev.time >= self.now,
+                "event queue returned a timestamp in the past: {} < {}",
+                ev.time,
+                self.now
+            );
+            self.now = ev.time;
+            self.events_processed += 1;
+            let dst = ev.dst;
+            assert!(
+                dst < components.len(),
+                "event addressed to component {dst}, but only {} registered",
+                components.len()
+            );
+            let mut ctx = Ctx {
+                queue: &mut self.queue,
+                current: dst,
+                halt: false,
+            };
+            let next_wake = components[dst].wake(ev.time, ev.msg, &mut ctx);
+            let halted = ctx.halt;
+            if let Some(t) = next_wake {
+                debug_assert!(
+                    t >= self.now,
+                    "component {dst} requested a wake in the past: {t} < {}",
+                    self.now
+                );
+                self.queue.push(t, dst as u64, dst, M::tick());
+            }
+            if halted {
+                break;
+            }
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Tick,
+        Ping(u32),
+    }
+    impl SimEvent for Msg {
+        fn tick() -> Self {
+            Msg::Tick
+        }
+    }
+
+    /// Logs every delivery as (now_s, payload) for order assertions.
+    struct Probe {
+        log: Vec<(f64, Msg)>,
+        replies: Vec<(usize, f64, u64, Msg)>,
+        self_wake_in: Option<f64>,
+        halt_after: Option<usize>,
+    }
+
+    impl Probe {
+        fn new() -> Self {
+            Probe {
+                log: Vec::new(),
+                replies: Vec::new(),
+                self_wake_in: None,
+                halt_after: None,
+            }
+        }
+    }
+
+    impl Component for Probe {
+        type Event = Msg;
+        fn wake(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<Msg>) -> Option<SimTime> {
+            self.log.push((now.seconds(), msg));
+            for (dst, delay, prio, m) in self.replies.drain(..) {
+                ctx.post_in(dst, now, delay, prio, m);
+            }
+            if let Some(n) = self.halt_after {
+                if self.log.len() >= n {
+                    ctx.halt();
+                }
+            }
+            self.self_wake_in.take().map(|d| now + d)
+        }
+    }
+
+    #[test]
+    fn delivers_in_time_order_across_components() {
+        let mut a = Probe::new();
+        let mut b = Probe::new();
+        let mut eng = Engine::new();
+        eng.post(1, SimTime::from_seconds(2.0), 0, Msg::Ping(2));
+        eng.post(0, SimTime::from_seconds(1.0), 0, Msg::Ping(1));
+        let end = eng.run(&mut [&mut a, &mut b]);
+        assert_eq!(a.log, vec![(1.0, Msg::Ping(1))]);
+        assert_eq!(b.log, vec![(2.0, Msg::Ping(2))]);
+        assert_eq!(end, SimTime::from_seconds(2.0));
+        assert_eq!(eng.events_processed(), 2);
+    }
+
+    #[test]
+    fn zero_delay_self_wake_fires_at_same_timestamp() {
+        // A component posting to itself with zero delay must be woken
+        // again at the *same* simulated time, after any same-time events
+        // already queued — not skipped, not reordered earlier.
+        struct SelfWaker {
+            wakes: Vec<f64>,
+        }
+        impl Component for SelfWaker {
+            type Event = Msg;
+            fn wake(&mut self, now: SimTime, _msg: Msg, ctx: &mut Ctx<Msg>) -> Option<SimTime> {
+                self.wakes.push(now.seconds());
+                if self.wakes.len() < 3 {
+                    ctx.post_in(0, now, 0.0, 0, Msg::Ping(0));
+                }
+                None
+            }
+        }
+        let mut c = SelfWaker { wakes: Vec::new() };
+        let mut eng = Engine::new();
+        eng.post(0, SimTime::from_seconds(5.0), 0, Msg::Ping(0));
+        eng.run(&mut [&mut c]);
+        assert_eq!(c.wakes, vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn returned_next_wake_posts_tick_at_component_priority() {
+        let mut a = Probe::new();
+        a.self_wake_in = Some(1.0);
+        let mut eng = Engine::new();
+        eng.post(0, SimTime::ZERO, 0, Msg::Ping(9));
+        eng.run(&mut [&mut a]);
+        assert_eq!(a.log, vec![(0.0, Msg::Ping(9)), (1.0, Msg::Tick)]);
+    }
+
+    #[test]
+    fn run_drains_on_empty_queue_and_is_resumable() {
+        let mut a = Probe::new();
+        let mut eng = Engine::new();
+        // Empty run: no events, time stays at zero.
+        assert_eq!(eng.run(&mut [&mut a]), SimTime::ZERO);
+        assert!(a.log.is_empty());
+        // Seed and run again: the engine resumes from where it stopped.
+        eng.post(0, SimTime::from_seconds(3.0), 0, Msg::Ping(1));
+        assert_eq!(eng.run(&mut [&mut a]), SimTime::from_seconds(3.0));
+        assert_eq!(a.log.len(), 1);
+    }
+
+    #[test]
+    fn same_time_same_priority_is_fifo_across_posters() {
+        let mut a = Probe::new();
+        let mut eng = Engine::new();
+        for i in 0..10 {
+            eng.post(0, SimTime::from_seconds(1.0), 3, Msg::Ping(i));
+        }
+        eng.run(&mut [&mut a]);
+        let order: Vec<u32> = a
+            .log
+            .iter()
+            .map(|(_, m)| match m {
+                Msg::Ping(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn priority_beats_insertion_order_at_same_time() {
+        let mut a = Probe::new();
+        let mut eng = Engine::new();
+        eng.post(0, SimTime::from_seconds(1.0), 7, Msg::Ping(70));
+        eng.post(0, SimTime::from_seconds(1.0), 2, Msg::Ping(20));
+        eng.run(&mut [&mut a]);
+        assert_eq!(a.log[0].1, Msg::Ping(20));
+        assert_eq!(a.log[1].1, Msg::Ping(70));
+    }
+
+    #[test]
+    fn halt_stops_delivery_immediately() {
+        let mut a = Probe::new();
+        a.halt_after = Some(1);
+        let mut eng = Engine::new();
+        eng.post(0, SimTime::from_seconds(1.0), 0, Msg::Ping(1));
+        eng.post(0, SimTime::from_seconds(2.0), 0, Msg::Ping(2));
+        eng.run(&mut [&mut a]);
+        assert_eq!(a.log.len(), 1, "second event must not be delivered");
+    }
+
+    #[test]
+    fn port_sends_with_bundled_priority() {
+        let mut a = Probe::new();
+        let mut b = Probe::new();
+        // a relays to b through a port on first wake.
+        struct Relay {
+            port: Port,
+        }
+        impl Component for Relay {
+            type Event = Msg;
+            fn wake(&mut self, now: SimTime, _msg: Msg, ctx: &mut Ctx<Msg>) -> Option<SimTime> {
+                self.port.send_in(ctx, now, 0.5, Msg::Ping(42));
+                None
+            }
+        }
+        let mut relay = Relay {
+            port: Port::new(2, 0),
+        };
+        let mut eng = Engine::new();
+        eng.post(0, SimTime::ZERO, 0, Msg::Ping(0));
+        eng.run(&mut [&mut relay, &mut a, &mut b]);
+        assert!(a.log.is_empty());
+        assert_eq!(b.log, vec![(0.5, Msg::Ping(42))]);
+    }
+
+    #[test]
+    fn determinism_two_identical_runs_identical_logs() {
+        let run = || {
+            let mut a = Probe::new();
+            let mut eng = Engine::new();
+            for i in 0..50 {
+                eng.post(
+                    0,
+                    SimTime::from_seconds(f64::from(i % 7) * 0.1),
+                    u64::from(i % 3),
+                    Msg::Ping(i),
+                );
+            }
+            eng.run(&mut [&mut a]);
+            a.log
+        };
+        assert_eq!(run(), run());
+    }
+}

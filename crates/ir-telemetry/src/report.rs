@@ -46,6 +46,31 @@ impl TelemetrySnapshot {
         self.trace.to_chrome_json()
     }
 
+    /// Whether two snapshots are *bitwise* identical: all counters,
+    /// gauges and histograms equal, and every trace span equal with its
+    /// timestamps compared by bit pattern rather than float equality
+    /// (`-0.0 != 0.0`, `NaN == NaN`). This is the equivalence the
+    /// event-driven and legacy simulation backends are held to in
+    /// `tests/event_parity.rs`.
+    pub fn bitwise_eq(&self, other: &TelemetrySnapshot) -> bool {
+        self.counters == other.counters
+            && self.trace.events.len() == other.trace.events.len()
+            && self
+                .trace
+                .events
+                .iter()
+                .zip(&other.trace.events)
+                .all(|(a, b)| {
+                    a.track == b.track
+                        && a.kind == b.kind
+                        && a.name == b.name
+                        && a.target == b.target
+                        && a.args == b.args
+                        && a.start_s.to_bits() == b.start_s.to_bits()
+                        && a.end_s.to_bits() == b.end_s.to_bits()
+                })
+    }
+
     /// Serializes the registry as `kind,key,value` CSV rows (header
     /// included). Histograms expand to their summary stats plus non-empty
     /// buckets keyed by bucket lower bound.

@@ -13,6 +13,10 @@
 //! - [`baselines`] — GATK3-, ADAM- and GPU-like software baselines.
 //! - [`workloads`] — synthetic NA12878-like workload generation.
 //! - [`cloud`] — AWS EC2 instance catalogue and cost analysis.
+//! - [`sim`] — the deterministic discrete-event engine the accelerator
+//!   and fleet models are scheduled on ([`sim::Engine`],
+//!   [`sim::Component`], [`sim::EventQueue`]).
+//! - [`telemetry`] — perf-counter registry and Perfetto trace emitter.
 //!
 //! # Quickstart
 //!
@@ -38,5 +42,6 @@ pub use ir_cloud as cloud;
 pub use ir_core as core;
 pub use ir_fpga as fpga;
 pub use ir_genome as genome;
+pub use ir_sim as sim;
 pub use ir_telemetry as telemetry;
 pub use ir_workloads as workloads;

@@ -146,7 +146,7 @@ fn traced_timeline_is_consistent_with_wall_time() {
     };
     let run = AcceleratedSystem::new(params, Scheduling::Asynchronous)
         .expect("fits")
-        .run_traced(&targets);
+        .run_telemetry(&targets);
     assert!(!run.timeline.is_empty());
     let latest = run.timeline.iter().map(|e| e.end_s).fold(0.0f64, f64::max);
     assert!(latest <= run.wall_time_s + 1e-9);

@@ -159,13 +159,13 @@ fn chrome_trace_is_valid_json_with_spans() {
 }
 
 #[test]
-fn run_traced_still_produces_the_timeline() {
-    // `run_traced` predates the telemetry subsystem; it now derives its
-    // timeline from the tracer and must keep its original shape.
+fn run_telemetry_still_produces_the_timeline() {
+    // `run_telemetry` forces telemetry on and derives the legacy
+    // timeline from the tracer; it must keep its original shape.
     let targets = workload(12);
     let system = AcceleratedSystem::new(FpgaParams::serial(), Scheduling::Asynchronous)
         .expect("serial fits");
-    let run = system.run_traced(&targets);
+    let run = system.run_telemetry(&targets);
     assert_eq!(run.timeline.len(), 2 * targets.len());
     assert!(run.telemetry.is_some(), "traced runs carry the snapshot");
 }

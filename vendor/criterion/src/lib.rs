@@ -127,6 +127,12 @@ impl BenchmarkGroup<'_> {
         self.throughput = Some(throughput);
     }
 
+    /// Accepted for upstream API parity; the fixed measurement window
+    /// ignores the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
     /// Runs one benchmark in the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
         let mut b = Bencher {
