@@ -8,7 +8,7 @@
 //! uneven targets) is demonstrable rather than assumed.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
 
 use crossbeam::thread;
 
@@ -18,6 +18,12 @@ use ir_genome::RealignmentTarget;
 /// Realigns `targets` on `threads` OS threads with dynamic (work-stealing
 /// counter) distribution, returning per-target results in input order
 /// plus summed operation counts.
+///
+/// Results flow back over an index-stamped channel and are scattered into
+/// their slots by the collecting thread, so workers never serialize on a
+/// shared-results lock; operation counts are summed from the collected
+/// results in input order, which keeps the totals deterministic (and
+/// identical to a serial run) regardless of thread interleaving.
 ///
 /// # Panics
 ///
@@ -41,43 +47,41 @@ pub fn realign_parallel(
     realigner: IndelRealigner,
 ) -> (Vec<RealignmentResult>, OpCounts) {
     assert!(threads > 0, "at least one thread required");
-    let slots: Vec<Option<RealignmentResult>> = (0..targets.len()).map(|_| None).collect();
-    let total_ops = Mutex::new(OpCounts::default());
     let next = AtomicUsize::new(0);
-    let slots_mutex = Mutex::new(slots);
+    let (tx, rx) = mpsc::channel::<(usize, RealignmentResult)>();
 
+    let mut slots: Vec<Option<RealignmentResult>> = (0..targets.len()).map(|_| None).collect();
     thread::scope(|scope| {
-        let (next, slots, total_ops) = (&next, &slots_mutex, &total_ops);
+        let (next, realigner) = (&next, &realigner);
         for _ in 0..threads {
-            scope.spawn(move |_| {
-                let mut local_ops = OpCounts::default();
-                let mut local: Vec<(usize, RealignmentResult)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= targets.len() {
-                        break;
-                    }
-                    let result = realigner.realign(&targets[i]);
-                    local_ops += result.ops();
-                    local.push((i, result));
+            let tx = tx.clone();
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= targets.len() {
+                    break;
                 }
-                let mut slots = slots.lock().expect("no worker panicked");
-                for (i, result) in local {
-                    slots[i] = Some(result);
-                }
-                *total_ops.lock().expect("no worker panicked") += local_ops;
+                let result = realigner.realign(&targets[i]);
+                tx.send((i, result)).expect("collector outlives workers");
             });
+        }
+        // Collect while workers run; each (index, result) lands in its own
+        // slot, so no write ever contends with another.
+        drop(tx);
+        for (i, result) in rx {
+            debug_assert!(slots[i].is_none(), "each target is realigned once");
+            slots[i] = Some(result);
         }
     })
     .expect("worker threads join");
 
-    let results = slots_mutex
-        .into_inner()
-        .expect("workers joined")
+    let results: Vec<RealignmentResult> = slots
         .into_iter()
         .map(|r| r.expect("every target processed"))
         .collect();
-    let ops = *total_ops.lock().expect("workers joined");
+    let mut ops = OpCounts::default();
+    for result in &results {
+        ops += result.ops();
+    }
     (results, ops)
 }
 

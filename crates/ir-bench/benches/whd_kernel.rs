@@ -4,9 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use ir_core::{calc_whd, calc_whd_bounded};
-use ir_fpga::hdc::{run_pair, HdcConfig};
-use ir_genome::{Base, Qual, Sequence};
+use ir_core::{calc_whd, calc_whd_bounded, calc_whd_bounded_packed, calc_whd_packed};
+use ir_fpga::hdc::{run_pair, run_pair_fast_packed, HdcConfig};
+use ir_genome::{Base, PackedSequence, Qual, Sequence};
 
 fn sequence(len: usize, salt: usize) -> Sequence {
     (0..len)
@@ -45,6 +45,81 @@ fn bench_calc_whd(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar vs SWAR kernel across read lengths, on the two fixture shapes
+/// that bracket real workloads: a read sampled from the consensus (sparse
+/// mismatches — the common case once candidate haplotypes are decent) and
+/// an unrelated read (dense mismatches — the adversarial case where every
+/// lane accumulates). Sequences are packed outside the timing loop, which
+/// matches deployment: the unit packs each target once and reuses the
+/// words across all `m - n + 1` offsets.
+fn bench_scalar_vs_packed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whd_scalar_vs_packed");
+    for n in [62usize, 100, 250] {
+        let m = n + 448;
+        let cons = sequence(m, 1);
+        let quals = Qual::uniform(35, n).unwrap();
+        let sparse = cons.slice(17, 17 + n);
+        let dense = sequence(n, 2);
+        let packed_cons = PackedSequence::from(&cons);
+        for (shape, read) in [("sparse", &sparse), ("dense", &dense)] {
+            let packed_read = PackedSequence::from(read);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("scalar_{shape}"), n),
+                &(),
+                |b, ()| {
+                    b.iter(|| calc_whd(black_box(&cons), black_box(read), black_box(&quals), 17))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("packed_{shape}"), n),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        calc_whd_packed(
+                            black_box(&packed_cons),
+                            black_box(&packed_read),
+                            black_box(&quals),
+                            17,
+                        )
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("scalar_bounded_{shape}"), n),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        calc_whd_bounded(
+                            black_box(&cons),
+                            black_box(read),
+                            black_box(&quals),
+                            17,
+                            100,
+                        )
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("packed_bounded_{shape}"), n),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        calc_whd_bounded_packed(
+                            black_box(&packed_cons),
+                            black_box(&packed_read),
+                            black_box(&quals),
+                            17,
+                            100,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_hdc_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("hdc_pair_scan");
     let (m, n) = (510usize, 62usize);
@@ -68,8 +143,32 @@ fn bench_hdc_scan(c: &mut Criterion) {
             b.iter(|| run_pair(black_box(&cons), black_box(&read), black_box(&quals), cfg))
         });
     }
+    // The SWAR jump-to-outcome kernel against the cycle-stepped reference,
+    // on the same fixtures (it returns the identical PairRun).
+    let packed_cons = PackedSequence::from(&cons);
+    let packed_read = PackedSequence::from(&read);
+    for (name, cfg) in [
+        ("serial_pruned_packed", HdcConfig::serial()),
+        ("data_parallel_packed", HdcConfig::data_parallel()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_pair_fast_packed(
+                    black_box(&packed_cons),
+                    black_box(&packed_read),
+                    black_box(&quals),
+                    cfg,
+                )
+            })
+        });
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_calc_whd, bench_hdc_scan);
+criterion_group!(
+    benches,
+    bench_calc_whd,
+    bench_scalar_vs_packed,
+    bench_hdc_scan
+);
 criterion_main!(benches);

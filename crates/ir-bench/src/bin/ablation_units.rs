@@ -5,16 +5,33 @@
 //! with the number of units available", until the 32-unit block-RAM
 //! ceiling.
 
-use ir_bench::{bench_workload, scale_from_env, Table};
+use ir_bench::{bench_workload, parallel_sweep, scale_from_env, threads_from_env, Table};
 use ir_fpga::resources::max_units;
 use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling};
 use ir_genome::Chromosome;
 
 fn main() {
     let scale = scale_from_env();
+    let threads = threads_from_env();
     let generator = bench_workload(scale);
     let workload = generator.chromosome(Chromosome::Autosome(20));
-    println!("Unit-count scaling (scale {scale}, Ch20, async, data-parallel units)\n");
+    println!(
+        "Unit-count scaling (scale {scale}, Ch20, async, data-parallel units, {threads} host threads)\n"
+    );
+
+    // Each unit count is an independent simulation of the same targets;
+    // results come back in input order, so the 1-unit baseline for the
+    // speedup column is runs[0] exactly as in a serial sweep.
+    let unit_counts = [1usize, 2, 4, 8, 16, 32];
+    let runs = parallel_sweep(&unit_counts, threads, |&units| {
+        let params = FpgaParams {
+            num_units: units,
+            ..FpgaParams::iracc()
+        };
+        AcceleratedSystem::new(params, Scheduling::Asynchronous)
+            .expect("fits")
+            .run(&workload.targets)
+    });
 
     let mut table = Table::new(vec![
         "units",
@@ -22,18 +39,8 @@ fn main() {
         "speedup vs 1 unit",
         "scaling efficiency",
     ]);
-    let mut one_unit_wall = 0.0;
-    for units in [1usize, 2, 4, 8, 16, 32] {
-        let params = FpgaParams {
-            num_units: units,
-            ..FpgaParams::iracc()
-        };
-        let run = AcceleratedSystem::new(params, Scheduling::Asynchronous)
-            .expect("fits")
-            .run(&workload.targets);
-        if units == 1 {
-            one_unit_wall = run.wall_time_s;
-        }
+    let one_unit_wall = runs[0].wall_time_s;
+    for (&units, run) in unit_counts.iter().zip(&runs) {
         let speedup = one_unit_wall / run.wall_time_s;
         table.row(vec![
             units.to_string(),

@@ -7,7 +7,7 @@
 //! out of 4 units idle for a majority of the total runtime"; the
 //! asynchronous scheme launches a target the moment a unit frees.
 
-use ir_bench::Table;
+use ir_bench::{parallel_sweep, threads_from_env, Table};
 use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling, SystemRun, TimelinePhase};
 use ir_workloads::scheduling_toy_targets;
 
@@ -39,19 +39,29 @@ fn gantt(run: &SystemRun, units: usize, label: &str) {
 }
 
 fn main() {
-    println!("Figure 7: scheduling the IR units — synchronous vs asynchronous\n");
+    let threads = threads_from_env();
+    println!(
+        "Figure 7: scheduling the IR units — synchronous vs asynchronous ({threads} host threads)\n"
+    );
     let targets = scheduling_toy_targets();
     let params = FpgaParams {
         num_units: 4,
         ..FpgaParams::serial()
     };
 
-    let sync = AcceleratedSystem::new(params, Scheduling::Synchronous)
-        .expect("4-unit config fits")
-        .run_telemetry(&targets);
-    let asynchronous = AcceleratedSystem::new(params, Scheduling::Asynchronous)
-        .expect("4-unit config fits")
-        .run_telemetry(&targets);
+    // The two schedules are independent replays of the same toy workload;
+    // input-order collection keeps [sync, async] stable for the report.
+    let schedules = [Scheduling::Synchronous, Scheduling::Asynchronous];
+    let mut runs = parallel_sweep(&schedules, threads, |&scheduling| {
+        AcceleratedSystem::new(params, scheduling)
+            .expect("4-unit config fits")
+            .run_telemetry(&targets)
+    })
+    .into_iter();
+    let (sync, asynchronous) = (
+        runs.next().expect("synchronous run"),
+        runs.next().expect("asynchronous run"),
+    );
 
     // Per-target compute times: same-sized targets, very different work.
     let mut table = Table::new(vec![

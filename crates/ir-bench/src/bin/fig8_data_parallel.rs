@@ -6,22 +6,38 @@
 //! below the ideal 32× because pruning coarsens from per-byte to
 //! per-block granularity and the prune verdict lags the adder tree.
 
-use ir_bench::{bench_workload, Table};
-use ir_fpga::hdc::{run_pair, HdcConfig};
+use ir_bench::{bench_workload, parallel_sweep, threads_from_env, Table};
+use ir_fpga::hdc::{run_pair_fast_packed, HdcConfig};
+use ir_genome::{PackedSequence, Qual};
 
 fn main() {
-    println!("Figure 8: data-parallel Hamming distance calculator — lane sweep\n");
+    let threads = threads_from_env();
+    println!(
+        "Figure 8: data-parallel Hamming distance calculator — lane sweep ({threads} host threads)\n"
+    );
     let generator = bench_workload(1.0); // scale unused for direct target sampling
     let targets = generator.targets(64, 0xf18);
 
-    let mut table = Table::new(vec![
-        "lanes",
-        "HDC cycles",
-        "speedup vs serial",
-        "executed comparisons",
-    ]);
-    let mut serial_cycles = 0u64;
-    for lanes in [1usize, 2, 4, 8, 16, 32] {
+    // Pack every (consensus, read) pair once; all six lane configurations
+    // scan the same packed words through the SWAR kernel, which produces
+    // the identical PairRun to the cycle-stepped reference.
+    let pairs: Vec<(PackedSequence, PackedSequence, &Qual)> = targets
+        .iter()
+        .flat_map(|target| {
+            (0..target.num_consensuses()).flat_map(move |i| {
+                (0..target.num_reads()).map(move |j| {
+                    (
+                        PackedSequence::from(target.consensus(i)),
+                        PackedSequence::from(target.read(j).bases()),
+                        target.read(j).quals(),
+                    )
+                })
+            })
+        })
+        .collect();
+
+    let lane_counts = [1usize, 2, 4, 8, 16, 32];
+    let totals = parallel_sweep(&lane_counts, threads, |&lanes| {
         let cfg = HdcConfig {
             lanes,
             prune_latency_blocks: if lanes > 1 { 2 } else { 0 },
@@ -29,23 +45,22 @@ fn main() {
         };
         let mut cycles = 0u64;
         let mut comparisons = 0u64;
-        for target in &targets {
-            for i in 0..target.num_consensuses() {
-                for j in 0..target.num_reads() {
-                    let run = run_pair(
-                        target.consensus(i),
-                        target.read(j).bases(),
-                        target.read(j).quals(),
-                        cfg,
-                    );
-                    cycles += run.cycles;
-                    comparisons += run.comparisons;
-                }
-            }
+        for (cons, read, quals) in &pairs {
+            let run = run_pair_fast_packed(cons, read, quals, cfg);
+            cycles += run.cycles;
+            comparisons += run.comparisons;
         }
-        if lanes == 1 {
-            serial_cycles = cycles;
-        }
+        (cycles, comparisons)
+    });
+
+    let mut table = Table::new(vec![
+        "lanes",
+        "HDC cycles",
+        "speedup vs serial",
+        "executed comparisons",
+    ]);
+    let serial_cycles = totals[0].0;
+    for (&lanes, &(cycles, comparisons)) in lane_counts.iter().zip(&totals) {
         table.row(vec![
             lanes.to_string(),
             cycles.to_string(),

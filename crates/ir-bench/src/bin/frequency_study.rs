@@ -7,12 +7,13 @@
 //! the paper adds combinational logic (the 32-lane calculator) instead of
 //! chasing frequency.
 
-use ir_bench::Table;
+use ir_bench::{parallel_sweep, threads_from_env, Table};
 use ir_fpga::resources::{critical_path_ns, routing_fraction, timing_slack_ns};
 use ir_fpga::ClockRecipe;
 
 fn main() {
-    println!("Clock-recipe study: timing closure vs unit count\n");
+    let threads = threads_from_env();
+    println!("Clock-recipe study: timing closure vs unit count ({threads} host threads)\n");
     let mut table = Table::new(vec![
         "units",
         "critical path ns",
@@ -21,9 +22,14 @@ fn main() {
         "slack @250 MHz ns",
         "250 MHz closes?",
     ]);
-    for units in [4usize, 8, 16, 24, 32] {
-        let slack_125 = timing_slack_ns(ClockRecipe::Mhz125, units);
-        let slack_250 = timing_slack_ns(ClockRecipe::Mhz250, units);
+    let unit_counts = [4usize, 8, 16, 24, 32];
+    let slacks = parallel_sweep(&unit_counts, threads, |&units| {
+        (
+            timing_slack_ns(ClockRecipe::Mhz125, units),
+            timing_slack_ns(ClockRecipe::Mhz250, units),
+        )
+    });
+    for (&units, &(slack_125, slack_250)) in unit_counts.iter().zip(&slacks) {
         table.row(vec![
             units.to_string(),
             format!("{:.2}", critical_path_ns(units)),

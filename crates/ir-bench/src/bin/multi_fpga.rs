@@ -7,7 +7,7 @@
 //! time on worst-case work) and reports scaling efficiency and cost per
 //! unit of work — quantifying whether the "sea of seas" pays.
 
-use ir_bench::{bench_workload, scale_from_env, Table};
+use ir_bench::{bench_workload, parallel_sweep, scale_from_env, threads_from_env, Table};
 use ir_cloud::{run_cost_usd, schedule_jobs, Instance};
 use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling};
 
@@ -15,6 +15,7 @@ fn main() {
     // Each FPGA-count point re-runs the whole pool, so cap the scale to
     // keep the four-point sweep affordable.
     let scale = scale_from_env().min(2e-3);
+    let threads = threads_from_env();
     let generator = bench_workload(scale);
     // Whole-genome target pool: sharding granularity matters only when
     // each shard still holds enough targets to amortize stragglers.
@@ -27,24 +28,19 @@ fn main() {
         .map(|t| t.shape().worst_case_comparisons() as f64)
         .sum();
     println!(
-        "Multi-FPGA sharding (scale {scale}, Ch1–22 pool of {} targets)\n",
+        "Multi-FPGA sharding (scale {scale}, Ch1–22 pool of {} targets, {threads} host threads)\n",
         targets.len()
     );
 
     let system =
         AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous).expect("iracc fits");
 
-    let mut table = Table::new(vec![
-        "FPGAs",
-        "wall s",
-        "speedup",
-        "scaling efficiency",
-        "instance",
-        "cost $/Tcmp",
-    ]);
-    let mut one_fpga_wall = 0.0f64;
-    for fpgas in [1usize, 2, 4, 8] {
-        // LPT-shard targets by worst-case work, then run each shard.
+    // Each FPGA-count point LPT-shards the pool and replays every shard —
+    // the points are independent, so they sweep in parallel; derived
+    // columns (speedup vs the 1-FPGA wall) come from the input-ordered
+    // results afterwards.
+    let fpga_counts = [1usize, 2, 4, 8];
+    let walls = parallel_sweep(&fpga_counts, threads, |&fpgas| {
         let work: Vec<f64> = targets
             .iter()
             .map(|t| t.shape().worst_case_comparisons() as f64)
@@ -54,14 +50,23 @@ fn main() {
         for (t, &fpga) in schedule.assignments.iter().enumerate() {
             shards[fpga].push(targets[t].clone());
         }
-        let wall = shards
+        shards
             .iter()
             .filter(|s| !s.is_empty())
             .map(|shard| system.run(shard).wall_time_s)
-            .fold(0.0f64, f64::max);
-        if fpgas == 1 {
-            one_fpga_wall = wall;
-        }
+            .fold(0.0f64, f64::max)
+    });
+
+    let mut table = Table::new(vec![
+        "FPGAs",
+        "wall s",
+        "speedup",
+        "scaling efficiency",
+        "instance",
+        "cost $/Tcmp",
+    ]);
+    let one_fpga_wall = walls[0];
+    for (&fpgas, &wall) in fpga_counts.iter().zip(&walls) {
         let speedup = one_fpga_wall / wall;
         let instance = if fpgas == 1 {
             Instance::f1_2xlarge()

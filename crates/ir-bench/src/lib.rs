@@ -6,6 +6,9 @@
 //! - [`scale_from_env`] — the `IR_SCALE` knob mapping the paper's
 //!   full-genome workload down to laptop scale (default `1e-4`, i.e.
 //!   ~0.01% of NA12878's IR targets, preserving shape statistics);
+//! - [`threads_from_env`] / [`parallel_sweep`] — the `IR_THREADS` knob
+//!   and the shared worker pool the sweep binaries run their independent
+//!   configuration points on;
 //! - [`default_workload`] — the standard synthetic workload generator;
 //! - [`Table`] — aligned text tables, also written as CSV into
 //!   `results/`;
@@ -17,6 +20,8 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use ir_workloads::{WorkloadConfig, WorkloadGenerator};
 
@@ -30,6 +35,87 @@ pub fn scale_from_env() -> f64 {
         .and_then(|s| s.parse::<f64>().ok())
         .filter(|&s| s > 0.0 && s <= 1.0)
         .unwrap_or(1e-4)
+}
+
+/// Reads the sweep-harness worker count from `IR_THREADS` (≥ 1), falling
+/// back to the machine's available parallelism.
+///
+/// Every figure binary runs its independent sweep points through
+/// [`parallel_sweep`] on this many OS threads. The emitted tables and
+/// CSVs are **byte-identical for any thread count**: sweep points share
+/// no mutable state, host wall-clock is only ever printed to stdout, and
+/// results are collected in input order. CI pins this by byte-diffing a
+/// 2-thread run against a 1-thread run.
+pub fn threads_from_env() -> usize {
+    std::env::var("IR_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f` over every input on `threads` scoped worker threads (dynamic
+/// work-stealing distribution) and returns the outputs **in input
+/// order** — so callers can compute derived rows (e.g. speedup vs the
+/// first sweep point) exactly as the old serial loops did.
+///
+/// Results travel back over an index-stamped channel into disjoint
+/// slots; with `threads == 1` or a single input the closure runs inline
+/// on the calling thread, keeping small sweeps allocation-cheap.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+///
+/// # Example
+///
+/// ```
+/// use ir_bench::parallel_sweep;
+///
+/// let squares = parallel_sweep(&[1u64, 2, 3, 4], 2, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_sweep<I, O, F>(inputs: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    assert!(threads > 0, "at least one thread required");
+    if threads == 1 || inputs.len() <= 1 {
+        return inputs.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    let mut slots: Vec<Option<O>> = (0..inputs.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let (next, f) = (&next, &f);
+        for _ in 0..threads.min(inputs.len()) {
+            let tx = tx.clone();
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(input) = inputs.get(i) else {
+                    break;
+                };
+                tx.send((i, f(input))).expect("collector outlives workers");
+            });
+        }
+        drop(tx);
+        for (i, out) in rx {
+            debug_assert!(slots[i].is_none(), "each sweep point runs once");
+            slots[i] = Some(out);
+        }
+    })
+    .expect("sweep worker threads join");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every sweep point completed"))
+        .collect()
 }
 
 /// The standard workload generator the figure binaries share: paper-shaped
@@ -252,5 +338,32 @@ mod tests {
         if std::env::var("IR_SCALE").is_err() {
             assert!((scale_from_env() - 1e-4).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn parallel_sweep_keeps_input_order() {
+        let inputs: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = parallel_sweep(&inputs, threads, |&x| x * 3);
+            assert_eq!(out, inputs.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_sweep(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_sweep(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn parallel_sweep_zero_threads_panics() {
+        let _ = parallel_sweep(&[1u8], 0, |&x| x);
+    }
+
+    #[test]
+    fn threads_from_env_is_at_least_one() {
+        assert!(threads_from_env() >= 1);
     }
 }

@@ -2,10 +2,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use ir_genome::RealignmentTarget;
+use ir_genome::{PackedSequence, RealignmentTarget};
 
 use crate::stats::OpCounts;
-use crate::whd::calc_whd_bounded;
+use crate::whd_packed::calc_whd_bounded_packed;
 
 /// The minimum weighted Hamming distance of one (consensus, read) pair,
 /// together with the offset `k` at which it occurred.
@@ -59,14 +59,26 @@ impl MinWhdGrid {
     /// "Computation Pruning"); the resulting grid is bit-identical to the
     /// unpruned one. `ops` accumulates the comparisons actually performed
     /// plus, when pruning, the comparisons saved.
+    ///
+    /// Internally the evaluations run on the SWAR packed kernel
+    /// ([`calc_whd_bounded_packed`]) — each sequence is packed once and
+    /// reused across every offset. The kernel is bit-for-bit the scalar
+    /// [`crate::calc_whd_bounded`] (same grid, same `OpCounts`); the
+    /// equivalence is pinned by the differential proptests in
+    /// [`crate::whd_packed`].
     pub fn compute(target: &RealignmentTarget, pruning: bool, ops: &mut OpCounts) -> Self {
         let num_consensuses = target.num_consensuses();
         let num_reads = target.num_reads();
         let mut cells = Vec::with_capacity(num_consensuses * num_reads);
 
+        let packed_reads: Vec<PackedSequence> = (0..num_reads)
+            .map(|j| PackedSequence::from(target.read(j).bases()))
+            .collect();
+
         for i in 0..num_consensuses {
             let cons = target.consensus(i);
-            for j in 0..num_reads {
+            let packed_cons = PackedSequence::from(cons);
+            for (j, packed_read) in packed_reads.iter().enumerate() {
                 let read = target.read(j);
                 let bases = read.bases();
                 let quals = read.quals();
@@ -79,7 +91,7 @@ impl MinWhdGrid {
                 for k in 0..=max_k {
                     let bound = if pruning { min.whd } else { u64::MAX };
                     ops.whd_evaluations += 1;
-                    let out = calc_whd_bounded(cons, bases, quals, k, bound);
+                    let out = calc_whd_bounded_packed(&packed_cons, packed_read, quals, k, bound);
                     ops.base_comparisons += out.comparisons;
                     ops.qual_accumulations += out.accumulations;
                     if out.pruned {

@@ -227,4 +227,75 @@ mod tests {
         // N == N matches; A vs T mismatches.
         assert_eq!(calc_whd(&cons, &read, &quals, 0), 20);
     }
+
+    #[test]
+    fn max_quality_long_read_does_not_overflow() {
+        // Worst-case accumulation: every base mismatches at the Phred
+        // ceiling (93) on a read far longer than any sequencer produces.
+        // The running sum stays far below u64::MAX and must be exact.
+        use ir_genome::MAX_PHRED_SCORE;
+        let len = 100_000usize;
+        let cons: Sequence = "A".repeat(len).parse().unwrap();
+        let read: Sequence = "T".repeat(len).parse().unwrap();
+        let quals = Qual::uniform(MAX_PHRED_SCORE, len).unwrap();
+        let expected = u64::from(MAX_PHRED_SCORE) * len as u64;
+        assert_eq!(calc_whd(&cons, &read, &quals, 0), expected);
+
+        let bounded = calc_whd_bounded(&cons, &read, &quals, 0, u64::MAX);
+        assert!(!bounded.pruned, "u64::MAX bound can never be exceeded");
+        assert_eq!(bounded.whd, expected);
+        assert_eq!(bounded.comparisons, len as u64);
+        assert_eq!(bounded.accumulations, len as u64);
+    }
+
+    mod unbounded_equals_full {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn base_strategy() -> impl Strategy<Value = u8> {
+            prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T'), Just(b'N')]
+        }
+
+        prop_compose! {
+            /// Arbitrary (consensus, read, quals, k) with N bases and the
+            /// full Phred range, spanning word-boundary lengths.
+            fn whd_inputs()(
+                read_len in 1usize..=80,
+                slack in 0usize..=48,
+                cons_raw in prop::collection::vec(base_strategy(), 128),
+                read_raw in prop::collection::vec(base_strategy(), 80),
+                quals_raw in prop::collection::vec(0u8..=93, 80),
+                k_frac in 0.0f64..=1.0,
+            ) -> (Sequence, Sequence, Qual, usize) {
+                let cons = Sequence::from_ascii(&cons_raw[..read_len + slack]).unwrap();
+                let read = Sequence::from_ascii(&read_raw[..read_len]).unwrap();
+                let quals = Qual::from_raw_scores(&quals_raw[..read_len]).unwrap();
+                let k = (slack as f64 * k_frac) as usize; // 0..=slack
+                (cons, read, quals, k)
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// A bound of `u64::MAX` can never be exceeded, so the bounded
+            /// kernel must degrade to exactly the full evaluation: same
+            /// distance, never pruned, every base visited, one
+            /// accumulation per mismatch.
+            #[test]
+            fn bound_u64_max_is_the_identity((cons, read, quals, k) in whd_inputs()) {
+                let full = calc_whd(&cons, &read, &quals, k);
+                let bounded = calc_whd_bounded(&cons, &read, &quals, k, u64::MAX);
+                prop_assert!(!bounded.pruned);
+                prop_assert_eq!(bounded.whd, full);
+                prop_assert_eq!(bounded.comparisons, read.len() as u64);
+                prop_assert_eq!(
+                    bounded.accumulations,
+                    (0..read.len())
+                        .filter(|&i| cons.bases()[k + i] != read.bases()[i])
+                        .count() as u64
+                );
+            }
+        }
+    }
 }

@@ -1,0 +1,297 @@
+//! SWAR (SIMD-within-a-register) weighted Hamming distance kernel over
+//! [`PackedSequence`]s — the data-parallel twin of [`crate::whd`].
+//!
+//! One `u64` XOR compares 16 base pairs at once: a nibble of the XOR is
+//! zero exactly when the two 4-bit base codes are equal, so reducing each
+//! nibble to a single "is non-zero" bit yields a 16-lane mismatch bitmask.
+//! Quality scores are then accumulated only at the set bits, in ascending
+//! position order — the same additions, in the same order, as the scalar
+//! kernel performs, so the results (and the pruning decisions of the
+//! bounded variant) are bit-for-bit identical. The scalar kernel remains
+//! the reference; the equivalence is pinned by the differential proptests
+//! at the bottom of this module.
+//!
+//! `N` semantics carry over unchanged: the nibble code is injective over
+//! `{A, C, G, T, N}`, so `N` vs `N` XORs to zero (match) and `N` vs any
+//! other base XORs non-zero (mismatch) — exactly the literal byte compare
+//! the hardware performs.
+
+use ir_genome::{PackedSequence, Qual, BASES_PER_WORD};
+
+use crate::whd::BoundedWhd;
+
+/// One bit per 4-bit lane (the lowest bit of each nibble): the lane mask a
+/// [`mismatch_mask`] reduction lands on.
+pub const LANE_BITS: u64 = 0x1111_1111_1111_1111;
+
+/// Reduces the XOR of two packed words to a 16-lane mismatch bitmask: bit
+/// `4*i` is set exactly when nibble `i` of `xor` is non-zero, i.e. when
+/// base pair `i` differs.
+#[inline]
+pub fn mismatch_mask(xor: u64) -> u64 {
+    // OR each nibble's four bits down onto its lowest bit.
+    let m = xor | (xor >> 2);
+    let m = m | (m >> 1);
+    m & LANE_BITS
+}
+
+/// The mask selecting the low `lanes` lanes of a word (1 ≤ lanes ≤ 16) —
+/// used to discard padding nibbles on a final partial chunk.
+#[inline]
+pub fn lane_mask(lanes: usize) -> u64 {
+    debug_assert!((1..=BASES_PER_WORD).contains(&lanes));
+    LANE_BITS >> (4 * (BASES_PER_WORD - lanes))
+}
+
+/// The mismatch bitmask for the 16-base chunk of `read` starting at
+/// `chunk_start` (which must be word-aligned in the read) against the
+/// window of `consensus` starting at `k + chunk_start`, restricted to
+/// `chunk_len` valid lanes.
+#[inline]
+fn chunk_mismatches(
+    consensus: &PackedSequence,
+    read: &PackedSequence,
+    k: usize,
+    chunk_start: usize,
+    chunk_len: usize,
+) -> u64 {
+    debug_assert_eq!(chunk_start % BASES_PER_WORD, 0);
+    let read_word = read.words()[chunk_start / BASES_PER_WORD];
+    let cons_window = consensus.window(k + chunk_start);
+    mismatch_mask(read_word ^ cons_window) & lane_mask(chunk_len)
+}
+
+/// [`crate::calc_whd`] over packed sequences: the weighted Hamming
+/// distance between `read` and the window of `consensus` at offset `k`,
+/// computed 16 bases per word-op. Returns exactly the scalar kernel's
+/// value on the same inputs.
+///
+/// # Panics
+///
+/// Panics if `k + read.len() > consensus.len()`, like the scalar kernel.
+///
+/// # Example
+///
+/// ```
+/// use ir_core::{calc_whd, calc_whd_packed};
+/// use ir_genome::{PackedSequence, Qual, Sequence};
+///
+/// let cons: Sequence = "CCTTAGA".parse()?;
+/// let read: Sequence = "TGAA".parse()?;
+/// let quals = Qual::from_raw_scores(&[10, 20, 45, 10])?;
+/// let packed = calc_whd_packed(&(&cons).into(), &(&read).into(), &quals, 2);
+/// assert_eq!(packed, calc_whd(&cons, &read, &quals, 2)); // 30, Fig 4 k = 2
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn calc_whd_packed(
+    consensus: &PackedSequence,
+    read: &PackedSequence,
+    quals: &Qual,
+    k: usize,
+) -> u64 {
+    let n = read.len();
+    let scores = quals.scores();
+    assert!(k + n <= consensus.len(), "offset k out of range");
+
+    let mut whd = 0u64;
+    let mut chunk_start = 0usize;
+    while chunk_start < n {
+        let chunk_len = (n - chunk_start).min(BASES_PER_WORD);
+        let mut mask = chunk_mismatches(consensus, read, k, chunk_start, chunk_len);
+        while mask != 0 {
+            let lane = (mask.trailing_zeros() / 4) as usize;
+            whd += u64::from(scores[chunk_start + lane]);
+            mask &= mask - 1;
+        }
+        chunk_start += chunk_len;
+    }
+    whd
+}
+
+/// [`crate::calc_whd_bounded`] over packed sequences: identical result
+/// *and* identical `comparisons` / `accumulations` / `pruned` accounting.
+///
+/// The scalar kernel visits bases left to right and stops immediately
+/// after the accumulation that pushes the running sum past `bound`;
+/// iterating a chunk's mismatch bits in ascending lane order performs the
+/// same additions in the same order, so the stop lands on the same base.
+/// `comparisons` counts every base up to and including that one — the
+/// prefix length the hardware's serial design would have executed.
+///
+/// # Panics
+///
+/// Same conditions as [`calc_whd_packed`].
+pub fn calc_whd_bounded_packed(
+    consensus: &PackedSequence,
+    read: &PackedSequence,
+    quals: &Qual,
+    k: usize,
+    bound: u64,
+) -> BoundedWhd {
+    let n = read.len();
+    let scores = quals.scores();
+    assert!(k + n <= consensus.len(), "offset k out of range");
+
+    let mut whd = 0u64;
+    let mut accumulations = 0u64;
+    let mut chunk_start = 0usize;
+    while chunk_start < n {
+        let chunk_len = (n - chunk_start).min(BASES_PER_WORD);
+        let mut mask = chunk_mismatches(consensus, read, k, chunk_start, chunk_len);
+        while mask != 0 {
+            let lane = (mask.trailing_zeros() / 4) as usize;
+            whd += u64::from(scores[chunk_start + lane]);
+            accumulations += 1;
+            if whd > bound {
+                return BoundedWhd {
+                    whd,
+                    comparisons: (chunk_start + lane + 1) as u64,
+                    accumulations,
+                    pruned: true,
+                };
+            }
+            mask &= mask - 1;
+        }
+        chunk_start += chunk_len;
+    }
+    BoundedWhd {
+        whd,
+        comparisons: n as u64,
+        accumulations,
+        pruned: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::whd::{calc_whd, calc_whd_bounded};
+    use ir_genome::Sequence;
+
+    fn fixture() -> (Sequence, Sequence, Qual) {
+        (
+            "CCTTAGA".parse().unwrap(),
+            "TGAA".parse().unwrap(),
+            Qual::from_raw_scores(&[10, 20, 45, 10]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn figure4_values_match_scalar() {
+        let (cons, read, quals) = fixture();
+        let (pc, pr) = (PackedSequence::from(&cons), PackedSequence::from(&read));
+        for k in 0..4 {
+            assert_eq!(
+                calc_whd_packed(&pc, &pr, &quals, k),
+                calc_whd(&cons, &read, &quals, k),
+                "offset {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatch_mask_reduces_every_nibble_pattern() {
+        for nibble in 0u64..16 {
+            let expected = u64::from(nibble != 0);
+            assert_eq!(mismatch_mask(nibble) & 1, expected, "nibble {nibble:#x}");
+            // The same nibble in the top lane.
+            assert_eq!(
+                (mismatch_mask(nibble << 60) >> 60) & 1,
+                expected,
+                "top-lane nibble {nibble:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn n_bases_compare_literally() {
+        let cons: Sequence = "NNAA".parse().unwrap();
+        let read: Sequence = "NNTT".parse().unwrap();
+        let quals = Qual::uniform(10, 4).unwrap();
+        assert_eq!(
+            calc_whd_packed(&(&cons).into(), &(&read).into(), &quals, 0),
+            20
+        );
+    }
+
+    #[test]
+    fn bounded_accounting_matches_scalar_on_pruned_scan() {
+        let (cons, read, quals) = fixture();
+        let (pc, pr) = (PackedSequence::from(&cons), PackedSequence::from(&read));
+        let scalar = calc_whd_bounded(&cons, &read, &quals, 0, 25);
+        let packed = calc_whd_bounded_packed(&pc, &pr, &quals, 0, 25);
+        assert_eq!(packed, scalar);
+        assert!(packed.pruned);
+        assert_eq!(packed.comparisons, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset k out of range")]
+    fn panics_on_out_of_range_offset() {
+        let (cons, read, quals) = fixture();
+        let _ = calc_whd_packed(&(&cons).into(), &(&read).into(), &quals, 4);
+    }
+
+    mod differential {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Bases including N, so the literal-compare semantics are covered.
+        fn base_strategy() -> impl Strategy<Value = u8> {
+            prop_oneof![
+                4 => prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+                1 => Just(b'N'),
+            ]
+        }
+
+        prop_compose! {
+            /// A (consensus, read, quals, k) tuple spanning word-boundary
+            /// lengths and every valid offset, with full-range Phred
+            /// scores (0..=93).
+            fn whd_inputs()(
+                read_len in 1usize..=70,
+                slack in 0usize..=40,
+                cons_raw in prop::collection::vec(base_strategy(), 110),
+                read_raw in prop::collection::vec(base_strategy(), 70),
+                quals_raw in prop::collection::vec(0u8..=93, 70),
+                k_frac in 0.0f64..=1.0,
+            ) -> (Sequence, Sequence, Qual, usize) {
+                let cons = Sequence::from_ascii(&cons_raw[..read_len + slack]).unwrap();
+                let read = Sequence::from_ascii(&read_raw[..read_len]).unwrap();
+                let quals = Qual::from_raw_scores(&quals_raw[..read_len]).unwrap();
+                let k = (slack as f64 * k_frac) as usize; // 0..=slack
+                (cons, read, quals, k)
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The SWAR kernel is bit-for-bit the scalar kernel.
+            #[test]
+            fn packed_equals_scalar((cons, read, quals, k) in whd_inputs()) {
+                let (pc, pr) = (PackedSequence::from(&cons), PackedSequence::from(&read));
+                prop_assert_eq!(
+                    calc_whd_packed(&pc, &pr, &quals, k),
+                    calc_whd(&cons, &read, &quals, k)
+                );
+            }
+
+            /// The bounded SWAR kernel reproduces the scalar kernel's
+            /// result *and* its full accounting (comparisons,
+            /// accumulations, pruned) for any bound — including bounds
+            /// that stop the scan mid-chunk.
+            #[test]
+            fn bounded_packed_equals_scalar(
+                (cons, read, quals, k) in whd_inputs(),
+                bound in prop_oneof![0u64..=400, Just(u64::MAX)],
+            ) {
+                let (pc, pr) = (PackedSequence::from(&cons), PackedSequence::from(&read));
+                prop_assert_eq!(
+                    calc_whd_bounded_packed(&pc, &pr, &quals, k, bound),
+                    calc_whd_bounded(&cons, &read, &quals, k, bound)
+                );
+            }
+        }
+    }
+}

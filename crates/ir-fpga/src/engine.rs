@@ -831,7 +831,7 @@ mod tests {
                     let quals: Vec<u8> = (0..bases.len() as u8).map(|q| 10 + 5 * q).collect();
                     b = b.read(
                         Read::new(
-                            &format!("r{i}_{r}"),
+                            format!("r{i}_{r}"),
                             bases.parse().unwrap(),
                             Qual::from_raw_scores(&quals).unwrap(),
                             (r % 3) as u64,

@@ -15,8 +15,9 @@
 //! 32-byte block — one of the accuracy-preserving costs of data
 //! parallelism this model captures.
 
+use ir_core::whd_packed::{lane_mask, mismatch_mask};
 use ir_core::MinWhd;
-use ir_genome::{Qual, Sequence};
+use ir_genome::{PackedSequence, Qual, Sequence, BASES_PER_WORD};
 
 /// Configuration of the HDC stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -156,27 +157,10 @@ pub fn run_pair(consensus: &Sequence, read: &Sequence, quals: &Qual, cfg: HdcCon
 /// Equivalence-preserving fast path for [`run_pair`]: same [`PairRun`],
 /// computed without stepping every modeled cycle.
 ///
-/// This is the kernel behind the event-driven backend — where the engine
-/// jumps the clock to a unit's completion event, this jumps the *cycle
-/// accounting* to the scan's outcome. Two shapes are accelerated:
-///
-/// - **Serial with immediate pruning** (`lanes == 1`,
-///   `prune_latency_blocks == 0`): the per-base running sum is monotone
-///   nondecreasing, so the prune point is the first prefix exceeding the
-///   running minimum. Chunked prefix sums find it without the per-base
-///   branch: if a whole chunk cannot cross the minimum it is folded in one
-///   addition, otherwise the chunk is replayed base-by-base to the exact
-///   stop index.
-/// - **Drain covers the whole scan** (`nblocks ≤ prune_latency_blocks +
-///   1`): the prune verdict can never retire the scan before block
-///   exhaustion, so every block issues regardless — the full-window WHD,
-///   `n` comparisons and `nblocks` cycles, with the offset counted pruned
-///   exactly when its total exceeds the running minimum. This covers the
-///   32-lane design for reads up to `3 × lanes` bases.
-///
-/// Any other configuration falls back to [`run_pair`] itself, so the
-/// equality `run_pair_fast(..) == run_pair(..)` holds unconditionally
-/// (asserted exhaustively by the differential proptest below).
+/// Packs both sequences (4 bits/base) and delegates to
+/// [`run_pair_fast_packed`]; callers scanning one pair repeatedly (the
+/// unit simulator, the oracle) should pack once and call the packed entry
+/// point directly.
 ///
 /// # Panics
 ///
@@ -187,14 +171,122 @@ pub fn run_pair_fast(
     quals: &Qual,
     cfg: HdcConfig,
 ) -> PairRun {
-    assert!(cfg.lanes > 0, "HDC must have at least one lane");
-    let cons = consensus.bases();
-    let bases = read.bases();
-    let scores = quals.scores();
-    assert!(bases.len() <= cons.len(), "read longer than consensus");
-    assert!(scores.len() >= bases.len(), "missing quality scores");
+    run_pair_fast_packed(
+        &PackedSequence::from(consensus),
+        &PackedSequence::from(read),
+        quals,
+        cfg,
+    )
+}
 
-    let n = bases.len();
+/// The mismatch bitmask for up to 16 bases of `read` starting at `pos`
+/// against the `consensus` window at `k + pos`, restricted to `len` lanes.
+/// Unlike the `ir-core` kernel, `pos` need not be word-aligned — the
+/// block-granular scan walks arbitrary lane boundaries.
+#[inline]
+fn window_mismatches(
+    cons: &PackedSequence,
+    read: &PackedSequence,
+    k: usize,
+    pos: usize,
+    len: usize,
+) -> u64 {
+    mismatch_mask(read.window(pos) ^ cons.window(k + pos)) & lane_mask(len)
+}
+
+/// Sum of 8 quality-score bytes (`scores_le`, little-endian) selected by
+/// the low 8 nibble-flags of `mask` — branchless SWAR: spread the flags
+/// to a byte mask, AND, then horizontal-sum the bytes. Flag `i` is bit
+/// `4 * i`; byte sums stay ≤ 8 × 255, so the u16-lane fold cannot carry.
+#[inline]
+fn gather8(mask: u64, scores_le: u64) -> u32 {
+    // Double the spacing of the 8 flags twice: nibble stride → byte
+    // stride, leaving flag i as bit 0 of byte i.
+    let mut y = mask & 0x1111_1111;
+    y = (y | (y << 16)) & 0x0000_FFFF_0000_FFFF;
+    y = (y | (y << 8)) & 0x00FF_00FF_00FF_00FF;
+    y = (y | (y << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    // Per-byte 1 → 0xFF (0 stays 0): x * 255 as a shift-subtract, which
+    // cannot interfere across bytes because each byte is 0 or 1.
+    let mask_bytes = (y << 8).wrapping_sub(y);
+    let x = scores_le & mask_bytes;
+    // Bytes → u16 lanes (each ≤ 510), then one multiply folds the four
+    // lanes into the top 16 bits (≤ 2040, no overflow).
+    let t = (x & 0x00FF_00FF_00FF_00FF) + ((x >> 8) & 0x00FF_00FF_00FF_00FF);
+    (t.wrapping_mul(0x0001_0001_0001_0001) >> 48) as u32
+}
+
+/// Sum of the quality scores selected by `mask` (one bit per 4-bit lane,
+/// lane `i` at bit `4 * i`). Full 8-byte groups go through the branchless
+/// [`gather8`]; a short tail falls back to walking its set bits. Scores
+/// are ≤ 255 and a chunk holds ≤ 16 lanes, so `u32` cannot overflow.
+#[inline]
+fn masked_chunk_sum(mask: u64, scores: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    let mut m = mask;
+    let mut chunks = scores.chunks_exact(8);
+    for group in &mut chunks {
+        sum += gather8(
+            m,
+            u64::from_le_bytes(group.try_into().expect("8-byte group")),
+        );
+        m >>= 32;
+    }
+    let tail = chunks.remainder();
+    while m != 0 {
+        let lane = (m.trailing_zeros() / 4) as usize;
+        sum += u32::from(tail[lane]);
+        m &= m - 1;
+    }
+    sum
+}
+
+/// [`run_pair_fast`] over pre-packed sequences — the kernel behind the
+/// event-driven backend. Where the engine jumps the clock to a unit's
+/// completion event, this jumps the *cycle accounting* to the scan's
+/// outcome, comparing 16 bases per word-op (SWAR over the 4-bit packing).
+/// Three shapes cover every configuration:
+///
+/// - **Serial with immediate pruning** (`lanes == 1`,
+///   `prune_latency_blocks == 0`): each 16-base chunk reduces to a
+///   mismatch bitmask in a handful of word-ops, and its score sum folds
+///   branchlessly (a fixed-trip masked multiply-accumulate the compiler
+///   vectorizes). Only the chunk that crosses the running minimum is
+///   replayed bit-by-bit to charge the exact visited count the per-base
+///   scan would.
+/// - **Drain swallows the whole read**
+///   (`nblocks ≤ prune_latency_blocks + 1`): even if block 0 trips the
+///   comparator, every block issues before the stop lands, so the scan
+///   is an unconditional full fold — no early exit at all. Dense folds
+///   with no data-dependent exits vectorize best over bytes, so this
+///   shape unpacks both sides once and runs the same fixed-trip byte
+///   multiply-accumulate the byte-per-base scan uses, amortizing the
+///   unpack across all offsets.
+/// - **Everything else**: [`run_pair`]'s block loop verbatim — same
+///   per-block cycle charge, same prune-verdict drain — with the inner
+///   per-base compare loop replaced by the SWAR mismatch reduction. The
+///   control flow being identical, so are the cycle, comparison and
+///   pruned-offset counts.
+///
+/// The equality `run_pair_fast(..) == run_pair(..)` therefore holds
+/// unconditionally (asserted exhaustively by the differential proptest
+/// below).
+///
+/// # Panics
+///
+/// As [`run_pair`].
+pub fn run_pair_fast_packed(
+    cons: &PackedSequence,
+    read: &PackedSequence,
+    quals: &Qual,
+    cfg: HdcConfig,
+) -> PairRun {
+    assert!(cfg.lanes > 0, "HDC must have at least one lane");
+    let scores = quals.scores();
+    assert!(read.len() <= cons.len(), "read longer than consensus");
+    assert!(scores.len() >= read.len(), "missing quality scores");
+
+    let n = read.len();
     let max_k = cons.len() - n;
     let mut min = MinWhd {
         whd: u64::MAX,
@@ -203,49 +295,36 @@ pub fn run_pair_fast(
     let mut cycles = cfg.pair_overhead_cycles;
     let mut comparisons = 0u64;
     let mut offsets_pruned = 0u64;
-    let nblocks = n.div_ceil(cfg.lanes) as u64;
 
+    let nblocks = n.div_ceil(cfg.lanes) as u64;
     if cfg.pruning && cfg.lanes == 1 && cfg.prune_latency_blocks == 0 {
-        // Chunk size balances the prefix-sum fold against replay cost on
-        // the chunk that crosses the minimum.
-        const CHUNK: usize = 16;
         for k in 0..=max_k {
-            let win = &cons[k..k + n];
             let mut whd = 0u64;
             let mut visited = 0usize;
             let mut stopped = false;
             'scan: while visited < n {
-                let end = (visited + CHUNK).min(n);
-                // Scores are ≤ 255 and CHUNK ≤ 16, so a u32 cannot overflow.
-                let mut chunk_sum = 0u32;
-                for ((&c, &b), &s) in win[visited..end]
-                    .iter()
-                    .zip(&bases[visited..end])
-                    .zip(&scores[visited..end])
-                {
-                    chunk_sum += u32::from(c != b) * u32::from(s);
-                }
+                let chunk_len = (n - visited).min(BASES_PER_WORD);
+                let mask = window_mismatches(cons, read, k, visited, chunk_len);
+                let chunk_sum = masked_chunk_sum(mask, &scores[visited..visited + chunk_len]);
                 if whd + u64::from(chunk_sum) > min.whd {
-                    // The prune point is inside this chunk: replay it
-                    // base-by-base to charge the exact visited count.
-                    for ((&c, &b), &s) in win[visited..end]
-                        .iter()
-                        .zip(&bases[visited..end])
-                        .zip(&scores[visited..end])
-                    {
-                        visited += 1;
-                        if c != b {
-                            whd += u64::from(s);
-                            if whd > min.whd {
-                                stopped = true;
-                                break 'scan;
-                            }
+                    // The prune point is inside this chunk: walk its
+                    // mismatch bits in order to charge the exact visited
+                    // count, exactly as the per-base scan would.
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = (m.trailing_zeros() / 4) as usize;
+                        whd += u64::from(scores[visited + lane]);
+                        if whd > min.whd {
+                            visited += lane + 1;
+                            stopped = true;
+                            break 'scan;
                         }
+                        m &= m - 1;
                     }
-                } else {
-                    whd += u64::from(chunk_sum);
-                    visited = end;
+                    unreachable!("a chunk whose sum crosses the minimum stops within it");
                 }
+                whd += u64::from(chunk_sum);
+                visited += chunk_len;
             }
             comparisons += visited as u64;
             cycles += visited as u64;
@@ -257,12 +336,19 @@ pub fn run_pair_fast(
         }
     } else if cfg.pruning && nblocks <= cfg.prune_latency_blocks + 1 {
         // Even if block 0 trips the comparator, `prune_latency_blocks`
-        // more blocks issue before the stop lands — which is all of them.
+        // more blocks issue before the stop lands — which is all of them,
+        // so every offset folds the full read unconditionally. Dense
+        // unconditional folds vectorize better over bytes than over
+        // packed nibbles: unpack each side once (amortized over the
+        // `(max_k + 1) * n` compares that follow) and let the compiler
+        // turn the fixed-trip masked multiply-accumulate into SIMD.
+        let rb = read.unpack_codes();
+        let cb = cons.unpack_codes();
         for k in 0..=max_k {
-            let win = &cons[k..k + n];
+            let win = &cb[k..k + n];
             let mut whd = 0u32;
             for i in 0..n {
-                whd += u32::from(win[i] != bases[i]) * u32::from(scores[i]);
+                whd += u32::from(win[i] != rb[i]) * u32::from(scores[i]);
             }
             let whd = u64::from(whd);
             comparisons += n as u64;
@@ -274,7 +360,48 @@ pub fn run_pair_fast(
             }
         }
     } else {
-        return run_pair(consensus, read, quals, cfg);
+        // run_pair's block loop with the per-base compare replaced by the
+        // SWAR reduction; covers data-parallel, unpruned and deep-drain
+        // configurations alike.
+        for k in 0..=max_k {
+            let mut whd = 0u64;
+            let mut pruned = false;
+            let mut block_start = 0usize;
+            let mut drain: Option<u64> = None;
+            while block_start < n {
+                let block_end = (block_start + cfg.lanes).min(n);
+                cycles += 1;
+                comparisons += (block_end - block_start) as u64;
+                let mut pos = block_start;
+                while pos < block_end {
+                    let chunk_len = (block_end - pos).min(BASES_PER_WORD);
+                    let mut mask = window_mismatches(cons, read, k, pos, chunk_len);
+                    while mask != 0 {
+                        whd += u64::from(scores[pos + (mask.trailing_zeros() / 4) as usize]);
+                        mask &= mask - 1;
+                    }
+                    pos += chunk_len;
+                }
+                if let Some(remaining) = drain.as_mut() {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        break;
+                    }
+                } else if cfg.pruning && whd > min.whd {
+                    pruned = true;
+                    if cfg.prune_latency_blocks == 0 {
+                        break;
+                    }
+                    drain = Some(cfg.prune_latency_blocks);
+                }
+                block_start = block_end;
+            }
+            if pruned {
+                offsets_pruned += 1;
+            } else if whd < min.whd {
+                min = MinWhd { whd, offset: k };
+            }
+        }
     }
     debug_assert_ne!(min.whd, u64::MAX, "offset 0 always completes");
     PairRun {
@@ -304,6 +431,38 @@ mod tests {
         let (cons, read, quals) = fixture();
         let run = run_pair(&cons, &read, &quals, HdcConfig::serial());
         assert_eq!(run.min, MinWhd { whd: 30, offset: 2 });
+    }
+
+    /// The SWAR gather agrees with a naive mask walk on every lane count
+    /// and a spread of mask/score patterns, including max-quality bytes.
+    #[test]
+    fn masked_chunk_sum_matches_naive() {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        assert_eq!(masked_chunk_sum(0, &[]), 0, "empty chunk");
+        for len in 1..=16usize {
+            for _ in 0..200 {
+                let scores: Vec<u8> = (0..len).map(|_| (next() % 256) as u8).collect();
+                let mask = next() & lane_mask(len);
+                let naive: u32 = (0..len)
+                    .filter(|&i| mask >> (4 * i) & 1 == 1)
+                    .map(|i| u32::from(scores[i]))
+                    .sum();
+                assert_eq!(
+                    masked_chunk_sum(mask, &scores),
+                    naive,
+                    "len {len}, mask {mask:#x}, scores {scores:?}"
+                );
+            }
+            // All lanes set at max quality: the largest possible sums.
+            let scores = vec![255u8; len];
+            assert_eq!(masked_chunk_sum(lane_mask(len), &scores), 255 * len as u32);
+        }
     }
 
     #[test]
@@ -446,9 +605,10 @@ mod tests {
     }
 
     #[test]
-    fn fast_path_falls_back_outside_accelerated_shapes() {
-        // lanes=32 with a long read (nblocks > drain+1) and a no-pruning
-        // config both take the fallback; results must still match.
+    fn fast_path_matches_on_block_granular_shapes() {
+        // lanes=32 with a long read (nblocks > drain+1), a no-pruning
+        // config and a non-word-aligned lane count all take the
+        // block-granular SWAR path; results must still match.
         let cons: Sequence = "ACGT".repeat(80).parse().unwrap();
         let read: Sequence = "TTGCA".repeat(30).parse().unwrap();
         let quals = Qual::uniform(22, read.len()).unwrap();
@@ -477,7 +637,7 @@ mod tests {
         use proptest::prelude::*;
 
         fn base_strategy() -> impl Strategy<Value = u8> {
-            prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')]
+            prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T'), Just(b'N')]
         }
 
         fn pair_strategy() -> impl Strategy<Value = (Sequence, Sequence, Qual)> {

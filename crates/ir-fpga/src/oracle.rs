@@ -15,6 +15,7 @@
 //! per-cycle stepping.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ir_genome::RealignmentTarget;
 
@@ -100,6 +101,80 @@ impl FunctionalOracle {
         run
     }
 
+    /// Populates the cache for every target in `targets` under `params`,
+    /// sharding the datapath simulations across `threads` scoped worker
+    /// threads (dynamic work-stealing distribution — target cost varies
+    /// wildly with shape, so static chunking would straggle).
+    ///
+    /// Determinism: each [`UnitRun`] is a pure function of its target and
+    /// the [`FpgaParams`] timing key, computed by the same
+    /// [`simulate_target_fast`] kernel a cold [`Self::simulate`] call
+    /// would run, and the workers touch disjoint targets. Results are
+    /// merged into the cache in target-index order after every worker has
+    /// joined, so a subsequent simulation run over a pre-warmed oracle is
+    /// **bitwise identical** to a single-threaded (or entirely unwarmed)
+    /// run — the system-level parity is pinned in `tests/event_parity.rs`.
+    ///
+    /// Already-cached entries are not recomputed, so warming is idempotent
+    /// and composes with partially-warmed caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or a worker thread panics.
+    pub fn precompute(
+        &mut self,
+        targets: &[RealignmentTarget],
+        params: &FpgaParams,
+        threads: usize,
+    ) {
+        assert!(threads > 0, "at least one thread required");
+        let key = TimingKey::of(params);
+        let missing: Vec<usize> = (0..targets.len())
+            .filter(|&i| !self.cache.contains_key(&(key, i)))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        if threads == 1 || missing.len() == 1 {
+            for &i in &missing {
+                let run = simulate_target_fast(&targets[i], params);
+                self.cache.insert((key, i), run);
+            }
+            return;
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut computed: Vec<(usize, UnitRun)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.min(missing.len()))
+                .map(|_| {
+                    let (next, missing) = (&next, &missing);
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        loop {
+                            let slot = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = missing.get(slot) else {
+                                break;
+                            };
+                            local.push((i, simulate_target_fast(&targets[i], params)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("oracle worker panicked"))
+                .collect()
+        })
+        .expect("oracle worker threads join");
+        // Deterministic merge: insert in target-index order regardless of
+        // which worker computed what.
+        computed.sort_unstable_by_key(|&(i, _)| i);
+        for (i, run) in computed {
+            self.cache.insert((key, i), run);
+        }
+    }
+
     /// Number of memoized (configuration, target) entries.
     pub fn len(&self) -> usize {
         self.cache.len()
@@ -161,6 +236,72 @@ mod tests {
         let b = oracle.simulate(&t, 0, &fewer_units);
         assert_eq!(a, b);
         assert_eq!(oracle.len(), 1, "unit count and latencies don't key");
+    }
+
+    /// A small workload of distinct shapes so work-stealing actually
+    /// interleaves.
+    fn varied_targets() -> Vec<RealignmentTarget> {
+        let reads = ["TGAA", "CCTT", "AGAC", "CTTA", "TAGA", "GACC"];
+        reads
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                RealignmentTarget::builder(i as u64 * 10)
+                    .reference("CCTTAGACCTGATTACAGGA".parse().unwrap())
+                    .consensus("ACCTGAACCTGATTACAGGA".parse().unwrap())
+                    .read(
+                        Read::new(
+                            "r",
+                            r.parse().unwrap(),
+                            Qual::from_raw_scores(&[10, 20, 45, 10]).unwrap(),
+                            0,
+                        )
+                        .unwrap(),
+                    )
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_precompute_matches_cold_simulation() {
+        let targets = varied_targets();
+        for params in [FpgaParams::serial(), FpgaParams::iracc()] {
+            for threads in [1usize, 2, 3, 8] {
+                let mut warm = FunctionalOracle::new();
+                warm.precompute(&targets, &params, threads);
+                assert_eq!(warm.len(), targets.len(), "{threads} threads");
+                let mut cold = FunctionalOracle::new();
+                for (i, t) in targets.iter().enumerate() {
+                    assert_eq!(
+                        warm.simulate(t, i, &params),
+                        cold.simulate(t, i, &params),
+                        "target {i}, {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn precompute_is_idempotent_and_composes_with_partial_caches() {
+        let targets = varied_targets();
+        let params = FpgaParams::iracc();
+        let mut oracle = FunctionalOracle::new();
+        // Seed a partial cache through the normal path…
+        let first = oracle.simulate(&targets[2], 2, &params);
+        // …then warm the rest in parallel, twice.
+        oracle.precompute(&targets, &params, 4);
+        oracle.precompute(&targets, &params, 4);
+        assert_eq!(oracle.len(), targets.len());
+        assert_eq!(oracle.simulate(&targets[2], 2, &params), first);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn precompute_zero_threads_panics() {
+        FunctionalOracle::new().precompute(&[], &FpgaParams::serial(), 0);
     }
 
     #[test]

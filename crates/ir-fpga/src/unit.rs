@@ -10,13 +10,13 @@ use ir_core::{MinWhd, MinWhdGrid, ReadOutcome};
 use ir_genome::{RealignmentTarget, TargetShape};
 
 use crate::fault::FaultPlan;
-use crate::hdc::{run_pair, run_pair_fast, HdcConfig, PairRun};
+use crate::hdc::{run_pair, run_pair_fast_packed, HdcConfig, PairRun};
 use crate::isa::{BufferIndex, IrCommand};
 use crate::mem;
 use crate::params::FpgaParams;
 use crate::selector::run_selector;
 use crate::FpgaError;
-use ir_genome::{Qual, Sequence};
+use ir_genome::PackedSequence;
 
 /// Per-phase cycle counts for one target on one unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -315,20 +315,42 @@ impl IrUnit {
 /// event-driven backend uses [`simulate_target_fast`], which produces the
 /// identical [`UnitRun`] through the jump-to-outcome kernel.
 pub fn simulate_target(target: &RealignmentTarget, params: &FpgaParams) -> UnitRun {
-    simulate_with(target, params, run_pair)
+    simulate_with(target, params, |i, j, cfg| {
+        run_pair(
+            target.consensus(i),
+            target.read(j).bases(),
+            target.read(j).quals(),
+            cfg,
+        )
+    })
 }
 
 /// [`simulate_target`] through the equivalence-preserving fast HDC kernel
-/// ([`run_pair_fast`]). Returns a bitwise-identical [`UnitRun`]; only host
-/// wall-clock differs.
+/// ([`run_pair_fast_packed`]): every consensus and read is packed once (4
+/// bits/base) and the SWAR kernel scans 16 bases per word-op. Returns a
+/// bitwise-identical [`UnitRun`]; only host wall-clock differs.
 pub fn simulate_target_fast(target: &RealignmentTarget, params: &FpgaParams) -> UnitRun {
-    simulate_with(target, params, run_pair_fast)
+    let shape = target.shape();
+    let packed_cons: Vec<PackedSequence> = (0..shape.num_consensuses)
+        .map(|i| PackedSequence::from(target.consensus(i)))
+        .collect();
+    let packed_reads: Vec<PackedSequence> = (0..shape.num_reads)
+        .map(|j| PackedSequence::from(target.read(j).bases()))
+        .collect();
+    simulate_with(target, params, |i, j, cfg| {
+        run_pair_fast_packed(
+            &packed_cons[i],
+            &packed_reads[j],
+            target.read(j).quals(),
+            cfg,
+        )
+    })
 }
 
 fn simulate_with(
     target: &RealignmentTarget,
     params: &FpgaParams,
-    pair_fn: fn(&Sequence, &Sequence, &Qual, HdcConfig) -> PairRun,
+    mut pair_fn: impl FnMut(usize, usize, HdcConfig) -> PairRun,
 ) -> UnitRun {
     let shape = target.shape();
     let hdc_cfg = HdcConfig {
@@ -343,10 +365,8 @@ fn simulate_with(
     let mut comparisons = 0u64;
     let mut offsets_pruned = 0u64;
     for i in 0..shape.num_consensuses {
-        let cons = target.consensus(i);
         for j in 0..shape.num_reads {
-            let read = target.read(j);
-            let pair = pair_fn(cons, read.bases(), read.quals(), hdc_cfg);
+            let pair = pair_fn(i, j, hdc_cfg);
             hdc_cycles += pair.cycles;
             comparisons += pair.comparisons;
             offsets_pruned += pair.offsets_pruned;

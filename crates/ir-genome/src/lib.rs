@@ -39,6 +39,7 @@
 mod base;
 mod cigar;
 mod error;
+mod packed;
 mod position;
 mod qual;
 mod read;
@@ -49,6 +50,7 @@ pub mod tio;
 pub use base::Base;
 pub use cigar::{Cigar, CigarOp};
 pub use error::GenomeError;
+pub use packed::{PackedSequence, BASES_PER_WORD};
 pub use position::{Chromosome, GenomicPos, GRCH37_CHROMOSOME_LENGTHS};
 pub use qual::{Qual, MAX_PHRED_SCORE, PHRED_ASCII_OFFSET};
 pub use read::Read;

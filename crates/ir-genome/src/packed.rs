@@ -1,0 +1,301 @@
+//! Packed nucleotide sequences: 4 bits per base, 16 bases per `u64` word.
+//!
+//! The accelerator's buffers hold one byte per base (paper §III-A), but the
+//! *software* kernels that stand in for the hardware datapath — the SWAR
+//! weighted-Hamming-distance kernel in `ir-core` and the fast HDC path in
+//! `ir-fpga` — compare 16 bases per machine word instead of one byte at a
+//! time. [`PackedSequence`] is the representation those kernels operate on.
+//!
+//! Each base occupies one nibble, using a non-zero code per symbol
+//! (`A=1, C=2, G=3, T=4, N=5`) so a zero nibble unambiguously means
+//! *padding* past the end of the sequence. Any injective code preserves the
+//! kernel's semantics: two nibbles XOR to zero exactly when the bases are
+//! equal, which reproduces the hardware's literal byte compare — including
+//! the `N` rules (`N` vs `N` matches, `N` vs anything else mismatches).
+
+use std::fmt;
+
+use crate::{Base, Sequence};
+
+/// Number of 4-bit bases packed into one `u64` word.
+pub const BASES_PER_WORD: usize = 16;
+
+/// Bits per packed base.
+const NIBBLE_BITS: usize = 4;
+
+/// The non-zero nibble code for a base (`A=1 … N=5`; `0` is padding).
+const fn code(base: Base) -> u64 {
+    match base {
+        Base::A => 1,
+        Base::C => 2,
+        Base::G => 3,
+        Base::T => 4,
+        Base::N => 5,
+    }
+}
+
+/// Decodes a nibble produced by [`code`].
+///
+/// # Panics
+///
+/// Panics on a padding nibble (`0`) or an out-of-range value — both
+/// indicate indexing past the sequence end.
+fn decode(nibble: u64) -> Base {
+    match nibble {
+        1 => Base::A,
+        2 => Base::C,
+        3 => Base::G,
+        4 => Base::T,
+        5 => Base::N,
+        other => panic!("invalid packed nibble {other}"),
+    }
+}
+
+/// A [`Sequence`] packed 4 bits per base, least-significant nibble first.
+///
+/// Base `i` lives in bits `4*(i % 16) .. 4*(i % 16) + 4` of word `i / 16`;
+/// nibbles past `len` in the final word are zero. The round trip through
+/// [`PackedSequence::to_sequence`] is lossless for every sequence,
+/// including ones containing `N`.
+///
+/// # Example
+///
+/// ```
+/// use ir_genome::{PackedSequence, Sequence};
+///
+/// let seq: Sequence = "ACGTNACGTNACGTNACGTN".parse()?;
+/// let packed = PackedSequence::from(&seq);
+/// assert_eq!(packed.len(), 20);
+/// assert_eq!(packed.words().len(), 2); // 16 bases, then 4 + padding
+/// assert_eq!(packed.to_sequence(), seq);
+/// # Ok::<(), ir_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PackedSequence {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedSequence {
+    /// Packs a sequence, 16 bases per word.
+    pub fn from_sequence(seq: &Sequence) -> Self {
+        Self::from_bases(seq.bases())
+    }
+
+    /// Packs a base slice, 16 bases per word.
+    pub fn from_bases(bases: &[Base]) -> Self {
+        let mut words = vec![0u64; bases.len().div_ceil(BASES_PER_WORD)];
+        for (i, &base) in bases.iter().enumerate() {
+            words[i / BASES_PER_WORD] |= code(base) << (NIBBLE_BITS * (i % BASES_PER_WORD));
+        }
+        PackedSequence {
+            words,
+            len: bases.len(),
+        }
+    }
+
+    /// Unpacks back to the byte-per-base representation (lossless).
+    pub fn to_sequence(&self) -> Sequence {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the sequence has no bases.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed words; the last word's nibbles past `len` are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The base at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn get(&self, index: usize) -> Base {
+        assert!(index < self.len, "packed index out of range");
+        let word = self.words[index / BASES_PER_WORD];
+        decode((word >> (NIBBLE_BITS * (index % BASES_PER_WORD))) & 0xF)
+    }
+
+    /// Unpacks the nibble codes (`A=1 … N=5`) into one byte per base.
+    ///
+    /// The byte-per-base view is what *dense* full-scan kernels want: a
+    /// fixed-trip compare-and-accumulate over bytes auto-vectorizes,
+    /// where the same fold over packed nibbles reduces word by word.
+    /// Unpacking costs a few shifts per word, so callers amortize one
+    /// unpack over many sliding-window offsets.
+    pub fn unpack_codes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        for (w, &word) in self.words.iter().enumerate() {
+            let lanes = (self.len - w * BASES_PER_WORD).min(BASES_PER_WORD);
+            for lane in 0..lanes {
+                out.push(((word >> (NIBBLE_BITS * lane)) & 0xF) as u8);
+            }
+        }
+        out
+    }
+
+    /// A 16-base window starting at base offset `start`, packed exactly as
+    /// an aligned word: base `start + i` in nibble `i`. Nibbles past the
+    /// end of the sequence read as zero (padding).
+    ///
+    /// This is the unaligned fetch the SWAR kernels use to slide a read
+    /// along a consensus: the consensus window at any offset `k` comes out
+    /// in the same nibble alignment as the read's own words, so one XOR
+    /// compares 16 base pairs.
+    pub fn window(&self, start: usize) -> u64 {
+        let w = start / BASES_PER_WORD;
+        let r = start % BASES_PER_WORD;
+        let lo = self.words.get(w).copied().unwrap_or(0);
+        if r == 0 {
+            lo
+        } else {
+            let hi = self.words.get(w + 1).copied().unwrap_or(0);
+            (lo >> (NIBBLE_BITS * r)) | (hi << (64 - NIBBLE_BITS * r))
+        }
+    }
+}
+
+impl From<&Sequence> for PackedSequence {
+    fn from(seq: &Sequence) -> Self {
+        PackedSequence::from_sequence(seq)
+    }
+}
+
+impl From<&PackedSequence> for Sequence {
+    fn from(packed: &PackedSequence) -> Self {
+        packed.to_sequence()
+    }
+}
+
+impl fmt::Display for PackedSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_sequence())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_symbols() {
+        let seq: Sequence = "ACGTN".parse().unwrap();
+        let packed = PackedSequence::from(&seq);
+        assert_eq!(packed.len(), 5);
+        assert_eq!(packed.to_sequence(), seq);
+        assert_eq!(packed.to_string(), "ACGTN");
+    }
+
+    #[test]
+    fn round_trips_across_word_boundaries() {
+        // 0, 1, 15, 16, 17, 31, 32, 33 bases: word-boundary straddles.
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100] {
+            let seq: Sequence = "ACGTN"
+                .chars()
+                .cycle()
+                .take(len)
+                .collect::<String>()
+                .parse()
+                .unwrap();
+            let packed = PackedSequence::from(&seq);
+            assert_eq!(packed.len(), len);
+            assert_eq!(packed.words().len(), len.div_ceil(BASES_PER_WORD));
+            assert_eq!(packed.to_sequence(), seq, "len {len}");
+        }
+    }
+
+    #[test]
+    fn per_base_access_matches_sequence() {
+        let seq: Sequence = "TTGCANNACGTACGTACGTAC".parse().unwrap();
+        let packed = PackedSequence::from(&seq);
+        for i in 0..seq.len() {
+            assert_eq!(packed.get(i), seq[i], "base {i}");
+        }
+    }
+
+    #[test]
+    fn unpack_codes_matches_per_base_codes() {
+        for len in [0usize, 1, 15, 16, 17, 33, 100] {
+            let seq: Sequence = "TGCANACGT"
+                .chars()
+                .cycle()
+                .take(len)
+                .collect::<String>()
+                .parse()
+                .unwrap();
+            let packed = PackedSequence::from(&seq);
+            let codes: Vec<u8> = seq.bases().iter().map(|&b| code(b) as u8).collect();
+            assert_eq!(packed.unpack_codes(), codes, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tail_nibbles_are_padding() {
+        let seq: Sequence = "AAA".parse().unwrap();
+        let packed = PackedSequence::from(&seq);
+        // Three A nibbles (code 1), everything above zero.
+        assert_eq!(packed.words(), &[0x111]);
+    }
+
+    #[test]
+    fn window_matches_scalar_extraction() {
+        let seq: Sequence = "ACGTNACGTNACGTNACGTNACGTNACGTNAC".parse().unwrap();
+        let packed = PackedSequence::from(&seq);
+        for start in 0..seq.len() {
+            let window = packed.window(start);
+            for lane in 0..BASES_PER_WORD {
+                let nibble = (window >> (NIBBLE_BITS * lane)) & 0xF;
+                match seq.get(start + lane) {
+                    Some(base) => {
+                        assert_eq!(
+                            nibble,
+                            code(base),
+                            "start {start} lane {lane} holds the wrong base"
+                        );
+                    }
+                    None => assert_eq!(nibble, 0, "start {start} lane {lane} must be padding"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_at_aligned_offset_is_the_word() {
+        let seq: Sequence = "ACGTN".repeat(8).parse::<Sequence>().unwrap();
+        let packed = PackedSequence::from(&seq);
+        assert_eq!(packed.window(0), packed.words()[0]);
+        assert_eq!(packed.window(16), packed.words()[1]);
+    }
+
+    #[test]
+    fn window_past_the_end_is_zero() {
+        let seq: Sequence = "ACGT".parse().unwrap();
+        let packed = PackedSequence::from(&seq);
+        assert_eq!(packed.window(4), 0);
+        assert_eq!(packed.window(100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed index out of range")]
+    fn get_past_end_panics() {
+        let seq: Sequence = "ACGT".parse().unwrap();
+        let _ = PackedSequence::from(&seq).get(4);
+    }
+
+    #[test]
+    fn empty_sequence_round_trips() {
+        let packed = PackedSequence::from(&Sequence::default());
+        assert!(packed.is_empty());
+        assert_eq!(packed.words().len(), 0);
+        assert_eq!(packed.to_sequence(), Sequence::default());
+    }
+}

@@ -6,23 +6,36 @@
 #           the recorded results in EXPERIMENTS.md use 5e-3).
 #
 # Outputs: results/<name>.log (full console text) plus the
-# results/<name>.csv + results/<name>.txt pairs every table emits.
+# results/<name>.csv + results/<name>.txt pairs every table emits, and
+# results/bench_summary.json mapping each binary to its wall-clock ms
+# (machine-readable, for tracking harness performance across revisions).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-1e-3}"
 export IR_SCALE="$SCALE"
+THREADS="${IR_THREADS:-$(nproc 2>/dev/null || echo 1)}"
 mkdir -p results
 
 cargo build --release -p ir-bench
+
+SUMMARY="results/bench_summary.json"
+printf '{\n  "ir_scale": %s,\n  "threads": %s,\n  "wall_ms": {\n' "$SCALE" "$THREADS" > "$SUMMARY"
+FIRST=1
 
 run() {
     local name="$1"
     echo "=== $name (IR_SCALE=$IR_SCALE) ==="
     # Full console output goes to .log; the binaries themselves write the
     # results/<name>.csv + results/<name>.txt table pairs.
+    local start_ns end_ns wall_ms
+    start_ns=$(date +%s%N)
     ./target/release/"$name" | tee "results/$name.log"
+    end_ns=$(date +%s%N)
+    wall_ms=$(( (end_ns - start_ns) / 1000000 ))
+    if [ "$FIRST" -eq 1 ]; then FIRST=0; else printf ',\n' >> "$SUMMARY"; fi
+    printf '    "%s": %s' "$name" "$wall_ms" >> "$SUMMARY"
     echo
 }
 
@@ -59,4 +72,6 @@ run hls_comparison
 run gpu_comparison
 run headline_claims
 
+printf '\n  }\n}\n' >> "$SUMMARY"
 echo "all figures regenerated under results/ at scale $SCALE"
+echo "wall-clock summary: $SUMMARY"

@@ -11,7 +11,9 @@ use proptest::prelude::*;
 
 use ir_system::fpga::driver::ResiliencePolicy;
 use ir_system::fpga::fault::{FaultPlan, FaultRates};
-use ir_system::fpga::{AcceleratedSystem, FpgaParams, Scheduling, SimBackend, SystemRun};
+use ir_system::fpga::{
+    AcceleratedSystem, FpgaParams, FunctionalOracle, Scheduling, SimBackend, SystemRun,
+};
 use ir_system::genome::RealignmentTarget;
 use ir_system::workloads::{WorkloadConfig, WorkloadGenerator};
 
@@ -163,6 +165,40 @@ fn engine_matches_legacy_on_empty_workload() {
         let engine = system(FpgaParams::serial(), sched, SimBackend::EventDriven, true).run(&[]);
         let legacy = system(FpgaParams::serial(), sched, SimBackend::LegacyStepper, true).run(&[]);
         assert_runs_bitwise_equal(&engine, &legacy, &format!("empty, {sched:?}"));
+    }
+}
+
+/// Warming the functional oracle across host threads must be invisible to
+/// the simulation: a run over an oracle precomputed with 1, 2 or 4 worker
+/// threads is bitwise identical — results, timeline, telemetry — to a run
+/// over a cold oracle (and therefore to the legacy single-threaded path
+/// already pinned above). This is the determinism contract of
+/// `FunctionalOracle::precompute`.
+#[test]
+fn threaded_oracle_warmup_is_bitwise_invisible() {
+    let targets = workload(48, 0x04AC1E);
+    for params in [FpgaParams::serial(), FpgaParams::iracc()] {
+        for sched in [Scheduling::Synchronous, Scheduling::Asynchronous] {
+            let sys = |oracle: &mut FunctionalOracle| {
+                system(params, sched, SimBackend::EventDriven, true)
+                    .run_with_oracle(&targets, oracle)
+            };
+            let mut cold = FunctionalOracle::new();
+            let baseline = sys(&mut cold);
+            for threads in [1usize, 2, 4] {
+                let mut warm = FunctionalOracle::new();
+                warm.precompute(&targets, &params, threads);
+                let run = sys(&mut warm);
+                assert_runs_bitwise_equal(
+                    &run,
+                    &baseline,
+                    &format!(
+                        "{threads}-thread warmup, {sched:?}, {} units",
+                        params.num_units
+                    ),
+                );
+            }
+        }
     }
 }
 

@@ -77,7 +77,7 @@ mod tests {
     #[test]
     fn scoped_threads_borrow_and_join() {
         let counter = AtomicUsize::new(0);
-        let data = vec![1usize, 2, 3, 4];
+        let data = [1usize, 2, 3, 4];
         thread::scope(|s| {
             for chunk in data.chunks(2) {
                 s.spawn(|_| {
