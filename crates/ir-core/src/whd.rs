@@ -276,7 +276,7 @@ mod tests {
         }
 
         proptest! {
-            #![proptest_config(ProptestConfig::with_cases(256))]
+            #![proptest_config(ProptestConfig::with_cases_env(256))]
 
             /// A bound of `u64::MAX` can never be exceeded, so the bounded
             /// kernel must degrade to exactly the full evaluation: same

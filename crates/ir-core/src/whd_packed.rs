@@ -265,7 +265,7 @@ mod tests {
         }
 
         proptest! {
-            #![proptest_config(ProptestConfig::with_cases(256))]
+            #![proptest_config(ProptestConfig::with_cases_env(256))]
 
             /// The SWAR kernel is bit-for-bit the scalar kernel.
             #[test]

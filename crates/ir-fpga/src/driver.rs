@@ -118,6 +118,36 @@ impl ResilienceReport {
         self == &ResilienceReport::default()
     }
 
+    /// Folds another report into this one (summing every tally and
+    /// unioning the quarantined-unit set), so a layer that issues many
+    /// smaller runs against the same fabric — the `ir-serve` shard pool
+    /// dispatches one [`run_resilient`](crate::AcceleratedSystem::run_resilient)
+    /// call per batch — can publish one aggregate report.
+    pub fn absorb(&mut self, other: &ResilienceReport) {
+        self.faults.dma_timeouts += other.faults.dma_timeouts;
+        self.faults.dma_truncations += other.faults.dma_truncations;
+        self.faults.responses_dropped += other.faults.responses_dropped;
+        self.faults.responses_duplicated += other.faults.responses_duplicated;
+        self.faults.unit_hangs += other.faults.unit_hangs;
+        self.faults.output_bit_flips += other.faults.output_bit_flips;
+        self.dma_faults += other.dma_faults;
+        self.timeouts += other.timeouts;
+        self.corrupt_detected += other.corrupt_detected;
+        self.unit_hangs += other.unit_hangs;
+        self.stale_responses += other.stale_responses;
+        self.retries += other.retries;
+        self.fallbacks += other.fallbacks;
+        for &unit in &other.quarantined_units {
+            if !self.quarantined_units.contains(&unit) {
+                self.quarantined_units.push(unit);
+            }
+        }
+        self.quarantined_units.sort_unstable();
+        self.recovered_targets += other.recovered_targets;
+        self.recovered_cycles += other.recovered_cycles;
+        self.lost_cycles += other.lost_cycles;
+    }
+
     /// Publishes every field of this report into `counters` under the
     /// `resilience/` block, so the telemetry snapshot is the single place
     /// downstream tooling reads fault/recovery tallies from.
@@ -771,6 +801,39 @@ mod tests {
             );
         }
         assert_eq!(report.faults, plan.counts());
+    }
+
+    #[test]
+    fn absorb_sums_tallies_and_unions_quarantine() {
+        let mut a = ResilienceReport {
+            retries: 2,
+            fallbacks: 1,
+            lost_cycles: 100,
+            quarantined_units: vec![3, 1],
+            ..ResilienceReport::default()
+        };
+        a.faults.unit_hangs = 4;
+        let mut b = ResilienceReport {
+            retries: 5,
+            timeouts: 7,
+            quarantined_units: vec![1, 2],
+            ..ResilienceReport::default()
+        };
+        b.faults.dma_timeouts = 6;
+        a.absorb(&b);
+        assert_eq!(a.retries, 7);
+        assert_eq!(a.fallbacks, 1);
+        assert_eq!(a.timeouts, 7);
+        assert_eq!(a.lost_cycles, 100);
+        assert_eq!(a.faults.unit_hangs, 4);
+        assert_eq!(a.faults.dma_timeouts, 6);
+        assert_eq!(a.quarantined_units, vec![1, 2, 3]);
+
+        // Absorbing into a clean report reproduces the other exactly
+        // (modulo quarantine ordering, which absorb normalizes).
+        let mut clean = ResilienceReport::default();
+        clean.absorb(&b);
+        assert_eq!(clean, b);
     }
 
     #[test]

@@ -658,7 +658,7 @@ mod tests {
         }
 
         proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
+            #![proptest_config(ProptestConfig::with_cases_env(64))]
             #[test]
             fn fast_equals_reference_everywhere(
                 (cons, read, quals) in pair_strategy(),

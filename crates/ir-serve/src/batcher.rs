@@ -1,0 +1,102 @@
+//! The adaptive batching policy: flush on size or deadline.
+
+use crate::queue::SubmissionQueue;
+
+/// What the batcher should do with the queue right now.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlushVerdict {
+    /// A full batch is available — dispatch `max_batch` requests.
+    Full,
+    /// The oldest queued request has waited past the flush deadline —
+    /// dispatch a partial batch rather than keep it waiting.
+    DeadlineExpired,
+    /// Requests are queued but neither condition holds yet; re-evaluate
+    /// at the contained virtual time (the oldest request's deadline).
+    Wait(f64),
+    /// Nothing is queued.
+    Idle,
+}
+
+/// The size-or-deadline coalescing rule (TaskP-Async-DataP semantics: a
+/// batch fills the sea of units when traffic allows, but a lone request
+/// never waits longer than the deadline for company).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// Flush a partial batch once the oldest request has waited this long.
+    pub flush_deadline_s: f64,
+}
+
+impl BatchPolicy {
+    /// Evaluates the queue at virtual time `now_s`.
+    pub fn verdict(&self, queue: &SubmissionQueue, now_s: f64) -> FlushVerdict {
+        if queue.depth() >= self.max_batch {
+            return FlushVerdict::Full;
+        }
+        match queue.oldest_arrival_s() {
+            None => FlushVerdict::Idle,
+            Some(oldest) => {
+                let deadline = oldest + self.flush_deadline_s;
+                // Flush events are scheduled at exactly `deadline`, so the
+                // comparison is exact — no epsilon needed.
+                if now_s >= deadline {
+                    FlushVerdict::DeadlineExpired
+                } else {
+                    FlushVerdict::Wait(deadline)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Admission;
+    use crate::request::Request;
+    use ir_workloads::figure4_target;
+
+    fn queue_with(arrivals: &[f64]) -> SubmissionQueue {
+        let mut q = SubmissionQueue::new(64);
+        for (i, &t) in arrivals.iter().enumerate() {
+            assert_eq!(
+                q.offer(Request::new(i as u64, t, figure4_target()), 1e-3),
+                Admission::Accepted
+            );
+        }
+        q
+    }
+
+    #[test]
+    fn verdicts_cover_all_states() {
+        let policy = BatchPolicy {
+            max_batch: 3,
+            flush_deadline_s: 0.5,
+        };
+        assert_eq!(policy.verdict(&queue_with(&[]), 0.0), FlushVerdict::Idle);
+        assert_eq!(
+            policy.verdict(&queue_with(&[1.0]), 1.1),
+            FlushVerdict::Wait(1.5)
+        );
+        assert_eq!(
+            policy.verdict(&queue_with(&[1.0]), 1.5),
+            FlushVerdict::DeadlineExpired
+        );
+        assert_eq!(
+            policy.verdict(&queue_with(&[1.0, 1.1, 1.2]), 1.2),
+            FlushVerdict::Full
+        );
+    }
+
+    #[test]
+    fn batch_size_one_is_always_full() {
+        // max_batch = 1 degenerates to no coalescing: any queued request
+        // is immediately a full batch (the serve_load baseline mode).
+        let policy = BatchPolicy {
+            max_batch: 1,
+            flush_deadline_s: 0.5,
+        };
+        assert_eq!(policy.verdict(&queue_with(&[2.0]), 2.0), FlushVerdict::Full);
+    }
+}

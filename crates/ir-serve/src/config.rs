@@ -1,0 +1,149 @@
+//! Service configuration.
+
+use ir_fpga::{FaultRates, FpgaParams, ResiliencePolicy, Scheduling};
+
+/// Seeded fault injection for the backend pool: each shard draws from its
+/// own [`ir_fpga::FaultPlan`] derived from `seed` and the shard index, and
+/// every batch runs through the host resilience layer
+/// ([`ir_fpga::AcceleratedSystem::run_resilient`]) instead of the clean
+/// fast path — the PR 1 software fallback becomes the service's degraded
+/// tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjection {
+    /// Base seed; shard `i` uses `seed + i` so fault streams are
+    /// independent across shards but fully reproducible.
+    pub seed: u64,
+    /// Per-site fault probabilities.
+    pub rates: FaultRates,
+}
+
+/// Everything that determines a service run besides the traffic itself.
+///
+/// A service run is a pure function of `(config, requests)`: all queueing,
+/// batching and backend execution happens in virtual time, so two runs
+/// with equal configs and equal request streams produce byte-identical
+/// reports regardless of host speed or [`ServeConfig::threads`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards; each owns one [`ir_fpga::AcceleratedSystem`].
+    pub shards: usize,
+    /// Submission-queue depth at which admission control starts rejecting
+    /// with a retry-after hint (backpressure watermark).
+    pub admission_watermark: usize,
+    /// Largest batch the adaptive batcher dispatches to one shard. The
+    /// natural setting is the backend's unit count (32): a full batch
+    /// occupies the whole sea of units.
+    pub max_batch: usize,
+    /// Longest a queued request may wait for its batch to fill before the
+    /// batcher flushes a partial batch.
+    pub flush_deadline_s: f64,
+    /// Backend configuration for every shard.
+    pub params: FpgaParams,
+    /// Backend scheduling scheme.
+    pub scheduling: Scheduling,
+    /// Host resilience policy (used by the fault-injected path).
+    pub policy: ResiliencePolicy,
+    /// Fault injection; `None` runs the clean oracle-backed fast path.
+    pub faults: Option<FaultInjection>,
+    /// Worker threads for oracle precompute inside each batch. This is a
+    /// host wall-clock knob only — reported virtual-time results are
+    /// bitwise identical for any value; `1` is the fully single-threaded
+    /// replayable mode the deterministic tests pin.
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 2,
+            admission_watermark: 256,
+            max_batch: 32,
+            flush_deadline_s: 500e-6,
+            params: FpgaParams::iracc(),
+            scheduling: Scheduling::Asynchronous,
+            policy: ResiliencePolicy::default(),
+            faults: None,
+            threads: 1,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Checks the configuration for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("at least one shard required".into());
+        }
+        if self.max_batch == 0 {
+            return Err("max_batch must be at least 1".into());
+        }
+        if self.admission_watermark == 0 {
+            return Err("admission watermark must be at least 1".into());
+        }
+        if !(self.flush_deadline_s > 0.0 && self.flush_deadline_s.is_finite()) {
+            return Err("flush deadline must be positive and finite".into());
+        }
+        if self.threads == 0 {
+            return Err("at least one oracle thread required".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_fields_are_reported() {
+        for (cfg, needle) in [
+            (
+                ServeConfig {
+                    shards: 0,
+                    ..ServeConfig::default()
+                },
+                "shard",
+            ),
+            (
+                ServeConfig {
+                    max_batch: 0,
+                    ..ServeConfig::default()
+                },
+                "max_batch",
+            ),
+            (
+                ServeConfig {
+                    admission_watermark: 0,
+                    ..ServeConfig::default()
+                },
+                "watermark",
+            ),
+            (
+                ServeConfig {
+                    flush_deadline_s: 0.0,
+                    ..ServeConfig::default()
+                },
+                "deadline",
+            ),
+            (
+                ServeConfig {
+                    threads: 0,
+                    ..ServeConfig::default()
+                },
+                "thread",
+            ),
+        ] {
+            let err = cfg.validate().expect_err("must reject");
+            assert!(err.contains(needle), "{err} missing {needle}");
+        }
+    }
+}

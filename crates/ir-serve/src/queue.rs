@@ -1,0 +1,154 @@
+//! The bounded submission queue with admission control.
+
+use std::collections::VecDeque;
+
+use crate::request::{Rejection, Request};
+
+/// The outcome of offering a request to the queue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// The request was queued.
+    Accepted,
+    /// The queue is at or above its watermark; the request was turned
+    /// away with a retry-after hint.
+    Rejected(Rejection),
+}
+
+/// A bounded FIFO of admitted requests.
+///
+/// Depth at or above the watermark rejects new arrivals instead of
+/// queueing them — the reject-with-retry-after backpressure contract. The
+/// retry-after hint is `(depth - watermark + 1) × estimated per-request
+/// service time`: how long the backend needs to drain the queue back
+/// under the watermark if no more traffic arrives.
+#[derive(Debug)]
+pub struct SubmissionQueue {
+    watermark: usize,
+    pending: VecDeque<Request>,
+    depth_hwm: usize,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl SubmissionQueue {
+    /// An empty queue rejecting at `watermark` queued requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watermark` is zero.
+    pub fn new(watermark: usize) -> Self {
+        assert!(watermark > 0, "watermark must be at least 1");
+        SubmissionQueue {
+            watermark,
+            pending: VecDeque::new(),
+            depth_hwm: 0,
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Offers a request; `est_service_per_req_s` scales the retry-after
+    /// hint on rejection.
+    pub fn offer(&mut self, request: Request, est_service_per_req_s: f64) -> Admission {
+        if self.pending.len() >= self.watermark {
+            self.rejected += 1;
+            let over = self.pending.len() - self.watermark + 1;
+            return Admission::Rejected(Rejection {
+                id: request.id,
+                arrival_s: request.arrival_s,
+                retry_after_s: over as f64 * est_service_per_req_s,
+            });
+        }
+        self.accepted += 1;
+        self.pending.push_back(request);
+        self.depth_hwm = self.depth_hwm.max(self.pending.len());
+        Admission::Accepted
+    }
+
+    /// Dequeues up to `n` requests in FIFO order.
+    pub fn take(&mut self, n: usize) -> Vec<Request> {
+        let n = n.min(self.pending.len());
+        self.pending.drain(..n).collect()
+    }
+
+    /// Queued (admitted, undispatched) requests.
+    pub fn depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Arrival time of the oldest queued request.
+    pub fn oldest_arrival_s(&self) -> Option<f64> {
+        self.pending.front().map(|r| r.arrival_s)
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_hwm
+    }
+
+    /// Requests admitted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Requests rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_workloads::figure4_target;
+
+    fn req(id: u64, arrival_s: f64) -> Request {
+        Request::new(id, arrival_s, figure4_target())
+    }
+
+    #[test]
+    fn fifo_order_and_depth_tracking() {
+        let mut q = SubmissionQueue::new(8);
+        for i in 0..5 {
+            assert_eq!(q.offer(req(i, i as f64), 1e-3), Admission::Accepted);
+        }
+        assert_eq!(q.depth(), 5);
+        assert_eq!(q.oldest_arrival_s(), Some(0.0));
+        let batch = q.take(3);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.depth_high_water(), 5);
+        assert_eq!(q.take(10).len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rejects_at_watermark_with_scaled_retry_after() {
+        let mut q = SubmissionQueue::new(2);
+        assert_eq!(q.offer(req(0, 0.0), 1e-3), Admission::Accepted);
+        assert_eq!(q.offer(req(1, 0.0), 1e-3), Admission::Accepted);
+        match q.offer(req(2, 0.5), 1e-3) {
+            Admission::Rejected(r) => {
+                assert_eq!(r.id, 2);
+                assert!((r.retry_after_s - 1e-3).abs() < 1e-15);
+            }
+            Admission::Accepted => panic!("watermark must reject"),
+        }
+        assert_eq!(q.accepted(), 2);
+        assert_eq!(q.rejected(), 1);
+        // Draining one slot re-opens admission.
+        let _ = q.take(1);
+        assert_eq!(q.offer(req(3, 0.6), 1e-3), Admission::Accepted);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark")]
+    fn zero_watermark_panics() {
+        let _ = SubmissionQueue::new(0);
+    }
+}

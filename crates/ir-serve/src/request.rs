@@ -1,0 +1,108 @@
+//! Requests, responses and admission rejections.
+
+use ir_genome::RealignmentTarget;
+
+/// One client request: realign `target`, submitted at `arrival_s` of
+/// virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Caller-assigned identifier, echoed on the response.
+    pub id: u64,
+    /// Virtual-time submission timestamp in seconds.
+    pub arrival_s: f64,
+    /// The realignment work item.
+    pub target: RealignmentTarget,
+}
+
+impl Request {
+    /// Bundles a target into a request.
+    pub fn new(id: u64, arrival_s: f64, target: RealignmentTarget) -> Self {
+        Request {
+            id,
+            arrival_s,
+            target,
+        }
+    }
+}
+
+/// The served result for one request, stamped with the full queue →
+/// batch → shard journey so latency can be decomposed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's identifier.
+    pub id: u64,
+    /// When the request arrived (µs of virtual time would lose precision;
+    /// seconds as the raw f64 bits are what the byte-diff artifacts pin).
+    pub arrival_s: f64,
+    /// When its batch was dispatched to a shard.
+    pub dispatch_s: f64,
+    /// When its batch completed.
+    pub completion_s: f64,
+    /// The shard that executed the batch.
+    pub shard: usize,
+    /// Monotone batch sequence number across the whole service.
+    pub batch: u64,
+    /// How many requests shared the batch.
+    pub batch_size: usize,
+    /// Index of the winning consensus (0 = reference), identical to the
+    /// golden software model.
+    pub best_consensus: usize,
+    /// Reads whose alignment changed.
+    pub realigned: usize,
+}
+
+impl Response {
+    /// End-to-end latency: completion minus arrival.
+    pub fn latency_s(&self) -> f64 {
+        self.completion_s - self.arrival_s
+    }
+
+    /// Time spent queued before dispatch.
+    pub fn queue_wait_s(&self) -> f64 {
+        self.dispatch_s - self.arrival_s
+    }
+
+    /// Time spent in the accelerator batch.
+    pub fn service_s(&self) -> f64 {
+        self.completion_s - self.dispatch_s
+    }
+}
+
+// f64 fields are never NaN (they come from the virtual clock), so exact
+// bitwise equality is the right notion for the determinism tests.
+impl Eq for Request {}
+
+/// An admission-control rejection: the queue was at or above its
+/// watermark, and the client should retry after `retry_after_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rejection {
+    /// The rejected request's identifier.
+    pub id: u64,
+    /// When the rejected request arrived.
+    pub arrival_s: f64,
+    /// Backpressure hint: the estimated time for the queue to drain back
+    /// below the watermark.
+    pub retry_after_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_decomposes_into_wait_plus_service() {
+        let r = Response {
+            id: 1,
+            arrival_s: 1.0,
+            dispatch_s: 1.5,
+            completion_s: 2.25,
+            shard: 0,
+            batch: 0,
+            batch_size: 4,
+            best_consensus: 0,
+            realigned: 0,
+        };
+        assert!((r.latency_s() - 1.25).abs() < 1e-12);
+        assert!((r.queue_wait_s() + r.service_s() - r.latency_s()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,303 @@
+//! The virtual-time service loop tying queue, batcher and shard pool
+//! together.
+
+use ir_fpga::{FpgaError, ResilienceReport};
+use ir_sim::{EventQueue, SimTime};
+use ir_telemetry::PerfCounters;
+
+use crate::batcher::{BatchPolicy, FlushVerdict};
+use crate::config::ServeConfig;
+use crate::queue::{Admission, SubmissionQueue};
+use crate::request::{Rejection, Request, Response};
+use crate::shard::Shard;
+
+/// Event-queue priorities at equal timestamps: completions free shards
+/// before new arrivals are admitted, and deadline flushes run last so
+/// they see the post-arrival queue state.
+const PRIO_DONE: u64 = 0;
+const PRIO_ARRIVE: u64 = 1;
+const PRIO_FLUSH: u64 = 2;
+
+/// Initial per-request service-time estimate for retry-after hints,
+/// before the first batch completion calibrates the EWMA.
+const INITIAL_EST_SERVICE_S: f64 = 100e-6;
+
+/// EWMA weight of the newest per-request service-time observation.
+const EST_ALPHA: f64 = 0.3;
+
+#[derive(Debug)]
+enum Event {
+    /// Request `i` of the submitted stream arrives.
+    Arrive(usize),
+    /// Re-evaluate the batcher (a flush deadline came due).
+    Flush,
+    /// The batch in flight on `shard` completed.
+    Done { shard: usize },
+}
+
+/// Everything one service run produced.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Completed responses in completion order (deterministic: virtual
+    /// time with stable tie-breaking).
+    pub responses: Vec<Response>,
+    /// Admission-control rejections in arrival order.
+    pub rejections: Vec<Rejection>,
+    /// Virtual time of the last batch completion (0 for an empty run).
+    pub makespan_s: f64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Aggregated resilience report across every batch (all-default when
+    /// fault injection was off).
+    pub resilience: ResilienceReport,
+    /// The `serve/*` counter registry (plus mirrored `resilience/*`
+    /// counters when fault injection was on).
+    pub counters: PerfCounters,
+}
+
+impl ServiceReport {
+    /// Completed requests.
+    pub fn completed(&self) -> u64 {
+        self.responses.len() as u64
+    }
+
+    /// Requests offered = completed + rejected.
+    pub fn offered(&self) -> u64 {
+        self.completed() + self.rejections.len() as u64
+    }
+
+    /// Completed requests per virtual second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.completed() as f64 / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Nearest-rank latency percentile in seconds (`p` in 0..=100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no responses completed or `p` is out of range.
+    pub fn latency_percentile_s(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        assert!(!self.responses.is_empty(), "no completed responses");
+        let mut lat: Vec<f64> = self.responses.iter().map(Response::latency_s).collect();
+        lat.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
+        lat[rank]
+    }
+
+    /// Mean requests per dispatched batch.
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed() as f64 / self.batches as f64
+        }
+    }
+
+    /// Responses sorted by request id (the order parity tests compare
+    /// against a direct backend run).
+    pub fn responses_by_id(&self) -> Vec<&Response> {
+        let mut sorted: Vec<&Response> = self.responses.iter().collect();
+        sorted.sort_by_key(|r| r.id);
+        sorted
+    }
+}
+
+/// A batch in flight on one shard: responses are fully stamped at
+/// dispatch (completion time is known then) and released at `Done`.
+#[derive(Debug)]
+struct InFlight {
+    responses: Vec<Response>,
+}
+
+/// The async batched realignment service.
+///
+/// [`RealignService::run`] replays a request stream through a bounded
+/// admission queue, the size-or-deadline adaptive batcher and a pool of
+/// accelerator shards — entirely in virtual time, so the report is a pure
+/// function of `(config, requests)`.
+#[derive(Debug)]
+pub struct RealignService {
+    config: ServeConfig,
+    shards: Vec<Shard>,
+}
+
+impl RealignService {
+    /// Builds the shard pool from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for an inconsistent config, or the
+    /// backend construction error for an impossible FPGA configuration.
+    pub fn new(config: ServeConfig) -> Result<Self, String> {
+        config.validate()?;
+        let shards = (0..config.shards)
+            .map(|i| Shard::new(i, &config))
+            .collect::<Result<Vec<_>, FpgaError>>()
+            .map_err(|e| e.to_string())?;
+        Ok(RealignService { config, shards })
+    }
+
+    /// The configuration this pool was built from.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serves a request stream to completion and reports what happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is not sorted by arrival time (an open-loop
+    /// generator produces them sorted by construction).
+    pub fn run(&mut self, requests: Vec<Request>) -> ServiceReport {
+        assert!(
+            requests
+                .windows(2)
+                .all(|w| w[0].arrival_s <= w[1].arrival_s),
+            "requests must be sorted by arrival time"
+        );
+        let policy = BatchPolicy {
+            max_batch: self.config.max_batch,
+            flush_deadline_s: self.config.flush_deadline_s,
+        };
+        let mut queue = SubmissionQueue::new(self.config.admission_watermark);
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut stream: Vec<Option<Request>> = requests.into_iter().map(Some).collect();
+        for (i, req) in stream.iter().enumerate() {
+            let t = req.as_ref().expect("stream starts full").arrival_s;
+            events.push(SimTime::from_seconds(t), PRIO_ARRIVE, 0, Event::Arrive(i));
+        }
+
+        let mut in_flight: Vec<Option<InFlight>> = (0..self.shards.len()).map(|_| None).collect();
+        let mut counters = PerfCounters::default();
+        let mut responses = Vec::new();
+        let mut rejections = Vec::new();
+        let mut resilience = ResilienceReport::default();
+        let mut est_service_s = INITIAL_EST_SERVICE_S;
+        let mut batch_seq = 0u64;
+        let mut flush_full = 0u64;
+        let mut flush_deadline = 0u64;
+        let mut flush_scheduled: Option<f64> = None;
+        let mut makespan_s = 0.0f64;
+
+        while let Some(ev) = events.pop() {
+            let now = ev.time.seconds();
+            match ev.msg {
+                Event::Arrive(i) => {
+                    let req = stream[i].take().expect("each request arrives once");
+                    match queue.offer(req, est_service_s) {
+                        Admission::Accepted => {}
+                        Admission::Rejected(r) => rejections.push(r),
+                    }
+                }
+                Event::Flush => {
+                    if flush_scheduled == Some(now) {
+                        flush_scheduled = None;
+                    }
+                }
+                Event::Done { shard } => {
+                    let fl = in_flight[shard].take().expect("done implies in flight");
+                    makespan_s = makespan_s.max(now);
+                    responses.extend(fl.responses);
+                }
+            }
+
+            // Dispatch loop: pair idle shards with ready batches.
+            while let Some(shard_idx) = in_flight.iter().position(Option::is_none) {
+                let take = match policy.verdict(&queue, now) {
+                    FlushVerdict::Full => {
+                        flush_full += 1;
+                        self.config.max_batch
+                    }
+                    FlushVerdict::DeadlineExpired => {
+                        flush_deadline += 1;
+                        queue.depth()
+                    }
+                    FlushVerdict::Wait(deadline) => {
+                        if flush_scheduled != Some(deadline) {
+                            events.push(
+                                SimTime::from_seconds(deadline),
+                                PRIO_FLUSH,
+                                0,
+                                Event::Flush,
+                            );
+                            flush_scheduled = Some(deadline);
+                        }
+                        break;
+                    }
+                    FlushVerdict::Idle => break,
+                };
+                let batch = queue.take(take);
+                let targets: Vec<_> = batch.iter().map(|r| r.target.clone()).collect();
+                let outcome = self.shards[shard_idx].run_batch(&targets);
+                if let Some(report) = &outcome.resilience {
+                    resilience.absorb(report);
+                }
+                let completion = now + outcome.wall_time_s;
+                // Calibrate the retry-after estimate from real service
+                // time, amortized over the batch.
+                let per_req = outcome.wall_time_s / batch.len() as f64;
+                est_service_s = (1.0 - EST_ALPHA) * est_service_s + EST_ALPHA * per_req;
+                counters.observe("serve/batch_occupancy", batch.len() as u64);
+                counters.add(&PerfCounters::key("serve", Some(shard_idx), "batches"), 1);
+                counters.add(
+                    &PerfCounters::key("serve", Some(shard_idx), "requests"),
+                    batch.len() as u64,
+                );
+                let stamped: Vec<Response> = batch
+                    .iter()
+                    .zip(&outcome.results)
+                    .map(|(req, &(best_consensus, realigned))| {
+                        counters.observe(
+                            "serve/latency_us",
+                            ((completion - req.arrival_s) * 1e6) as u64,
+                        );
+                        Response {
+                            id: req.id,
+                            arrival_s: req.arrival_s,
+                            dispatch_s: now,
+                            completion_s: completion,
+                            shard: shard_idx,
+                            batch: batch_seq,
+                            batch_size: batch.len(),
+                            best_consensus,
+                            realigned,
+                        }
+                    })
+                    .collect();
+                in_flight[shard_idx] = Some(InFlight { responses: stamped });
+                events.push(
+                    SimTime::from_seconds(completion),
+                    PRIO_DONE,
+                    0,
+                    Event::Done { shard: shard_idx },
+                );
+                batch_seq += 1;
+            }
+            counters.gauge_max("serve/queue_depth_hwm", queue.depth_high_water() as u64);
+        }
+
+        debug_assert!(queue.is_empty(), "the loop drains every admitted request");
+        counters.set("serve/accepted", queue.accepted());
+        counters.set("serve/rejected", queue.rejected());
+        counters.set("serve/completed", responses.len() as u64);
+        counters.set("serve/batches", batch_seq);
+        counters.set("serve/flush_full", flush_full);
+        counters.set("serve/flush_deadline", flush_deadline);
+        if self.config.faults.is_some() {
+            resilience.record_into(&mut counters);
+        }
+        ServiceReport {
+            responses,
+            rejections,
+            makespan_s,
+            batches: batch_seq,
+            resilience,
+            counters,
+        }
+    }
+}

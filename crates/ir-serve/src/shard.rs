@@ -1,0 +1,206 @@
+//! One worker shard: an accelerator backend plus its fault/recovery
+//! state.
+
+use ir_fpga::{AcceleratedSystem, FaultPlan, FpgaError, FunctionalOracle, ResilienceReport};
+use ir_genome::RealignmentTarget;
+
+use crate::config::ServeConfig;
+
+/// The functional result and timing of one dispatched batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Virtual seconds the batch occupied the shard (accelerator wall
+    /// time including DMA and command latencies).
+    pub wall_time_s: f64,
+    /// Per-request `(best_consensus, realigned_count)`, in batch order —
+    /// bit-identical to the golden software model even under injected
+    /// faults (the resilience layer guarantees functional correctness).
+    pub results: Vec<(usize, usize)>,
+    /// What the resilience layer saw, when fault injection is on.
+    pub resilience: Option<ResilienceReport>,
+}
+
+/// A worker shard owning one [`AcceleratedSystem`].
+///
+/// Clean-path batches run through a per-batch [`FunctionalOracle`]
+/// (pre-warmed on [`ServeConfig::threads`] workers — a host-speed knob
+/// with bitwise-identical results). Fault-injected batches run the host
+/// resilience layer instead; the shard's [`FaultPlan`] persists across
+/// batches, so the fault stream is one continuous seeded sequence per
+/// shard and the software fallback acts as the degraded serving tier.
+#[derive(Debug)]
+pub struct Shard {
+    index: usize,
+    system: AcceleratedSystem,
+    plan: Option<FaultPlan>,
+    config: ServeConfig,
+    batches: u64,
+    requests: u64,
+    busy_s: f64,
+}
+
+impl Shard {
+    /// Builds shard `index` from the service config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction failures (FPGA fit / timing).
+    pub fn new(index: usize, config: &ServeConfig) -> Result<Self, FpgaError> {
+        let system = AcceleratedSystem::new(config.params, config.scheduling)?;
+        let plan = config
+            .faults
+            .map(|f| FaultPlan::seeded(f.seed.wrapping_add(index as u64), f.rates));
+        Ok(Shard {
+            index,
+            system,
+            plan,
+            config: config.clone(),
+            batches: 0,
+            requests: 0,
+            busy_s: 0.0,
+        })
+    }
+
+    /// This shard's index in the pool.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Executes one batch and returns its outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch — the batcher never dispatches one.
+    pub fn run_batch(&mut self, targets: &[RealignmentTarget]) -> BatchOutcome {
+        assert!(!targets.is_empty(), "shards never receive empty batches");
+        let run = match self.plan.as_mut() {
+            Some(plan) => self
+                .system
+                .run_resilient(targets, plan, &self.config.policy),
+            None => {
+                // Indices key the oracle per batch slice, so each batch
+                // needs a fresh oracle; the win is the multi-threaded
+                // pre-warm, not cross-batch reuse.
+                let mut oracle = FunctionalOracle::new();
+                oracle.precompute(targets, self.system.params(), self.config.threads);
+                self.system.run_with_oracle(targets, &mut oracle)
+            }
+        };
+        self.batches += 1;
+        self.requests += targets.len() as u64;
+        self.busy_s += run.wall_time_s;
+        BatchOutcome {
+            wall_time_s: run.wall_time_s,
+            results: run
+                .results
+                .iter()
+                .map(|r| (r.best_consensus(), r.realigned_count()))
+                .collect(),
+            resilience: run.resilience,
+        }
+    }
+
+    /// Batches executed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Requests executed so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Total virtual seconds spent executing batches.
+    pub fn busy_s(&self) -> f64 {
+        self.busy_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_fpga::FaultRates;
+    use ir_workloads::{WorkloadConfig, WorkloadGenerator};
+
+    fn targets(n: usize) -> Vec<RealignmentTarget> {
+        WorkloadGenerator::new(WorkloadConfig {
+            scale: 1e-4,
+            read_len: 40,
+            min_consensus_len: 60,
+            max_consensus_len: 120,
+            min_reads: 4,
+            max_reads: 12,
+            ..WorkloadConfig::default()
+        })
+        .targets(n, 9)
+    }
+
+    #[test]
+    fn clean_batches_match_the_direct_run() {
+        let config = ServeConfig::default();
+        let mut shard = Shard::new(0, &config).unwrap();
+        let batch = targets(6);
+        let outcome = shard.run_batch(&batch);
+        let direct = AcceleratedSystem::new(config.params, config.scheduling)
+            .unwrap()
+            .run(&batch);
+        assert_eq!(outcome.wall_time_s, direct.wall_time_s, "bitwise timing");
+        let expect: Vec<_> = direct
+            .results
+            .iter()
+            .map(|r| (r.best_consensus(), r.realigned_count()))
+            .collect();
+        assert_eq!(outcome.results, expect);
+        assert!(outcome.resilience.is_none());
+        assert_eq!(shard.batches(), 1);
+        assert_eq!(shard.requests(), 6);
+    }
+
+    #[test]
+    fn faulty_batches_keep_golden_results_and_report() {
+        let config = ServeConfig {
+            faults: Some(crate::config::FaultInjection {
+                seed: 5,
+                rates: FaultRates::uniform(0.05),
+            }),
+            ..ServeConfig::default()
+        };
+        let mut shard = Shard::new(0, &config).unwrap();
+        let batch = targets(8);
+        let outcome = shard.run_batch(&batch);
+        let clean = AcceleratedSystem::new(config.params, config.scheduling)
+            .unwrap()
+            .run(&batch);
+        let expect: Vec<_> = clean
+            .results
+            .iter()
+            .map(|r| (r.best_consensus(), r.realigned_count()))
+            .collect();
+        assert_eq!(outcome.results, expect, "faults never corrupt results");
+        assert!(outcome.resilience.is_some());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_outcomes() {
+        let batch = targets(5);
+        let one = Shard::new(
+            0,
+            &ServeConfig {
+                threads: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap()
+        .run_batch(&batch);
+        let four = Shard::new(
+            0,
+            &ServeConfig {
+                threads: 4,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap()
+        .run_batch(&batch);
+        assert_eq!(one, four);
+    }
+}

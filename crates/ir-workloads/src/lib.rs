@@ -37,11 +37,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrivals;
 mod examples;
 mod generator;
 mod profile;
 mod zipf;
 
+pub use arrivals::ArrivalProcess;
 pub use examples::{figure4_target, scheduling_toy_targets};
 pub use generator::{
     ChromosomeWorkload, ReadTruth, TargetTruth, WorkloadConfig, WorkloadGenerator, WorkloadStats,

@@ -64,6 +64,9 @@ run accuracy_eval
 run telemetry_report
 run resilience_study
 
+# Serving layer.
+run serve_load
+
 # Evaluation headliners.
 run fig3_ir_fraction
 run fig9_speedup

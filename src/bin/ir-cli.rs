@@ -4,27 +4,34 @@
 //! ir-cli gen --chromosome 21 --scale 1e-4 --seed 7 --out targets.tio
 //! ir-cli realign targets.tio [--rule paper|gatk] [--threads N]
 //! ir-cli simulate targets.tio [--units 32] [--lanes 1|32] [--sched sync|async]
+//! ir-cli serve targets.tio [--shards N] [--batch B] [--deadline-us D]
+//!                          [--rate R] [--seed S] [--faults 0|1] [--threads N]
 //! ```
 //!
 //! `gen` writes a synthetic chromosome workload in the text interchange
 //! format; `realign` runs the software realigner over a target file;
 //! `simulate` runs the same file through the cycle-level accelerated
-//! system and reports timing.
+//! system and reports timing; `serve` replays the file as Poisson
+//! traffic through the batched realignment service and reports
+//! throughput and latency percentiles.
 
 use std::process::ExitCode;
 
 use ir_system::baselines::parallel::realign_parallel;
 use ir_system::core::{IndelRealigner, SelectionRule};
-use ir_system::fpga::{AcceleratedSystem, FpgaParams, Scheduling};
+use ir_system::fpga::{AcceleratedSystem, FaultRates, FpgaParams, Scheduling};
 use ir_system::genome::tio;
 use ir_system::genome::{Chromosome, RealignmentTarget};
-use ir_system::workloads::{WorkloadConfig, WorkloadGenerator};
+use ir_system::serve::{FaultInjection, RealignService, Request, ServeConfig};
+use ir_system::workloads::{ArrivalProcess, WorkloadConfig, WorkloadGenerator};
 
 const USAGE: &str = "\
 usage:
   ir-cli gen --chromosome <1-22|X|Y> [--scale F] [--seed N] [--out FILE]
   ir-cli realign <FILE> [--rule paper|gatk] [--threads N]
   ir-cli simulate <FILE> [--units N] [--lanes 1|32] [--sched sync|async]
+  ir-cli serve <FILE> [--shards N] [--batch B] [--deadline-us D] [--rate R]
+               [--seed S] [--faults 0|1] [--threads N]
 ";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
@@ -172,6 +179,81 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let targets = load_targets(args)?;
+    let shards: usize = args.flag_parse("shards", 2)?;
+    let max_batch: usize = args.flag_parse("batch", 32)?;
+    let deadline_us: f64 = args.flag_parse("deadline-us", 500.0)?;
+    let rate: f64 = args.flag_parse("rate", 50_000.0)?;
+    let seed: u64 = args.flag_parse("seed", 41)?;
+    let faults: u8 = args.flag_parse("faults", 0)?;
+    let threads: usize = args.flag_parse("threads", 1)?;
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err(format!(
+            "--rate must be a positive request rate, got {rate}"
+        ));
+    }
+
+    let config = ServeConfig {
+        shards,
+        max_batch,
+        flush_deadline_s: deadline_us * 1e-6,
+        threads: threads.max(1),
+        faults: (faults != 0).then(|| FaultInjection {
+            seed,
+            rates: FaultRates::default_rates(),
+        }),
+        ..ServeConfig::default()
+    };
+    let times = ArrivalProcess::poisson(seed, rate).times(targets.len());
+    let requests: Vec<Request> = targets
+        .into_iter()
+        .zip(times)
+        .enumerate()
+        .map(|(i, (t, at))| Request::new(i as u64, at, t))
+        .collect();
+
+    let mut service = RealignService::new(config)?;
+    let report = service.run(requests);
+    println!(
+        "{shards} shard(s), max batch {max_batch}, deadline {deadline_us} µs, \
+         {rate:.0} req/s offered (seed {seed})"
+    );
+    println!(
+        "completed {}/{} ({} rejected with retry-after), {} batches \
+         (mean occupancy {:.2})",
+        report.completed(),
+        report.offered(),
+        report.rejections.len(),
+        report.batches,
+        report.mean_batch_occupancy()
+    );
+    println!(
+        "throughput {:.0} req/s over {:.6} s of virtual time",
+        report.throughput_rps(),
+        report.makespan_s
+    );
+    if report.completed() > 0 {
+        println!(
+            "latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+            report.latency_percentile_s(50.0) * 1e3,
+            report.latency_percentile_s(95.0) * 1e3,
+            report.latency_percentile_s(99.0) * 1e3
+        );
+    }
+    if faults != 0 {
+        let r = &report.resilience;
+        println!(
+            "resilience: {} faults injected, {} retries, {} fallbacks, {} unit(s) quarantined",
+            r.faults.total(),
+            r.retries,
+            r.fallbacks,
+            r.quarantined_units.len()
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse(&raw) {
@@ -185,6 +267,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args),
         Some("realign") => cmd_realign(&args),
         Some("simulate") => cmd_simulate(&args),
+        Some("serve") => cmd_serve(&args),
         _ => Err("missing or unknown subcommand".to_string()),
     };
     match result {

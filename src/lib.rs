@@ -17,6 +17,9 @@
 //!   and fleet models are scheduled on ([`sim::Engine`],
 //!   [`sim::Component`], [`sim::EventQueue`]).
 //! - [`telemetry`] — perf-counter registry and Perfetto trace emitter.
+//! - [`serve`] — the async batched realignment service: bounded
+//!   admission queue, adaptive batcher and sharded accelerator pool
+//!   ([`serve::RealignService`]).
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@ pub use ir_cloud as cloud;
 pub use ir_core as core;
 pub use ir_fpga as fpga;
 pub use ir_genome as genome;
+pub use ir_serve as serve;
 pub use ir_sim as sim;
 pub use ir_telemetry as telemetry;
 pub use ir_workloads as workloads;

@@ -1,0 +1,100 @@
+//! Schema/golden test for `results/bench_summary.json`, the
+//! machine-readable wall-clock summary `scripts/run_all_figures.sh`
+//! regenerates on every full evaluation run.
+//!
+//! The checked-in document must:
+//!
+//! - parse under the strict RFC 8259 validator from `ir-telemetry`
+//!   (which rejects trailing commas, trailing content and non-finite
+//!   numbers — exactly the failure modes of the shell-side printf
+//!   emitter),
+//! - carry the three required top-level keys (`ir_scale`, `threads`,
+//!   `wall_ms`),
+//! - record one wall-clock entry per benchmark binary in
+//!   `crates/ir-bench/src/bin/` — enumerated from the filesystem, so a
+//!   new binary that isn't wired into the figures script fails here.
+
+use std::path::Path;
+
+use ir_system::telemetry::json::validate_json;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn summary_text() -> String {
+    let path = repo_root().join("results/bench_summary.json");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Every `.rs` file under `crates/ir-bench/src/bin/`, without extension.
+fn bench_binaries() -> Vec<String> {
+    let dir = repo_root().join("crates/ir-bench/src/bin");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("listing {}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+        .map(|p| {
+            p.file_stem()
+                .expect("file stem")
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 20,
+        "expected the full benchmark suite, found {names:?}"
+    );
+    names
+}
+
+#[test]
+fn summary_is_strictly_valid_json() {
+    let text = summary_text();
+    validate_json(&text).expect("bench_summary.json must satisfy the strict validator");
+}
+
+#[test]
+fn summary_has_required_top_level_keys() {
+    let text = summary_text();
+    for key in ["\"ir_scale\"", "\"threads\"", "\"wall_ms\""] {
+        assert!(text.contains(key), "missing required key {key}");
+    }
+}
+
+#[test]
+fn every_bench_binary_has_a_wall_clock_entry() {
+    let text = summary_text();
+    let wall_ms_at = text.find("\"wall_ms\"").expect("wall_ms section");
+    let section = &text[wall_ms_at..];
+    for name in bench_binaries() {
+        let entry = format!("\"{name}\":");
+        assert!(
+            section.contains(&entry),
+            "benchmark binary {name} has no wall_ms entry — \
+             wire it into scripts/run_all_figures.sh and refresh the summary"
+        );
+    }
+}
+
+#[test]
+fn wall_clock_entries_are_positive_integers() {
+    let text = summary_text();
+    let wall_ms_at = text.find("\"wall_ms\"").expect("wall_ms section");
+    // Entries look like `"name": 1234` — check every value in the section.
+    for line in text[wall_ms_at..].lines().skip(1) {
+        let line = line.trim().trim_end_matches([',', '}']);
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if value.is_empty() {
+            continue;
+        }
+        let ms: u64 = value
+            .parse()
+            .unwrap_or_else(|e| panic!("non-integer wall_ms for {key}: {value:?} ({e})"));
+        assert!(ms > 0, "implausible zero wall-clock for {key}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Differential proptest pinning the packed SWAR HDC kernel
+//! (`run_pair_fast_packed`) bitwise against the scalar reference
+//! (`run_pair`) under plain `cargo test`.
+//!
+//! The fast kernel has three execution shapes, selected by the config and
+//! the read geometry:
+//!
+//! 1. serial immediate-prune (`lanes == 1 && prune_latency_blocks == 0`),
+//! 2. dense byte-fold when the drain swallows the whole read
+//!    (`nblocks <= prune_latency_blocks + 1`),
+//! 3. the block-granular SWAR fallback for everything else.
+//!
+//! Every case exercises a curated config set that covers all three shapes
+//! (both presets, pruning on/off, lane counts that straddle the block
+//! boundaries) plus one randomized config, over random sequence pairs
+//! including `N` bases — the full `PairRun` (min WHD, offset, cycles,
+//! comparisons, pruned-offset count) must be identical.
+//!
+//! Case counts are gated on `IR_PROPTEST_CASES` (see README).
+
+use ir_system::fpga::hdc::{run_pair, run_pair_fast_packed, HdcConfig};
+use ir_system::genome::{Base, PackedSequence, Qual, Sequence};
+use proptest::prelude::*;
+
+/// Maps a byte to a base, all five symbols reachable.
+fn base(code: u8) -> Base {
+    match code % 5 {
+        0 => Base::A,
+        1 => Base::C,
+        2 => Base::G,
+        3 => Base::T,
+        _ => Base::N,
+    }
+}
+
+/// Configs covering every execution shape of the fast kernel. With reads
+/// of 1..=96 bases, `lanes` values below straddle `nblocks <=
+/// prune_latency_blocks + 1` both ways (e.g. a 3-base read at 32 lanes is
+/// one block — drain-swallowed at latency 2 — while a 96-base read is
+/// not).
+fn shape_covering_configs() -> Vec<HdcConfig> {
+    vec![
+        // Shape 1: serial immediate prune (the base design).
+        HdcConfig::serial(),
+        // Shape 1 without pruning.
+        HdcConfig {
+            pruning: false,
+            ..HdcConfig::serial()
+        },
+        // Shapes 2 and 3 by read length: the Figure 8 data-parallel design.
+        HdcConfig::data_parallel(),
+        HdcConfig {
+            pruning: false,
+            ..HdcConfig::data_parallel()
+        },
+        // Deep prune latency: drain swallows up to 4 blocks.
+        HdcConfig {
+            lanes: 8,
+            pruning: true,
+            pair_overhead_cycles: 0,
+            prune_latency_blocks: 3,
+        },
+        // Multi-lane with immediate prune verdict (shape 3, latency 0).
+        HdcConfig {
+            lanes: 32,
+            pruning: true,
+            pair_overhead_cycles: 2,
+            prune_latency_blocks: 0,
+        },
+        // Odd lane count that never divides the read length evenly.
+        HdcConfig {
+            lanes: 3,
+            pruning: true,
+            pair_overhead_cycles: 1,
+            prune_latency_blocks: 1,
+        },
+    ]
+}
+
+prop_compose! {
+    /// A random (consensus, read, quals) triple with `read.len() <=
+    /// consensus.len()`, all symbols (including `N`) and the full
+    /// Phred-score range.
+    fn pair_inputs()(
+        read_len in 1usize..=96,
+        extra in 0usize..=64,
+        cons_codes in prop::collection::vec(any::<u8>(), 160),
+        read_codes in prop::collection::vec(any::<u8>(), 96),
+        qual_scores in prop::collection::vec(0u8..=60, 96)
+    ) -> (Sequence, Sequence, Qual) {
+        let cons: Sequence = cons_codes[..read_len + extra].iter().map(|&c| base(c)).collect();
+        let read: Sequence = read_codes[..read_len].iter().map(|&c| base(c)).collect();
+        let quals = Qual::from_raw_scores(&qual_scores[..read_len]).expect("valid Phred range");
+        (cons, read, quals)
+    }
+}
+
+prop_compose! {
+    /// A randomized config within the hardware-plausible envelope.
+    fn random_config()(
+        lanes in 1usize..=48,
+        pruning in any::<bool>(),
+        pair_overhead_cycles in 0u64..=4,
+        prune_latency_blocks in 0u64..=3
+    ) -> HdcConfig {
+        HdcConfig { lanes, pruning, pair_overhead_cycles, prune_latency_blocks }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_env(96))]
+
+    /// The packed kernel reproduces the scalar reference exactly — min
+    /// WHD, winning offset, cycle count, comparison count and pruned
+    /// offsets — for every covered config and a fresh random config.
+    #[test]
+    fn packed_kernel_matches_scalar_reference(
+        (cons, read, quals) in pair_inputs(),
+        extra_cfg in random_config()
+    ) {
+        let packed_cons = PackedSequence::from(&cons);
+        let packed_read = PackedSequence::from(&read);
+        let mut configs = shape_covering_configs();
+        configs.push(extra_cfg);
+        for cfg in configs {
+            let scalar = run_pair(&cons, &read, &quals, cfg);
+            let fast = run_pair_fast_packed(&packed_cons, &packed_read, &quals, cfg);
+            prop_assert_eq!(
+                scalar, fast,
+                "config {:?} on read_len {} cons_len {}",
+                cfg, read.len(), cons.len()
+            );
+        }
+    }
+}
+
+/// The worked Figure 4 example through every covered config — a fixed
+/// anchor independent of the random corpus.
+#[test]
+fn figure4_example_is_shape_invariant() {
+    let cons: Sequence = "ACCTGAA".parse().unwrap();
+    let read: Sequence = "TGAA".parse().unwrap();
+    let quals = Qual::from_raw_scores(&[10, 20, 45, 10]).unwrap();
+    let packed_cons = PackedSequence::from(&cons);
+    let packed_read = PackedSequence::from(&read);
+    for cfg in shape_covering_configs() {
+        let scalar = run_pair(&cons, &read, &quals, cfg);
+        let fast = run_pair_fast_packed(&packed_cons, &packed_read, &quals, cfg);
+        assert_eq!(scalar, fast, "config {cfg:?}");
+        // "TGAA" matches "ACCTGAA" exactly at offset 3 — the sweep's
+        // minimum is an exact hit regardless of kernel shape.
+        assert_eq!(scalar.min.whd, 0, "Figure 4 sweep minimum WHD");
+        assert_eq!(scalar.min.offset, 3, "Figure 4 winning offset");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the 4-bit packed sequence representation
+//! (`ir_genome::PackedSequence`) and the packed WHD kernel built on it.
+//!
+//! Pins the invariants every downstream consumer (the SWAR kernel, the
+//! DMA model, the serving layer) relies on:
+//!
+//! - encode → decode roundtrips exactly, including odd lengths that
+//!   leave a partially-filled word, the empty sequence, and `N` bases;
+//! - random point access (`get`) agrees with the unpacked view;
+//! - padding nibbles beyond `len` are zero in every word, so XOR-based
+//!   windows never see stale symbols;
+//! - `calc_whd_packed` equals the scalar `calc_whd` at every legal
+//!   offset of the same corpus.
+//!
+//! Case counts are gated on `IR_PROPTEST_CASES` (see README).
+
+use ir_system::core::{calc_whd, calc_whd_packed};
+use ir_system::genome::{Base, PackedSequence, Qual, Sequence, BASES_PER_WORD};
+use proptest::prelude::*;
+
+/// Maps a byte to a base, all five symbols (including `N`) reachable.
+fn base(code: u8) -> Base {
+    match code % 5 {
+        0 => Base::A,
+        1 => Base::C,
+        2 => Base::G,
+        3 => Base::T,
+        _ => Base::N,
+    }
+}
+
+fn sequence_from_codes(codes: &[u8]) -> Sequence {
+    codes.iter().map(|&c| base(c)).collect()
+}
+
+prop_compose! {
+    /// A random sequence of 0..=131 bases — lengths straddle one, two and
+    /// many 16-base words, hitting every partial-fill remainder.
+    fn any_sequence()(
+        len in 0usize..=131,
+        codes in prop::collection::vec(any::<u8>(), 131)
+    ) -> Sequence {
+        sequence_from_codes(&codes[..len])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_env(128))]
+
+    /// Encode → decode is the identity, for every length class.
+    #[test]
+    fn roundtrip_is_identity(seq in any_sequence()) {
+        let packed = PackedSequence::from_sequence(&seq);
+        prop_assert_eq!(packed.len(), seq.len());
+        prop_assert_eq!(packed.is_empty(), seq.is_empty());
+        prop_assert_eq!(packed.to_sequence(), seq.clone());
+        // The From impls agree with the named constructors.
+        prop_assert_eq!(Sequence::from(&PackedSequence::from(&seq)), seq);
+    }
+
+    /// Point access agrees with the decoded view at every index.
+    #[test]
+    fn get_matches_unpacked(seq in any_sequence()) {
+        let packed = PackedSequence::from_sequence(&seq);
+        let decoded = packed.to_sequence();
+        for (i, &b) in decoded.bases().iter().enumerate() {
+            prop_assert_eq!(packed.get(i), b, "index {}", i);
+        }
+    }
+
+    /// Every nibble beyond `len` is the zero pad code, and the word count
+    /// is exactly `ceil(len / 16)` — no stale tail data survives packing.
+    #[test]
+    fn padding_nibbles_are_zero(seq in any_sequence()) {
+        let packed = PackedSequence::from_sequence(&seq);
+        prop_assert_eq!(packed.words().len(), seq.len().div_ceil(BASES_PER_WORD));
+        let codes = packed.unpack_codes();
+        prop_assert_eq!(codes.len(), seq.len());
+        for (i, &code) in codes.iter().enumerate() {
+            prop_assert!((1..=5).contains(&code), "live nibble {} = {}", i, code);
+        }
+        // Raw inspection of the last word: nibbles past `len` must be the
+        // zero pad code so XOR windows never see stale symbols.
+        if let Some(&last) = packed.words().last() {
+            let live = seq.len() - (packed.words().len() - 1) * BASES_PER_WORD;
+            for lane in live..BASES_PER_WORD {
+                prop_assert_eq!((last >> (4 * lane)) & 0xF, 0, "pad lane {}", lane);
+            }
+        }
+    }
+
+    /// The packed WHD kernel equals the scalar reference at every legal
+    /// offset of the same (consensus, read, quals) corpus.
+    #[test]
+    fn packed_whd_matches_scalar(
+        read_len in 1usize..=72,
+        extra in 0usize..=40,
+        cons_codes in prop::collection::vec(any::<u8>(), 112),
+        read_codes in prop::collection::vec(any::<u8>(), 72),
+        qual_scores in prop::collection::vec(0u8..=60, 72)
+    ) {
+        let cons = sequence_from_codes(&cons_codes[..read_len + extra]);
+        let read = sequence_from_codes(&read_codes[..read_len]);
+        let quals = Qual::from_raw_scores(&qual_scores[..read_len]).expect("valid Phred range");
+        let packed_cons = PackedSequence::from(&cons);
+        let packed_read = PackedSequence::from(&read);
+        for k in 0..=extra {
+            prop_assert_eq!(
+                calc_whd_packed(&packed_cons, &packed_read, &quals, k),
+                calc_whd(&cons, &read, &quals, k),
+                "offset {}",
+                k
+            );
+        }
+    }
+}
+
+/// The explicit edge cases spelled out in the issue: empty sequences,
+/// odd lengths around the word boundary, and all-`N` content.
+#[test]
+fn explicit_edge_cases_roundtrip() {
+    let cases: Vec<Sequence> = vec![
+        Sequence::default(),
+        "A".parse().unwrap(),
+        "NNNNN".parse().unwrap(),
+        "ACGTN".repeat(3).parse().unwrap(), // 15: one base short of a word
+        "ACGTNACGTNACGTNA".parse().unwrap(), // 16: exactly one word
+        "ACGTNACGTNACGTNAC".parse().unwrap(), // 17: one base into word two
+        "N".repeat(33).parse().unwrap(),    // odd length, three words, all N
+    ];
+    for seq in cases {
+        let packed = PackedSequence::from_sequence(&seq);
+        assert_eq!(packed.to_sequence(), seq, "roundtrip for len {}", seq.len());
+    }
+}

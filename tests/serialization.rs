@@ -22,7 +22,7 @@ fn small_targets(seed: u64, count: usize) -> Vec<RealignmentTarget> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases_env(32))]
 
     #[test]
     fn tio_round_trips_generated_workloads(seed in 0u64..10_000) {

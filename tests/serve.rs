@@ -1,0 +1,209 @@
+//! Deterministic end-to-end test of the batched realignment service.
+//!
+//! Runs a seeded workload through [`ir_system::serve::RealignService`]
+//! with fault injection ON and pins the three contracts the serving
+//! layer makes:
+//!
+//! 1. **Functional parity** — every response carries exactly the result
+//!    the direct [`AcceleratedSystem`] path produces for the same target
+//!    (the resilience layer recovers injected faults to the golden
+//!    answer; batching and sharding are invisible to correctness).
+//! 2. **Determinism** — two same-config same-seed runs produce equal
+//!    reports, and the oracle pre-warm thread count does not change a
+//!    single response.
+//! 3. **Observability** — the `resilience/*` counters in the report
+//!    mirror [`ResilienceReport::record_into`] of the aggregated report,
+//!    and the `serve/*` counters agree with the report's own tallies.
+//!
+//! Case counts here are fixed (not proptest): the workload is one seeded
+//! stream, sized to span multiple batches on every shard. The baseline
+//! report is computed once and shared across tests (cycle-level runs are
+//! the dominant cost under the dev profile).
+
+use std::sync::OnceLock;
+
+use ir_system::fpga::{AcceleratedSystem, FaultRates};
+use ir_system::serve::{FaultInjection, RealignService, Request, ServeConfig, ServiceReport};
+use ir_system::telemetry::PerfCounters;
+use ir_system::workloads::{ArrivalProcess, WorkloadConfig, WorkloadGenerator};
+
+const WORKLOAD_SEED: u64 = 77;
+const ARRIVAL_SEED: u64 = 13;
+const FAULT_SEED: u64 = 5;
+const REQUESTS: usize = 24;
+
+fn workload() -> Vec<ir_system::genome::RealignmentTarget> {
+    let generator = WorkloadGenerator::new(WorkloadConfig {
+        seed: WORKLOAD_SEED,
+        scale: 1e-4,
+        ..WorkloadConfig::default()
+    });
+    generator.targets(REQUESTS, WORKLOAD_SEED)
+}
+
+fn faulty_config(threads: usize) -> ServeConfig {
+    ServeConfig {
+        threads,
+        // Well above the default 1e-3: a short stream must reliably
+        // exercise the retry/fallback machinery, not just ride clean.
+        faults: Some(FaultInjection {
+            seed: FAULT_SEED,
+            rates: FaultRates::uniform(0.05),
+        }),
+        ..ServeConfig::default()
+    }
+}
+
+fn requests(targets: &[ir_system::genome::RealignmentTarget], rate_rps: f64) -> Vec<Request> {
+    let times = ArrivalProcess::poisson(ARRIVAL_SEED, rate_rps).times(targets.len());
+    targets
+        .iter()
+        .zip(times)
+        .enumerate()
+        .map(|(i, (t, at))| Request::new(i as u64, at, t.clone()))
+        .collect()
+}
+
+fn run_service(config: ServeConfig, rate_rps: f64) -> ServiceReport {
+    let targets = workload();
+    let mut service = RealignService::new(config).expect("valid config");
+    service.run(requests(&targets, rate_rps))
+}
+
+/// The canonical faulty single-thread run, shared across tests.
+fn baseline() -> &'static ServiceReport {
+    static BASELINE: OnceLock<ServiceReport> = OnceLock::new();
+    BASELINE.get_or_init(|| run_service(faulty_config(1), 20_000.0))
+}
+
+/// Contract 1: with fault injection on, every served response matches the
+/// direct accelerator path bitwise (best consensus and realigned count).
+#[test]
+fn faulty_service_matches_direct_system_path() {
+    let targets = workload();
+    let config = faulty_config(1);
+    let direct = AcceleratedSystem::new(config.params, config.scheduling)
+        .expect("valid params")
+        .run(&targets);
+
+    let report = baseline();
+    assert_eq!(
+        report.completed() as usize,
+        targets.len(),
+        "watermark must admit the whole stream at this rate"
+    );
+    assert!(
+        report.resilience.faults.total() > 0,
+        "5% uniform fault rates over {REQUESTS} targets must inject something"
+    );
+    for response in report.responses_by_id() {
+        let golden = &direct.results[response.id as usize];
+        assert_eq!(
+            response.best_consensus,
+            golden.best_consensus(),
+            "request {} consensus diverged from the direct path",
+            response.id
+        );
+        assert_eq!(
+            response.realigned,
+            golden.realigned_count(),
+            "request {} realigned-count diverged from the direct path",
+            response.id
+        );
+    }
+}
+
+/// Contract 2a: same config + same seed ⇒ byte-equal responses,
+/// rejections and counters.
+#[test]
+fn same_seed_runs_are_identical() {
+    let a = baseline();
+    let b = run_service(faulty_config(1), 20_000.0);
+    assert_eq!(a.responses, b.responses);
+    assert_eq!(a.rejections, b.rejections);
+    assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+    assert_eq!(a.batches, b.batches);
+    let counters_a: Vec<_> = a.counters.counters().collect();
+    let counters_b: Vec<_> = b.counters.counters().collect();
+    assert_eq!(counters_a, counters_b);
+}
+
+/// Contract 2b: the oracle pre-warm thread count is invisible — the only
+/// threading in the serving path merges in deterministic index order.
+#[test]
+fn thread_count_does_not_change_responses() {
+    let single = baseline();
+    let multi = run_service(faulty_config(4), 20_000.0);
+    assert_eq!(single.responses, multi.responses);
+    assert_eq!(single.rejections, multi.rejections);
+    assert_eq!(single.batches, multi.batches);
+}
+
+/// Contract 3: the report's `resilience/*` counters are exactly what
+/// `record_into` of the aggregated report writes, and the `serve/*`
+/// counters agree with the report tallies.
+#[test]
+fn counters_mirror_reports() {
+    let report = baseline();
+
+    let mut mirrored = PerfCounters::default();
+    report.resilience.record_into(&mut mirrored);
+    let expected: Vec<(String, u64)> = mirrored
+        .counters_with_prefix("resilience/")
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    assert!(!expected.is_empty(), "record_into writes resilience keys");
+    let actual: Vec<(String, u64)> = report
+        .counters
+        .counters_with_prefix("resilience/")
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    assert_eq!(
+        actual, expected,
+        "resilience counters must mirror the report"
+    );
+
+    assert_eq!(
+        report.counters.counter("serve/completed"),
+        report.completed()
+    );
+    assert_eq!(
+        report.counters.counter("serve/rejected"),
+        report.rejections.len() as u64
+    );
+    assert_eq!(report.counters.counter("serve/batches"), report.batches);
+    assert_eq!(
+        report.counters.counter("serve/accepted"),
+        report.completed(),
+        "every accepted request completes (no shutdown drops)"
+    );
+}
+
+/// Admission control: a tiny watermark at an overwhelming offered rate
+/// rejects with a positive retry-after hint, and completed + rejected
+/// still accounts for every offered request.
+#[test]
+fn overload_rejects_with_retry_after() {
+    let config = ServeConfig {
+        admission_watermark: 4,
+        ..faulty_config(1)
+    };
+    let report = run_service(config, 5_000_000.0);
+    assert_eq!(report.offered() as usize, REQUESTS);
+    assert!(
+        !report.rejections.is_empty(),
+        "4-deep watermark at 5M req/s must shed load"
+    );
+    for rejection in &report.rejections {
+        assert!(
+            rejection.retry_after_s > 0.0,
+            "rejection {} carries no backpressure hint",
+            rejection.id
+        );
+    }
+    // Shed load is observable in the counters too.
+    assert_eq!(
+        report.counters.counter("serve/rejected"),
+        report.rejections.len() as u64
+    );
+}

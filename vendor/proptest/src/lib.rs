@@ -26,6 +26,22 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// A config whose case count defaults to `default_cases` but can be
+    /// overridden through the `IR_PROPTEST_CASES` environment variable.
+    ///
+    /// The heavy differential suites in this workspace use this so local
+    /// `cargo test` stays fast (the defaults are sized for the tier-1
+    /// wall-clock budget) while CI exports `IR_PROPTEST_CASES` to run the
+    /// full counts. Zero or unparsable values fall back to the default.
+    pub fn with_cases_env(default_cases: u32) -> Self {
+        let cases = std::env::var("IR_PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(default_cases);
+        ProptestConfig { cases }
+    }
 }
 
 impl Default for ProptestConfig {
@@ -470,6 +486,15 @@ mod tests {
             assert!((3..10).contains(&x));
             let b: bool = any::<bool>().generate(&mut rng);
             let _ = b;
+        }
+    }
+
+    #[test]
+    fn with_cases_env_falls_back_to_default() {
+        // Only asserts the fallback path: mutating the process environment
+        // would race with other tests reading the same variable.
+        if std::env::var("IR_PROPTEST_CASES").is_err() {
+            assert_eq!(ProptestConfig::with_cases_env(42).cases, 42);
         }
     }
 
