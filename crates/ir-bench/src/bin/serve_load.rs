@@ -57,7 +57,7 @@ fn run_mode(
     let mut service =
         RealignService::new(service_config(max_batch, threads)).expect("valid service config");
     let host_start = Instant::now();
-    let report = service.run(requests);
+    let report = service.run(requests).expect("service run succeeds");
     println!(
         "{label}: served {}/{} requests in {} of host time",
         report.completed(),
@@ -78,7 +78,7 @@ fn main() {
     let probe_config = service_config(32, threads);
     let mut probe = ir_serve::Shard::new(0, &probe_config).expect("probe shard");
     for chunk in targets.chunks(probe_config.max_batch) {
-        let _ = probe.run_batch(chunk);
+        let _ = probe.run_batch(chunk).expect("probe batch");
     }
     let capacity_rps = probe_config.shards as f64 * targets.len() as f64 / probe.busy_s();
     let rate_rps = LOAD_FACTOR * capacity_rps;
@@ -106,17 +106,18 @@ fn main() {
     let mut p99s = Vec::new();
     for (label, max_batch) in modes {
         let (label, report) = run_mode(label, max_batch, threads, &targets, rate_rps);
+        let pctl = |p| report.latency_percentile_s(p).expect("responses completed");
         throughputs.push(report.throughput_rps());
-        p99s.push(report.latency_percentile_s(99.0));
+        p99s.push(pctl(99.0));
         table.row(vec![
             label,
             format!("{rate_rps:.0}"),
             format!("{}", report.completed()),
             format!("{}", report.rejections.len()),
             format!("{:.0}", report.throughput_rps()),
-            format!("{:.3}", report.latency_percentile_s(50.0) * 1e3),
-            format!("{:.3}", report.latency_percentile_s(95.0) * 1e3),
-            format!("{:.3}", report.latency_percentile_s(99.0) * 1e3),
+            format!("{:.3}", pctl(50.0) * 1e3),
+            format!("{:.3}", pctl(95.0) * 1e3),
+            format!("{:.3}", pctl(99.0) * 1e3),
             format!("{:.2}", report.mean_batch_occupancy()),
             format!("{}", report.counters.gauge("serve/queue_depth_hwm")),
         ]);

@@ -15,8 +15,33 @@
 //! nothing from any RNG, so fault-free runs are bit-identical to runs that
 //! never heard of this module (asserted by `tests/resilience.rs`).
 
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// A fault rate that is not a probability: `NaN`, infinite, or outside
+/// `[0, 1]`. Carries the offending site name and raw value so the message
+/// pinpoints which knob is wrong.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRateError {
+    /// The [`FaultRates`] field that failed validation.
+    pub site: &'static str,
+    /// The value that field held.
+    pub value: f64,
+}
+
+impl fmt::Display for FaultRateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault rate {} = {} is not a probability in [0, 1]",
+            self.site, self.value
+        )
+    }
+}
+
+impl std::error::Error for FaultRateError {}
 
 /// Per-site fault probabilities. Each is the chance the site fails on one
 /// *event* (one transfer, one response, one target execution, one output
@@ -70,19 +95,62 @@ impl FaultRates {
         FaultRates::uniform(1e-3)
     }
 
-    fn validate(&self) {
-        for (name, p) in [
+    /// The rates as `(site, value)` pairs, in declaration order.
+    fn sites(&self) -> [(&'static str, f64); 6] {
+        [
             ("dma_timeout", self.dma_timeout),
             ("dma_truncation", self.dma_truncation),
             ("response_drop", self.response_drop),
             ("response_duplicate", self.response_duplicate),
             ("unit_hang", self.unit_hang),
             ("output_bit_flip", self.output_bit_flip),
-        ] {
-            assert!(
-                (0.0..=1.0).contains(&p),
-                "{name} must be a probability, got {p}"
-            );
+        ]
+    }
+
+    /// Validates every rate, reporting the first degenerate one.
+    ///
+    /// A rate is degenerate when it is `NaN` or outside `[0, 1]` — either
+    /// would previously have panicked deep inside [`FaultPlan::seeded`];
+    /// callers assembling rates from untrusted input (CLI flags, fuzzer
+    /// genomes, service configs) should check here first.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultRateError`] naming the first out-of-range site.
+    pub fn checked(&self) -> Result<(), FaultRateError> {
+        for (site, value) in self.sites() {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(FaultRateError { site, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces every rate into `[0, 1]`: `NaN` becomes `0`, everything else
+    /// saturates at the nearest bound. Use when a degenerate input should
+    /// degrade gracefully rather than be rejected (the fuzzer's mutator
+    /// does this so extreme mutations still produce runnable plans).
+    pub fn clamped(&self) -> Self {
+        let clamp = |p: f64| if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        FaultRates {
+            dma_timeout: clamp(self.dma_timeout),
+            dma_truncation: clamp(self.dma_truncation),
+            response_drop: clamp(self.response_drop),
+            response_duplicate: clamp(self.response_duplicate),
+            unit_hang: clamp(self.unit_hang),
+            output_bit_flip: clamp(self.output_bit_flip),
+        }
+    }
+
+    /// Whether every rate is exactly zero — a plan built from such rates
+    /// can never inject anything.
+    pub fn is_vacuous(&self) -> bool {
+        self.sites().iter().all(|&(_, p)| p == 0.0)
+    }
+
+    fn validate(&self) {
+        if let Err(e) = self.checked() {
+            panic!("{e}: {} must be a probability", e.site);
         }
     }
 }
@@ -187,6 +255,26 @@ impl FaultPlan {
             rates,
             counts: FaultCounts::default(),
         }
+    }
+
+    /// Non-panicking [`FaultPlan::seeded`]: rejects degenerate rates as a
+    /// value instead of aborting, and returns the inert plan for vacuous
+    /// (all-zero) rates so a "fault injection on but rates zero" config
+    /// stays bit-identical to a run with no plan at all.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultRateError`] if any rate is `NaN` or outside `[0, 1]`.
+    pub fn try_seeded(seed: u64, rates: FaultRates) -> Result<Self, FaultRateError> {
+        rates.checked()?;
+        if rates.is_vacuous() {
+            return Ok(FaultPlan::none());
+        }
+        Ok(FaultPlan {
+            rng: Some(StdRng::seed_from_u64(seed)),
+            rates,
+            counts: FaultCounts::default(),
+        })
     }
 
     /// A seeded plan at [`FaultRates::default_rates`].
@@ -392,5 +480,78 @@ mod tests {
                 ..FaultRates::none()
             },
         );
+    }
+
+    #[test]
+    fn checked_reports_the_first_degenerate_site() {
+        assert!(FaultRates::none().checked().is_ok());
+        assert!(FaultRates::uniform(1.0).checked().is_ok());
+        let cases: [(fn(&mut FaultRates), &str); 6] = [
+            (|r| r.dma_timeout = -0.1, "dma_timeout"),
+            (|r| r.dma_truncation = f64::NAN, "dma_truncation"),
+            (|r| r.response_drop = f64::INFINITY, "response_drop"),
+            (|r| r.response_duplicate = 2.0, "response_duplicate"),
+            (|r| r.unit_hang = 1.0001, "unit_hang"),
+            (|r| r.output_bit_flip = -f64::EPSILON, "output_bit_flip"),
+        ];
+        for (mutate, site) in cases {
+            let mut rates = FaultRates::none();
+            mutate(&mut rates);
+            let err = rates.checked().expect_err("must reject");
+            assert_eq!(err.site, site);
+            assert!(err.to_string().contains(site), "{err}");
+        }
+    }
+
+    #[test]
+    fn clamped_forces_rates_into_range() {
+        let wild = FaultRates {
+            dma_timeout: -3.0,
+            dma_truncation: f64::NAN,
+            response_drop: 17.0,
+            response_duplicate: f64::NEG_INFINITY,
+            unit_hang: 0.25,
+            output_bit_flip: f64::INFINITY,
+        };
+        let tamed = wild.clamped();
+        assert!(tamed.checked().is_ok());
+        assert_eq!(tamed.dma_timeout, 0.0);
+        assert_eq!(tamed.dma_truncation, 0.0, "NaN clamps to zero");
+        assert_eq!(tamed.response_drop, 1.0);
+        assert_eq!(tamed.response_duplicate, 0.0);
+        assert_eq!(tamed.unit_hang, 0.25, "in-range rates pass through");
+        assert_eq!(tamed.output_bit_flip, 1.0);
+    }
+
+    #[test]
+    fn try_seeded_rejects_instead_of_panicking() {
+        let err = FaultPlan::try_seeded(
+            0,
+            FaultRates {
+                unit_hang: f64::NAN,
+                ..FaultRates::none()
+            },
+        )
+        .expect_err("NaN must be rejected");
+        assert_eq!(err.site, "unit_hang");
+    }
+
+    #[test]
+    fn try_seeded_vacuous_rates_yield_the_inert_plan() {
+        let plan = FaultPlan::try_seeded(99, FaultRates::none()).unwrap();
+        assert!(!plan.is_active(), "all-zero rates never draw from an RNG");
+        let live = FaultPlan::try_seeded(99, FaultRates::uniform(0.5)).unwrap();
+        assert!(live.is_active());
+    }
+
+    #[test]
+    fn vacuous_detection() {
+        assert!(FaultRates::none().is_vacuous());
+        assert!(!FaultRates::uniform(1e-9).is_vacuous());
+        assert!(!FaultRates {
+            output_bit_flip: 0.1,
+            ..FaultRates::none()
+        }
+        .is_vacuous());
     }
 }

@@ -1,0 +1,669 @@
+//! The differential executor: runs one [`FuzzInput`] through every
+//! backend pair in the stack and reports divergences as values.
+//!
+//! Stages, each independently guarded by `catch_unwind` so a panic in one
+//! layer becomes a `panic/<stage>` mismatch instead of killing the fuzz
+//! loop:
+//!
+//! - **kernel** — [`ir_fpga::hdc::run_pair`] (scalar reference) vs
+//!   [`ir_fpga::hdc::run_pair_fast_packed`] (SWAR path) on every
+//!   (consensus, read) pair.
+//! - **engine** — the event-driven core vs the legacy cycle stepper,
+//!   bitwise across the full [`SystemRun`] including telemetry; plus the
+//!   telemetry-transparency contract (enabling telemetry changes no
+//!   reported number) and, under a fault spec, the resilient path on both
+//!   backends.
+//! - **invariants** — cross-cutting telemetry laws: per-unit cycle
+//!   conservation, `arbiter5/grants == arbiter32/grants == ddr/beats`,
+//!   and `resilience/*` counters mirroring the report.
+//! - **serve** — the batched service vs the direct backend per response,
+//!   thread-count invariance (1 vs 2 oracle threads), and the `serve/*`
+//!   counter contract.
+//!
+//! Every stage also feeds a deterministic FNV-1a fingerprint; the fuzz
+//! loop uses it as the novelty signal for corpus growth.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ir_fpga::hdc::{run_pair, run_pair_fast_packed, HdcConfig, PairRun};
+use ir_fpga::{AcceleratedSystem, FaultPlan, ResiliencePolicy, SimBackend, SystemRun};
+use ir_genome::PackedSequence;
+use ir_serve::{FaultInjection, RealignService, Request, ServeConfig, ServiceReport};
+use ir_telemetry::PerfCounters;
+
+use crate::input::{FuzzInput, ServeSpec};
+use crate::Fnv;
+
+/// One observed divergence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Pipeline stage that diverged (`kernel`, `engine`, `invariant`,
+    /// `serve`).
+    pub stage: &'static str,
+    /// Deduplication key: stage plus the specific contract that broke,
+    /// free of case-specific values so re-discoveries collapse.
+    pub signature: String,
+    /// Human-readable specifics (indices, values) for the report.
+    pub detail: String,
+}
+
+/// The result of one differential execution.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// FNV-1a digest of everything the run produced — the novelty signal.
+    pub fingerprint: u64,
+    /// Divergences, in discovery order.
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl Outcome {
+    /// Whether every backend pair agreed and every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+fn panic_payload(err: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f`, converting a panic into a `panic/<stage>` mismatch.
+fn guarded<T>(
+    stage: &'static str,
+    out: &mut Vec<Mismatch>,
+    f: impl FnOnce(&mut Vec<Mismatch>) -> T,
+) -> Option<T> {
+    let mut local = Vec::new();
+    match catch_unwind(AssertUnwindSafe(|| f(&mut local))) {
+        Ok(v) => {
+            out.append(&mut local);
+            Some(v)
+        }
+        Err(err) => {
+            out.append(&mut local);
+            out.push(Mismatch {
+                stage,
+                signature: format!("panic/{stage}"),
+                detail: panic_payload(err),
+            });
+            None
+        }
+    }
+}
+
+fn hash_pair_run(h: &mut Fnv, r: &PairRun) {
+    h.u64(r.min.whd);
+    h.u64(r.min.offset as u64);
+    h.u64(r.cycles);
+    h.u64(r.comparisons);
+    h.u64(r.offsets_pruned);
+}
+
+fn hash_system_run(h: &mut Fnv, run: &SystemRun) {
+    h.u64(run.wall_time_s.to_bits());
+    h.u64(run.dma_busy_s.to_bits());
+    h.u64(run.command_s.to_bits());
+    h.u64(run.compute_cycles);
+    h.u64(run.comparisons);
+    for r in &run.results {
+        h.u64(r.best as u64);
+        h.u64(r.comparisons);
+        h.u64(r.realigned_count() as u64);
+    }
+    if let Some(t) = &run.telemetry {
+        for (k, v) in t.counters.counters() {
+            h.str(k);
+            h.u64(v);
+        }
+    }
+}
+
+fn hash_report(h: &mut Fnv, report: &ServiceReport) {
+    h.u64(report.completed());
+    h.u64(report.rejections.len() as u64);
+    h.u64(report.batches);
+    h.u64(report.makespan_s.to_bits());
+    for r in &report.responses {
+        h.u64(r.id);
+        h.u64(r.completion_s.to_bits());
+        h.u64(r.best_consensus as u64);
+        h.u64(r.realigned as u64);
+    }
+}
+
+/// Stage 1: scalar reference kernel vs the packed SWAR kernel, every
+/// (consensus, read) pair of every target.
+fn kernel_stage(input: &FuzzInput, h: &mut Fnv, out: &mut Vec<Mismatch>) {
+    let cfg = HdcConfig {
+        lanes: input.params.lanes,
+        pruning: input.params.pruning,
+        pair_overhead_cycles: input.params.pair_overhead_cycles,
+        prune_latency_blocks: input.prune_latency_blocks,
+    };
+    for (ti, target) in input.targets.iter().enumerate() {
+        for (ci, cons) in target.consensuses().iter().enumerate() {
+            let packed_cons = PackedSequence::from_sequence(cons);
+            for (ri, read) in target.reads().iter().enumerate() {
+                if read.len() > cons.len() {
+                    continue; // no alignment offset exists for this pair
+                }
+                let slow = guarded("kernel", out, |_| {
+                    run_pair(cons, read.bases(), read.quals(), cfg)
+                });
+                let fast = guarded("kernel", out, |_| {
+                    let packed_read = PackedSequence::from_sequence(read.bases());
+                    run_pair_fast_packed(&packed_cons, &packed_read, read.quals(), cfg)
+                });
+                let (Some(slow), Some(fast)) = (slow, fast) else {
+                    return; // a panicking kernel would panic on every pair
+                };
+                if slow != fast {
+                    let field = if slow.min != fast.min {
+                        "min"
+                    } else if slow.cycles != fast.cycles {
+                        "cycles"
+                    } else if slow.comparisons != fast.comparisons {
+                        "comparisons"
+                    } else {
+                        "offsets_pruned"
+                    };
+                    out.push(Mismatch {
+                        stage: "kernel",
+                        signature: format!("kernel/packed-vs-scalar/{field}"),
+                        detail: format!(
+                            "target {ti} consensus {ci} read {ri}: scalar {slow:?} vs packed {fast:?}"
+                        ),
+                    });
+                }
+                hash_pair_run(h, &slow);
+            }
+        }
+    }
+}
+
+/// Compares two [`SystemRun`]s bitwise, pushing one mismatch per
+/// diverging field.
+fn diff_runs(a: &SystemRun, b: &SystemRun, contract: &str, out: &mut Vec<Mismatch>) {
+    let mut push = |field: &str, detail: String| {
+        out.push(Mismatch {
+            stage: "engine",
+            signature: format!("engine/{contract}/{field}"),
+            detail,
+        });
+    };
+    if a.wall_time_s.to_bits() != b.wall_time_s.to_bits() {
+        push(
+            "wall_time_s",
+            format!("{} vs {}", a.wall_time_s, b.wall_time_s),
+        );
+    }
+    if a.dma_busy_s.to_bits() != b.dma_busy_s.to_bits() {
+        push(
+            "dma_busy_s",
+            format!("{} vs {}", a.dma_busy_s, b.dma_busy_s),
+        );
+    }
+    if a.command_s.to_bits() != b.command_s.to_bits() {
+        push("command_s", format!("{} vs {}", a.command_s, b.command_s));
+    }
+    if a.compute_cycles != b.compute_cycles {
+        push(
+            "compute_cycles",
+            format!("{} vs {}", a.compute_cycles, b.compute_cycles),
+        );
+    }
+    if a.comparisons != b.comparisons {
+        push(
+            "comparisons",
+            format!("{} vs {}", a.comparisons, b.comparisons),
+        );
+    }
+    if a.unit_busy_s.len() != b.unit_busy_s.len()
+        || a.unit_busy_s
+            .iter()
+            .zip(&b.unit_busy_s)
+            .any(|(x, y)| x.to_bits() != y.to_bits())
+    {
+        push(
+            "unit_busy_s",
+            format!("{:?} vs {:?}", a.unit_busy_s, b.unit_busy_s),
+        );
+    }
+    if a.results.len() != b.results.len() {
+        push(
+            "results_len",
+            format!("{} vs {}", a.results.len(), b.results.len()),
+        );
+    } else {
+        for (i, (x, y)) in a.results.iter().zip(&b.results).enumerate() {
+            if x.best != y.best || x.outcomes != y.outcomes || x.cycles != y.cycles {
+                push("results", format!("target {i}: {x:?} vs {y:?}"));
+                break;
+            }
+        }
+    }
+    if a.timeline != b.timeline {
+        push(
+            "timeline",
+            format!("{} vs {} events", a.timeline.len(), b.timeline.len()),
+        );
+    }
+    if a.resilience != b.resilience {
+        push(
+            "resilience",
+            format!("{:?} vs {:?}", a.resilience, b.resilience),
+        );
+    }
+    match (&a.telemetry, &b.telemetry) {
+        (None, None) => {}
+        (Some(x), Some(y)) => {
+            if !x.bitwise_eq(y) {
+                push("telemetry", "snapshots differ bitwise".to_string());
+            }
+        }
+        _ => push("telemetry_presence", "one side missing".to_string()),
+    }
+}
+
+/// Telemetry laws that hold for any run: cycle conservation per unit and
+/// the arbiter/DDR grant identity.
+fn telemetry_invariants(run: &SystemRun, num_units: usize, out: &mut Vec<Mismatch>) {
+    let Some(tele) = &run.telemetry else { return };
+    for u in 0..num_units {
+        let busy = tele.counter(&format!("unit/{u:02}/busy_cycles"));
+        let stall = tele.counter(&format!("unit/{u:02}/stall_cycles"));
+        let quarantined = tele.counter(&format!("unit/{u:02}/quarantined_cycles"));
+        let idle = tele.counter(&format!("unit/{u:02}/idle_cycles"));
+        let total = tele.counter(&format!("unit/{u:02}/total_cycles"));
+        if busy + stall + quarantined + idle != total {
+            out.push(Mismatch {
+                stage: "invariant",
+                signature: "invariant/unit-cycle-conservation".to_string(),
+                detail: format!(
+                    "unit {u}: busy {busy} + stall {stall} + quarantined {quarantined} \
+                     + idle {idle} != total {total}"
+                ),
+            });
+        }
+    }
+    let grants5 = tele.counter("arbiter5/grants");
+    let grants32 = tele.counter("arbiter32/grants");
+    let beats = tele.counter("ddr/beats");
+    if grants32 != beats || grants5 != beats {
+        out.push(Mismatch {
+            stage: "invariant",
+            signature: "invariant/arbiter-grants-vs-ddr-beats".to_string(),
+            detail: format!("arbiter5 {grants5}, arbiter32 {grants32}, ddr beats {beats}"),
+        });
+    }
+    if let Some(report) = &run.resilience {
+        let mut mirror = PerfCounters::default();
+        report.record_into(&mut mirror);
+        for (key, want) in mirror.counters() {
+            let got = tele.counter(key);
+            if got != want {
+                out.push(Mismatch {
+                    stage: "invariant",
+                    signature: "invariant/resilience-counter-mirror".to_string(),
+                    detail: format!("{key}: telemetry {got} vs report {want}"),
+                });
+            }
+        }
+    }
+}
+
+fn system(
+    input: &FuzzInput,
+    backend: SimBackend,
+    telemetry: bool,
+) -> Result<AcceleratedSystem, ir_fpga::FpgaError> {
+    AcceleratedSystem::new(input.params.params(), input.scheduling)
+        .map(|s| s.with_backend(backend).with_telemetry(telemetry))
+}
+
+/// Stage 2 + 3: engine pair, telemetry transparency, fault parity and
+/// telemetry invariants.
+fn engine_stage(input: &FuzzInput, h: &mut Fnv, out: &mut Vec<Mismatch>) {
+    let num_units = input.params.num_units;
+    let engine = match system(input, SimBackend::EventDriven, true) {
+        Ok(s) => s,
+        Err(e) => {
+            // Construction rejections are a legitimate outcome for
+            // boundary parameters — but both backends must agree on them.
+            h.str(&format!("construct:{e:?}"));
+            if let Ok(_legacy) = system(input, SimBackend::LegacyStepper, true) {
+                out.push(Mismatch {
+                    stage: "engine",
+                    signature: "engine/construction-divergence".to_string(),
+                    detail: format!("event-driven rejected ({e}) but legacy accepted"),
+                });
+            }
+            return;
+        }
+    };
+    let legacy = match system(input, SimBackend::LegacyStepper, true) {
+        Ok(s) => s,
+        Err(e) => {
+            out.push(Mismatch {
+                stage: "engine",
+                signature: "engine/construction-divergence".to_string(),
+                detail: format!("legacy rejected ({e}) but event-driven accepted"),
+            });
+            return;
+        }
+    };
+
+    let run_a = guarded("engine", out, |_| engine.run(&input.targets));
+    let run_b = guarded("engine", out, |_| legacy.run(&input.targets));
+    if let (Some(run_a), Some(run_b)) = (&run_a, &run_b) {
+        diff_runs(run_a, run_b, "event-vs-stepper", out);
+        telemetry_invariants(run_a, num_units, out);
+        hash_system_run(h, run_a);
+    }
+
+    // Telemetry transparency: a telemetry-off run reports the same
+    // numbers (minus the snapshot and the trace-derived timeline).
+    if let Some(run_a) = &run_a {
+        let plain = guarded("engine", out, |_| {
+            system(input, SimBackend::EventDriven, false)
+                .expect("already constructed once")
+                .run(&input.targets)
+        });
+        if let Some(plain) = plain {
+            let mut masked = run_a.clone();
+            masked.telemetry = None;
+            masked.timeline = plain.timeline.clone();
+            diff_runs(&masked, &plain, "telemetry-transparency", out);
+        }
+    }
+
+    if let Some(fault) = &input.fault {
+        let policy = ResiliencePolicy::default();
+        let resilient = |sys: &AcceleratedSystem| -> Result<SystemRun, String> {
+            let mut plan =
+                FaultPlan::try_seeded(fault.seed, fault.rates).map_err(|e| e.to_string())?;
+            Ok(sys.run_resilient(&input.targets, &mut plan, &policy))
+        };
+        let fa = guarded("engine", out, |_| resilient(&engine));
+        let fb = guarded("engine", out, |_| resilient(&legacy));
+        match (fa, fb) {
+            (Some(Ok(fa)), Some(Ok(fb))) => {
+                diff_runs(&fa, &fb, "fault-event-vs-stepper", out);
+                telemetry_invariants(&fa, num_units, out);
+                let report = fa.resilience.as_ref().expect("resilient runs report");
+                // The clean run's functional results must survive faults.
+                if let Some(clean) = &run_a {
+                    let diverged = clean
+                        .results
+                        .iter()
+                        .zip(&fa.results)
+                        .position(|(c, f)| c.best != f.best || c.outcomes != f.outcomes);
+                    if let Some(i) = diverged {
+                        out.push(Mismatch {
+                            stage: "engine",
+                            signature: "engine/fault-functional-divergence".to_string(),
+                            detail: format!(
+                                "target {i}: faulty run changed the functional result \
+                                 (report: {report:?})"
+                            ),
+                        });
+                    }
+                }
+                hash_system_run(h, &fa);
+            }
+            (Some(Err(e)), _) | (_, Some(Err(e))) => {
+                out.push(Mismatch {
+                    stage: "engine",
+                    signature: "engine/fault-plan-rejected".to_string(),
+                    detail: e,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+fn serve_config(input: &FuzzInput, spec: &ServeSpec, threads: usize) -> ServeConfig {
+    ServeConfig {
+        shards: spec.shards,
+        admission_watermark: spec.admission_watermark,
+        max_batch: spec.max_batch,
+        flush_deadline_s: spec.flush_deadline_ns as f64 * 1e-9,
+        params: input.params.params(),
+        scheduling: input.scheduling,
+        policy: ResiliencePolicy::default(),
+        faults: input.fault.map(|f| FaultInjection {
+            seed: f.seed,
+            rates: f.rates,
+        }),
+        threads,
+    }
+}
+
+fn requests(input: &FuzzInput, spec: &ServeSpec) -> Vec<Request> {
+    input
+        .targets
+        .iter()
+        .zip(&spec.arrival_ns)
+        .enumerate()
+        .map(|(i, (t, &ns))| Request::new(i as u64, ns as f64 * 1e-9, t.clone()))
+        .collect()
+}
+
+fn diff_reports(a: &ServiceReport, b: &ServiceReport, contract: &str, out: &mut Vec<Mismatch>) {
+    let mut push = |field: &str, detail: String| {
+        out.push(Mismatch {
+            stage: "serve",
+            signature: format!("serve/{contract}/{field}"),
+            detail,
+        });
+    };
+    if a.makespan_s.to_bits() != b.makespan_s.to_bits() {
+        push(
+            "makespan_s",
+            format!("{} vs {}", a.makespan_s, b.makespan_s),
+        );
+    }
+    if a.batches != b.batches {
+        push("batches", format!("{} vs {}", a.batches, b.batches));
+    }
+    if a.rejections != b.rejections {
+        push(
+            "rejections",
+            format!("{} vs {}", a.rejections.len(), b.rejections.len()),
+        );
+    }
+    if a.responses.len() != b.responses.len() {
+        push(
+            "responses_len",
+            format!("{} vs {}", a.responses.len(), b.responses.len()),
+        );
+    } else if let Some((x, y)) = a.responses.iter().zip(&b.responses).find(|(x, y)| {
+        x.id != y.id
+            || x.completion_s.to_bits() != y.completion_s.to_bits()
+            || x.dispatch_s.to_bits() != y.dispatch_s.to_bits()
+            || x.shard != y.shard
+            || x.batch != y.batch
+            || x.best_consensus != y.best_consensus
+            || x.realigned != y.realigned
+    }) {
+        push("responses", format!("{x:?} vs {y:?}"));
+    }
+    if a.resilience != b.resilience {
+        push(
+            "resilience",
+            format!("{:?} vs {:?}", a.resilience, b.resilience),
+        );
+    }
+    if a.counters != b.counters {
+        push("counters", "registries differ".to_string());
+    }
+}
+
+/// Serve-layer counter contract: the `serve/*` registry agrees with the
+/// report's own tallies, and `resilience/*` mirrors the aggregate report.
+fn serve_invariants(report: &ServiceReport, faults_on: bool, out: &mut Vec<Mismatch>) {
+    let c = &report.counters;
+    let checks = [
+        ("serve/completed", report.completed()),
+        ("serve/rejected", report.rejections.len() as u64),
+        ("serve/batches", report.batches),
+    ];
+    for (key, want) in checks {
+        let got = c.counter(key);
+        if got != want {
+            out.push(Mismatch {
+                stage: "serve",
+                signature: "serve/counter-contract".to_string(),
+                detail: format!("{key}: counter {got} vs report {want}"),
+            });
+        }
+    }
+    if faults_on {
+        let mut mirror = PerfCounters::default();
+        report.resilience.record_into(&mut mirror);
+        for (key, want) in mirror.counters() {
+            let got = c.counter(key);
+            if got != want {
+                out.push(Mismatch {
+                    stage: "serve",
+                    signature: "serve/resilience-counter-mirror".to_string(),
+                    detail: format!("{key}: counter {got} vs report {want}"),
+                });
+            }
+        }
+    }
+}
+
+/// Stage 4: the batched service against the direct backend, plus thread
+/// invariance.
+fn serve_stage(input: &FuzzInput, h: &mut Fnv, out: &mut Vec<Mismatch>) {
+    let Some(spec) = &input.serve else { return };
+    let run = |threads: usize| -> Result<ServiceReport, ir_serve::ServeError> {
+        let mut service = RealignService::new(serve_config(input, spec, threads))?;
+        service.run(requests(input, spec))
+    };
+    let one = guarded("serve", out, |_| run(1));
+    let two = guarded("serve", out, |_| run(2));
+    let (Some(one), Some(two)) = (one, two) else {
+        return;
+    };
+    let (one, two) = match (one, two) {
+        (Ok(one), Ok(two)) => (one, two),
+        (Err(e), _) | (_, Err(e)) => {
+            out.push(Mismatch {
+                stage: "serve",
+                signature: format!("serve/typed-error/{}", error_tag(&e)),
+                detail: e.to_string(),
+            });
+            return;
+        }
+    };
+    diff_reports(&one, &two, "threads-1-vs-2", out);
+    serve_invariants(&one, input.fault.is_some(), out);
+
+    // Functional parity: every completed response equals the direct
+    // backend's answer for that target.
+    if let Ok(direct_sys) = AcceleratedSystem::new(input.params.params(), input.scheduling) {
+        if let Some(direct) = guarded("serve", out, |_| direct_sys.run(&input.targets)) {
+            for r in one.responses_by_id() {
+                let want = &direct.results[r.id as usize];
+                if r.best_consensus != want.best_consensus()
+                    || r.realigned != want.realigned_count()
+                {
+                    out.push(Mismatch {
+                        stage: "serve",
+                        signature: "serve/direct-functional-divergence".to_string(),
+                        detail: format!(
+                            "request {}: serve ({}, {}) vs direct ({}, {})",
+                            r.id,
+                            r.best_consensus,
+                            r.realigned,
+                            want.best_consensus(),
+                            want.realigned_count()
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    hash_report(h, &one);
+}
+
+fn error_tag(e: &ir_serve::ServeError) -> &'static str {
+    use ir_serve::ServeError::*;
+    match e {
+        InvalidConfig { .. } => "invalid-config",
+        Backend(_) => "backend",
+        UnsortedArrivals { .. } => "unsorted-arrivals",
+        DuplicateArrival { .. } => "duplicate-arrival",
+        ShardNotInFlight { .. } => "shard-not-in-flight",
+        EmptyBatch { .. } => "empty-batch",
+        NoResponses => "no-responses",
+        PercentileOutOfRange { .. } => "percentile-out-of-range",
+        UndrainedQueue { .. } => "undrained-queue",
+        _ => "other",
+    }
+}
+
+/// Executes one case through every stage.
+pub fn execute(input: &FuzzInput) -> Outcome {
+    let mut h = Fnv::new();
+    let mut mismatches = Vec::new();
+    h.str(&input.encode());
+    kernel_stage(input, &mut h, &mut mismatches);
+    engine_stage(input, &mut h, &mut mismatches);
+    serve_stage(input, &mut h, &mut mismatches);
+    Outcome {
+        fingerprint: h.finish(),
+        mismatches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_cases_execute_clean() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for i in 0..6 {
+            let input = generate(&mut rng);
+            let outcome = execute(&input);
+            assert!(
+                outcome.is_clean(),
+                "case {i} diverged: {:?}\n{}",
+                outcome.mismatches,
+                input.encode()
+            );
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = generate(&mut rng);
+        let a = execute(&input);
+        let b = execute(&input);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.mismatches, b.mismatches);
+    }
+
+    #[test]
+    fn fingerprints_separate_different_cases() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = execute(&generate(&mut rng));
+        let b = execute(&generate(&mut rng));
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+}

@@ -1,0 +1,310 @@
+//! Automatic input minimization: shrink a divergence-inducing case while
+//! preserving the property of interest (usually "still produces the same
+//! divergence signature").
+//!
+//! The algorithm is a bounded ddmin-lite over the input's structure, in
+//! decreasing order of expected payoff:
+//!
+//! 1. drop whole targets (halves, then singles),
+//! 2. drop the optional `serve` and `fault` sections,
+//! 3. per target: drop reads and alternative consensuses,
+//! 4. simplify the backend to a single serial unit.
+//!
+//! Each candidate is accepted only if the caller's predicate still holds;
+//! the predicate budget bounds total work, so minimization of an expensive
+//! case can never stall the fuzz loop. The predicate is a plain closure —
+//! unit tests drive the minimizer with synthetic predicates, no fuzzing
+//! required.
+
+use ir_genome::RealignmentTarget;
+
+use crate::input::FuzzInput;
+
+/// Bounded predicate evaluator.
+struct Budget<'a, F> {
+    predicate: &'a mut F,
+    remaining: usize,
+}
+
+impl<F: FnMut(&FuzzInput) -> bool> Budget<'_, F> {
+    fn check(&mut self, candidate: &FuzzInput) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        (self.predicate)(candidate)
+    }
+}
+
+/// Rebuilds one target with a subset of its reads and alt consensuses.
+/// Returns `None` if the subset violates target invariants.
+fn rebuild(
+    target: &RealignmentTarget,
+    keep_alt: &[bool],
+    keep_read: &[bool],
+) -> Option<RealignmentTarget> {
+    let alts = target.consensuses()[1..]
+        .iter()
+        .zip(keep_alt)
+        .filter(|(_, &k)| k)
+        .map(|(c, _)| c.clone());
+    let reads = target
+        .reads()
+        .iter()
+        .zip(keep_read)
+        .filter(|(_, &k)| k)
+        .map(|(r, _)| r.clone());
+    let mut builder = RealignmentTarget::builder(target.start_pos())
+        .reference(target.consensuses()[0].clone())
+        .consensuses(alts)
+        .reads(reads);
+    if let Some(chr) = target.chromosome() {
+        builder = builder.chromosome(chr);
+    }
+    builder.build().ok()
+}
+
+/// Tries removing list items in ddmin style: first halves, then single
+/// items, never leaving fewer than `min_keep` kept. `apply` materializes
+/// a candidate from a keep-mask; returns the final keep-mask.
+fn shrink_list<F, A>(
+    len: usize,
+    min_keep: usize,
+    budget: &mut Budget<'_, F>,
+    mut apply: A,
+) -> Vec<bool>
+where
+    F: FnMut(&FuzzInput) -> bool,
+    A: FnMut(&[bool]) -> Option<FuzzInput>,
+{
+    let mut keep = vec![true; len];
+    let kept = |keep: &[bool]| keep.iter().filter(|&&k| k).count();
+    // Halves: drop the first half, then the second.
+    for half in 0..2 {
+        let mut candidate_keep = keep.clone();
+        let mid = len / 2;
+        for (i, k) in candidate_keep.iter_mut().enumerate() {
+            if (half == 0) == (i < mid) {
+                *k = false;
+            }
+        }
+        if kept(&candidate_keep) >= min_keep && candidate_keep != keep {
+            if let Some(candidate) = apply(&candidate_keep) {
+                if budget.check(&candidate) {
+                    keep = candidate_keep;
+                }
+            }
+        }
+    }
+    // Singles.
+    for i in 0..len {
+        if !keep[i] || kept(&keep) <= min_keep {
+            continue;
+        }
+        let mut candidate_keep = keep.clone();
+        candidate_keep[i] = false;
+        if let Some(candidate) = apply(&candidate_keep) {
+            if budget.check(&candidate) {
+                keep = candidate_keep;
+            }
+        }
+    }
+    keep
+}
+
+/// Minimizes `input` while `still_interesting` holds, spending at most
+/// `max_checks` predicate evaluations. The original input is returned
+/// unchanged if nothing smaller stays interesting.
+pub fn minimize_with<F>(input: &FuzzInput, mut still_interesting: F, max_checks: usize) -> FuzzInput
+where
+    F: FnMut(&FuzzInput) -> bool,
+{
+    let mut best = input.clone();
+    let mut budget = Budget {
+        predicate: &mut still_interesting,
+        remaining: max_checks,
+    };
+
+    // 1. Whole targets. Serve arrivals are truncated alongside (the
+    // executor zips requests, but a tight encoding keeps cases readable).
+    let keep = shrink_list(best.targets.len(), 1, &mut budget, |mask| {
+        let targets: Vec<RealignmentTarget> = best
+            .targets
+            .iter()
+            .zip(mask)
+            .filter(|(_, &k)| k)
+            .map(|(t, _)| t.clone())
+            .collect();
+        if targets.is_empty() {
+            return None;
+        }
+        let mut candidate = best.clone();
+        if let Some(serve) = &mut candidate.serve {
+            serve.arrival_ns.truncate(targets.len());
+        }
+        candidate.targets = targets;
+        Some(candidate)
+    });
+    let targets: Vec<RealignmentTarget> = best
+        .targets
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(t, _)| t.clone())
+        .collect();
+    if targets.len() < best.targets.len() {
+        if let Some(serve) = &mut best.serve {
+            serve.arrival_ns.truncate(targets.len());
+        }
+        best.targets = targets;
+    }
+
+    // 2. Optional sections.
+    if best.serve.is_some() {
+        let mut candidate = best.clone();
+        candidate.serve = None;
+        if budget.check(&candidate) {
+            best = candidate;
+        }
+    }
+    if best.fault.is_some() {
+        let mut candidate = best.clone();
+        candidate.fault = None;
+        if budget.check(&candidate) {
+            best = candidate;
+        }
+    }
+
+    // 3. Per-target reads and alternative consensuses.
+    for ti in 0..best.targets.len() {
+        let num_reads = best.targets[ti].num_reads();
+        let keep_reads = shrink_list(num_reads, 1, &mut budget, |mask| {
+            let all_alts = vec![true; best.targets[ti].num_consensuses() - 1];
+            let rebuilt = rebuild(&best.targets[ti], &all_alts, mask)?;
+            let mut candidate = best.clone();
+            candidate.targets[ti] = rebuilt;
+            Some(candidate)
+        });
+        if keep_reads.iter().any(|&k| !k) {
+            let all_alts = vec![true; best.targets[ti].num_consensuses() - 1];
+            if let Some(rebuilt) = rebuild(&best.targets[ti], &all_alts, &keep_reads) {
+                best.targets[ti] = rebuilt;
+            }
+        }
+
+        let num_alts = best.targets[ti].num_consensuses() - 1;
+        let keep_alts = shrink_list(num_alts, 0, &mut budget, |mask| {
+            let all_reads = vec![true; best.targets[ti].num_reads()];
+            let rebuilt = rebuild(&best.targets[ti], mask, &all_reads)?;
+            let mut candidate = best.clone();
+            candidate.targets[ti] = rebuilt;
+            Some(candidate)
+        });
+        if keep_alts.iter().any(|&k| !k) {
+            let all_reads = vec![true; best.targets[ti].num_reads()];
+            if let Some(rebuilt) = rebuild(&best.targets[ti], &keep_alts, &all_reads) {
+                best.targets[ti] = rebuilt;
+            }
+        }
+    }
+
+    // 4. Simplest backend that still reproduces.
+    let simple = crate::input::ParamsSpec {
+        num_units: 1,
+        ..crate::input::ParamsSpec::serial()
+    };
+    if best.params != simple {
+        let mut candidate = best.clone();
+        candidate.params = simple;
+        if budget.check(&candidate) {
+            best = candidate;
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn multi_target_input() -> FuzzInput {
+        let mut rng = StdRng::seed_from_u64(17);
+        loop {
+            let input = generate(&mut rng);
+            if input.targets.len() >= 3 && input.serve.is_some() && input.fault.is_some() {
+                return input;
+            }
+        }
+    }
+
+    #[test]
+    fn always_interesting_shrinks_to_one_target_and_no_extras() {
+        let input = multi_target_input();
+        let min = minimize_with(&input, |_| true, 500);
+        assert_eq!(min.targets.len(), 1, "everything droppable was dropped");
+        assert!(min.serve.is_none());
+        assert!(min.fault.is_none());
+        assert_eq!(min.targets[0].num_reads(), 1);
+        assert_eq!(min.targets[0].num_consensuses(), 1);
+        assert_eq!(min.params.num_units, 1);
+    }
+
+    #[test]
+    fn never_interesting_returns_the_original() {
+        let input = multi_target_input();
+        let min = minimize_with(&input, |_| false, 500);
+        assert_eq!(min.encode(), input.encode());
+    }
+
+    #[test]
+    fn predicate_constraints_are_respected() {
+        let input = multi_target_input();
+        let total_reads = |i: &FuzzInput| {
+            i.targets
+                .iter()
+                .map(RealignmentTarget::num_reads)
+                .sum::<usize>()
+        };
+        let floor = 2.min(total_reads(&input));
+        // Interesting ⇔ at least `floor` reads survive in total.
+        let min = minimize_with(&input, |c| total_reads(c) >= floor, 500);
+        assert!(
+            total_reads(&min) >= floor,
+            "minimizer never broke the predicate"
+        );
+        assert!(
+            total_reads(&min) <= total_reads(&input),
+            "minimizer never grows the input"
+        );
+    }
+
+    #[test]
+    fn budget_zero_changes_nothing() {
+        let input = multi_target_input();
+        let mut calls = 0usize;
+        let min = minimize_with(
+            &input,
+            |_| {
+                calls += 1;
+                true
+            },
+            0,
+        );
+        assert_eq!(calls, 0, "no predicate calls with an empty budget");
+        assert_eq!(min.encode(), input.encode());
+    }
+
+    #[test]
+    fn serve_arrivals_track_dropped_targets() {
+        let input = multi_target_input();
+        let min = minimize_with(&input, |c| c.serve.is_some(), 500);
+        if let Some(serve) = &min.serve {
+            assert!(serve.arrival_ns.len() >= min.targets.len().min(serve.arrival_ns.len()));
+            assert!(serve.arrival_ns.len() <= input.serve.as_ref().unwrap().arrival_ns.len());
+        }
+    }
+}

@@ -2,6 +2,8 @@
 
 use ir_fpga::{FaultRates, FpgaParams, ResiliencePolicy, Scheduling};
 
+use crate::error::ServeError;
+
 /// Seeded fault injection for the backend pool: each shard draws from its
 /// own [`ir_fpga::FaultPlan`] derived from `seed` and the shard index, and
 /// every batch runs through the host resilience layer
@@ -73,22 +75,36 @@ impl ServeConfig {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`ServeError::InvalidConfig`] naming the first invalid
+    /// field. Fault-injection rates are validated too, so a degenerate
+    /// [`FaultRates`] is rejected here instead of panicking deep inside
+    /// the shard pool.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let invalid = |field: &'static str, reason: &str| {
+            Err(ServeError::InvalidConfig {
+                field,
+                reason: reason.to_string(),
+            })
+        };
         if self.shards == 0 {
-            return Err("at least one shard required".into());
+            return invalid("shards", "at least one shard required");
         }
         if self.max_batch == 0 {
-            return Err("max_batch must be at least 1".into());
+            return invalid("max_batch", "must be at least 1");
         }
         if self.admission_watermark == 0 {
-            return Err("admission watermark must be at least 1".into());
+            return invalid("admission_watermark", "must be at least 1");
         }
         if !(self.flush_deadline_s > 0.0 && self.flush_deadline_s.is_finite()) {
-            return Err("flush deadline must be positive and finite".into());
+            return invalid("flush_deadline_s", "must be positive and finite");
         }
         if self.threads == 0 {
-            return Err("at least one oracle thread required".into());
+            return invalid("threads", "at least one oracle thread required");
+        }
+        if let Some(f) = &self.faults {
+            if let Err(e) = f.rates.checked() {
+                return invalid("faults", &e.to_string());
+            }
         }
         Ok(())
     }
@@ -141,9 +157,27 @@ mod tests {
                 },
                 "thread",
             ),
+            (
+                ServeConfig {
+                    faults: Some(FaultInjection {
+                        seed: 0,
+                        rates: FaultRates {
+                            unit_hang: 1.5,
+                            ..FaultRates::none()
+                        },
+                    }),
+                    ..ServeConfig::default()
+                },
+                "faults",
+            ),
         ] {
             let err = cfg.validate().expect_err("must reject");
-            assert!(err.contains(needle), "{err} missing {needle}");
+            assert!(
+                matches!(err, ServeError::InvalidConfig { .. }),
+                "wrong variant: {err:?}"
+            );
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} missing {needle}");
         }
     }
 }

@@ -1,0 +1,135 @@
+//! Typed errors for the serving layer.
+//!
+//! The service loop used to `assert!`/`expect` its internal invariants,
+//! which is the right call for a bug that should stop a developer — but
+//! the differential fuzzer (`ir-fuzz`) drives this path with adversarial
+//! inputs and needs violations to surface as *comparable values*, not
+//! process aborts. Every invariant on the hot path therefore reports a
+//! [`ServeError`] variant, and [`crate::RealignService::run`] returns
+//! `Result` instead of panicking.
+
+use ir_fpga::FpgaError;
+
+/// Everything that can go wrong while building or running the service.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A [`crate::ServeConfig`] field failed validation.
+    InvalidConfig {
+        /// Which field.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// Backend construction failed (FPGA fit / timing closure).
+    Backend(FpgaError),
+    /// The request stream was not sorted by arrival time.
+    UnsortedArrivals {
+        /// Index of the first request that arrives before its predecessor.
+        index: usize,
+    },
+    /// An arrival event fired for a request that was already consumed —
+    /// the event queue delivered a duplicate.
+    DuplicateArrival {
+        /// The request stream index.
+        index: usize,
+    },
+    /// A completion event fired for a shard with no batch in flight.
+    ShardNotInFlight {
+        /// The shard index.
+        shard: usize,
+    },
+    /// The batcher dispatched an empty batch to a shard.
+    EmptyBatch {
+        /// The shard index.
+        shard: usize,
+    },
+    /// A latency percentile was requested on a report with no completed
+    /// responses.
+    NoResponses,
+    /// A latency percentile outside `0..=100` was requested.
+    PercentileOutOfRange {
+        /// The offending percentile.
+        p: f64,
+    },
+    /// The event loop drained every event but left admitted requests
+    /// queued (a scheduling bug — every admitted request must complete).
+    UndrainedQueue {
+        /// Requests left in the queue.
+        depth: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config field {field}: {reason}")
+            }
+            ServeError::Backend(e) => write!(f, "backend construction failed: {e}"),
+            ServeError::UnsortedArrivals { index } => {
+                write!(f, "request {index} arrives before its predecessor")
+            }
+            ServeError::DuplicateArrival { index } => {
+                write!(f, "duplicate arrival event for request {index}")
+            }
+            ServeError::ShardNotInFlight { shard } => {
+                write!(f, "completion event for idle shard {shard}")
+            }
+            ServeError::EmptyBatch { shard } => {
+                write!(f, "empty batch dispatched to shard {shard}")
+            }
+            ServeError::NoResponses => write!(f, "no completed responses"),
+            ServeError::PercentileOutOfRange { p } => {
+                write!(f, "percentile {p} outside 0..=100")
+            }
+            ServeError::UndrainedQueue { depth } => {
+                write!(f, "event loop finished with {depth} requests still queued")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Backend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FpgaError> for ServeError {
+    fn from(e: FpgaError) -> Self {
+        ServeError::Backend(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::InvalidConfig {
+            field: "max_batch",
+            reason: "must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("max_batch"));
+        assert!(ServeError::UnsortedArrivals { index: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(ServeError::NoResponses.to_string().contains("responses"));
+    }
+
+    #[test]
+    fn backend_errors_convert_and_chain() {
+        let inner = FpgaError::DoesNotFit {
+            units: 64,
+            max_units: 32,
+        };
+        let e: ServeError = inner.into();
+        assert!(matches!(e, ServeError::Backend(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -62,16 +62,24 @@
 //!     .collect();
 //!
 //! let mut service = RealignService::new(ServeConfig::default()).unwrap();
-//! let report = service.run(requests);
+//! let report = service.run(requests).unwrap();
 //! assert_eq!(report.completed(), 16);
 //! assert!(report.throughput_rps() > 0.0);
 //! ```
+//!
+//! # Errors
+//!
+//! The hot path never panics on bad input: construction, validation and
+//! the event loop all report typed [`ServeError`]s, so harnesses like the
+//! `ir-fuzz` differential fuzzer observe violations as values instead of
+//! aborts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batcher;
 mod config;
+mod error;
 mod queue;
 mod request;
 mod service;
@@ -79,6 +87,7 @@ mod shard;
 
 pub use batcher::{BatchPolicy, FlushVerdict};
 pub use config::{FaultInjection, ServeConfig};
+pub use error::ServeError;
 pub use queue::{Admission, SubmissionQueue};
 pub use request::{Rejection, Request, Response};
 pub use service::{RealignService, ServiceReport};

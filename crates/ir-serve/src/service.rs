@@ -1,12 +1,13 @@
 //! The virtual-time service loop tying queue, batcher and shard pool
 //! together.
 
-use ir_fpga::{FpgaError, ResilienceReport};
+use ir_fpga::ResilienceReport;
 use ir_sim::{EventQueue, SimTime};
 use ir_telemetry::PerfCounters;
 
 use crate::batcher::{BatchPolicy, FlushVerdict};
 use crate::config::ServeConfig;
+use crate::error::ServeError;
 use crate::queue::{Admission, SubmissionQueue};
 use crate::request::{Rejection, Request, Response};
 use crate::shard::Shard;
@@ -77,16 +78,21 @@ impl ServiceReport {
 
     /// Nearest-rank latency percentile in seconds (`p` in 0..=100).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no responses completed or `p` is out of range.
-    pub fn latency_percentile_s(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range");
-        assert!(!self.responses.is_empty(), "no completed responses");
+    /// [`ServeError::PercentileOutOfRange`] for `p` outside `0..=100`,
+    /// [`ServeError::NoResponses`] if nothing completed.
+    pub fn latency_percentile_s(&self, p: f64) -> Result<f64, ServeError> {
+        if !(0.0..=100.0).contains(&p) {
+            return Err(ServeError::PercentileOutOfRange { p });
+        }
+        if self.responses.is_empty() {
+            return Err(ServeError::NoResponses);
+        }
         let mut lat: Vec<f64> = self.responses.iter().map(Response::latency_s).collect();
         lat.sort_by(f64::total_cmp);
         let rank = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
-        lat[rank]
+        Ok(lat[rank])
     }
 
     /// Mean requests per dispatched batch.
@@ -131,14 +137,13 @@ impl RealignService {
     ///
     /// # Errors
     ///
-    /// Returns the validation message for an inconsistent config, or the
-    /// backend construction error for an impossible FPGA configuration.
-    pub fn new(config: ServeConfig) -> Result<Self, String> {
+    /// [`ServeError::InvalidConfig`] for an inconsistent config, or
+    /// [`ServeError::Backend`] for an impossible FPGA configuration.
+    pub fn new(config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
         let shards = (0..config.shards)
-            .map(|i| Shard::new(i, &config))
-            .collect::<Result<Vec<_>, FpgaError>>()
-            .map_err(|e| e.to_string())?;
+            .map(|i| Shard::new(i, &config).map_err(ServeError::from))
+            .collect::<Result<Vec<_>, ServeError>>()?;
         Ok(RealignService { config, shards })
     }
 
@@ -149,17 +154,20 @@ impl RealignService {
 
     /// Serves a request stream to completion and reports what happened.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `requests` is not sorted by arrival time (an open-loop
-    /// generator produces them sorted by construction).
-    pub fn run(&mut self, requests: Vec<Request>) -> ServiceReport {
-        assert!(
-            requests
-                .windows(2)
-                .all(|w| w[0].arrival_s <= w[1].arrival_s),
-            "requests must be sorted by arrival time"
-        );
+    /// [`ServeError::UnsortedArrivals`] if `requests` is not sorted by
+    /// arrival time (an open-loop generator produces them sorted by
+    /// construction); the remaining variants report event-loop invariant
+    /// violations that would previously have aborted the process — the
+    /// `ir-fuzz` harness treats any of them as a divergence.
+    pub fn run(&mut self, requests: Vec<Request>) -> Result<ServiceReport, ServeError> {
+        if let Some(index) = requests
+            .windows(2)
+            .position(|w| w[0].arrival_s > w[1].arrival_s)
+        {
+            return Err(ServeError::UnsortedArrivals { index: index + 1 });
+        }
         let policy = BatchPolicy {
             max_batch: self.config.max_batch,
             flush_deadline_s: self.config.flush_deadline_s,
@@ -168,8 +176,15 @@ impl RealignService {
         let mut events: EventQueue<Event> = EventQueue::new();
         let mut stream: Vec<Option<Request>> = requests.into_iter().map(Some).collect();
         for (i, req) in stream.iter().enumerate() {
-            let t = req.as_ref().expect("stream starts full").arrival_s;
-            events.push(SimTime::from_seconds(t), PRIO_ARRIVE, 0, Event::Arrive(i));
+            // The stream starts full by construction of the line above.
+            if let Some(req) = req.as_ref() {
+                events.push(
+                    SimTime::from_seconds(req.arrival_s),
+                    PRIO_ARRIVE,
+                    0,
+                    Event::Arrive(i),
+                );
+            }
         }
 
         let mut in_flight: Vec<Option<InFlight>> = (0..self.shards.len()).map(|_| None).collect();
@@ -188,7 +203,9 @@ impl RealignService {
             let now = ev.time.seconds();
             match ev.msg {
                 Event::Arrive(i) => {
-                    let req = stream[i].take().expect("each request arrives once");
+                    let req = stream[i]
+                        .take()
+                        .ok_or(ServeError::DuplicateArrival { index: i })?;
                     match queue.offer(req, est_service_s) {
                         Admission::Accepted => {}
                         Admission::Rejected(r) => rejections.push(r),
@@ -200,7 +217,9 @@ impl RealignService {
                     }
                 }
                 Event::Done { shard } => {
-                    let fl = in_flight[shard].take().expect("done implies in flight");
+                    let fl = in_flight[shard]
+                        .take()
+                        .ok_or(ServeError::ShardNotInFlight { shard })?;
                     makespan_s = makespan_s.max(now);
                     responses.extend(fl.responses);
                 }
@@ -233,7 +252,7 @@ impl RealignService {
                 };
                 let batch = queue.take(take);
                 let targets: Vec<_> = batch.iter().map(|r| r.target.clone()).collect();
-                let outcome = self.shards[shard_idx].run_batch(&targets);
+                let outcome = self.shards[shard_idx].run_batch(&targets)?;
                 if let Some(report) = &outcome.resilience {
                     resilience.absorb(report);
                 }
@@ -281,7 +300,11 @@ impl RealignService {
             counters.gauge_max("serve/queue_depth_hwm", queue.depth_high_water() as u64);
         }
 
-        debug_assert!(queue.is_empty(), "the loop drains every admitted request");
+        if !queue.is_empty() {
+            return Err(ServeError::UndrainedQueue {
+                depth: queue.depth(),
+            });
+        }
         counters.set("serve/accepted", queue.accepted());
         counters.set("serve/rejected", queue.rejected());
         counters.set("serve/completed", responses.len() as u64);
@@ -291,13 +314,13 @@ impl RealignService {
         if self.config.faults.is_some() {
             resilience.record_into(&mut counters);
         }
-        ServiceReport {
+        Ok(ServiceReport {
             responses,
             rejections,
             makespan_s,
             batches: batch_seq,
             resilience,
             counters,
-        }
+        })
     }
 }

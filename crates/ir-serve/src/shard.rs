@@ -5,6 +5,7 @@ use ir_fpga::{AcceleratedSystem, FaultPlan, FpgaError, FunctionalOracle, Resilie
 use ir_genome::RealignmentTarget;
 
 use crate::config::ServeConfig;
+use crate::error::ServeError;
 
 /// The functional result and timing of one dispatched batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,11 +69,15 @@ impl Shard {
 
     /// Executes one batch and returns its outcome.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an empty batch — the batcher never dispatches one.
-    pub fn run_batch(&mut self, targets: &[RealignmentTarget]) -> BatchOutcome {
-        assert!(!targets.is_empty(), "shards never receive empty batches");
+    /// [`ServeError::EmptyBatch`] on an empty batch — the batcher never
+    /// dispatches one, so seeing this from the service loop is a
+    /// scheduling bug surfaced as a value rather than an abort.
+    pub fn run_batch(&mut self, targets: &[RealignmentTarget]) -> Result<BatchOutcome, ServeError> {
+        if targets.is_empty() {
+            return Err(ServeError::EmptyBatch { shard: self.index });
+        }
         let run = match self.plan.as_mut() {
             Some(plan) => self
                 .system
@@ -89,7 +94,7 @@ impl Shard {
         self.batches += 1;
         self.requests += targets.len() as u64;
         self.busy_s += run.wall_time_s;
-        BatchOutcome {
+        Ok(BatchOutcome {
             wall_time_s: run.wall_time_s,
             results: run
                 .results
@@ -97,7 +102,7 @@ impl Shard {
                 .map(|r| (r.best_consensus(), r.realigned_count()))
                 .collect(),
             resilience: run.resilience,
-        }
+        })
     }
 
     /// Batches executed so far.
@@ -140,7 +145,7 @@ mod tests {
         let config = ServeConfig::default();
         let mut shard = Shard::new(0, &config).unwrap();
         let batch = targets(6);
-        let outcome = shard.run_batch(&batch);
+        let outcome = shard.run_batch(&batch).unwrap();
         let direct = AcceleratedSystem::new(config.params, config.scheduling)
             .unwrap()
             .run(&batch);
@@ -167,7 +172,7 @@ mod tests {
         };
         let mut shard = Shard::new(0, &config).unwrap();
         let batch = targets(8);
-        let outcome = shard.run_batch(&batch);
+        let outcome = shard.run_batch(&batch).unwrap();
         let clean = AcceleratedSystem::new(config.params, config.scheduling)
             .unwrap()
             .run(&batch);
@@ -191,7 +196,8 @@ mod tests {
             },
         )
         .unwrap()
-        .run_batch(&batch);
+        .run_batch(&batch)
+        .unwrap();
         let four = Shard::new(
             0,
             &ServeConfig {
@@ -200,7 +206,18 @@ mod tests {
             },
         )
         .unwrap()
-        .run_batch(&batch);
+        .run_batch(&batch)
+        .unwrap();
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn empty_batches_are_a_typed_error() {
+        let mut shard = Shard::new(3, &ServeConfig::default()).unwrap();
+        match shard.run_batch(&[]) {
+            Err(ServeError::EmptyBatch { shard: 3 }) => {}
+            other => panic!("expected EmptyBatch, got {other:?}"),
+        }
+        assert_eq!(shard.batches(), 0, "a rejected batch is not counted");
     }
 }

@@ -6,6 +6,7 @@
 //! ir-cli simulate targets.tio [--units 32] [--lanes 1|32] [--sched sync|async]
 //! ir-cli serve targets.tio [--shards N] [--batch B] [--deadline-us D]
 //!                          [--rate R] [--seed S] [--faults 0|1] [--threads N]
+//! ir-cli fuzz [--seed S] [--iters N] [--corpus DIR]
 //! ```
 //!
 //! `gen` writes a synthetic chromosome workload in the text interchange
@@ -13,13 +14,17 @@
 //! `simulate` runs the same file through the cycle-level accelerated
 //! system and reports timing; `serve` replays the file as Poisson
 //! traffic through the batched realignment service and reports
-//! throughput and latency percentiles.
+//! throughput and latency percentiles; `fuzz` runs the differential
+//! greybox fuzzer across every backend pair, persisting minimized
+//! divergence reproducers under the corpus directory, and exits
+//! nonzero if any divergence was found.
 
 use std::process::ExitCode;
 
 use ir_system::baselines::parallel::realign_parallel;
 use ir_system::core::{IndelRealigner, SelectionRule};
 use ir_system::fpga::{AcceleratedSystem, FaultRates, FpgaParams, Scheduling};
+use ir_system::fuzz::{iters_from_env, FuzzConfig};
 use ir_system::genome::tio;
 use ir_system::genome::{Chromosome, RealignmentTarget};
 use ir_system::serve::{FaultInjection, RealignService, Request, ServeConfig};
@@ -32,6 +37,7 @@ usage:
   ir-cli simulate <FILE> [--units N] [--lanes 1|32] [--sched sync|async]
   ir-cli serve <FILE> [--shards N] [--batch B] [--deadline-us D] [--rate R]
                [--seed S] [--faults 0|1] [--threads N]
+  ir-cli fuzz [--seed S] [--iters N] [--corpus DIR]
 ";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
@@ -213,8 +219,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .map(|(i, (t, at))| Request::new(i as u64, at, t))
         .collect();
 
-    let mut service = RealignService::new(config)?;
-    let report = service.run(requests);
+    let mut service = RealignService::new(config).map_err(|e| e.to_string())?;
+    let report = service.run(requests).map_err(|e| e.to_string())?;
     println!(
         "{shards} shard(s), max batch {max_batch}, deadline {deadline_us} µs, \
          {rate:.0} req/s offered (seed {seed})"
@@ -234,11 +240,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         report.makespan_s
     );
     if report.completed() > 0 {
+        let pctl = |p| {
+            report
+                .latency_percentile_s(p)
+                .map(|s| s * 1e3)
+                .map_err(|e| e.to_string())
+        };
         println!(
             "latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
-            report.latency_percentile_s(50.0) * 1e3,
-            report.latency_percentile_s(95.0) * 1e3,
-            report.latency_percentile_s(99.0) * 1e3
+            pctl(50.0)?,
+            pctl(95.0)?,
+            pctl(99.0)?
         );
     }
     if faults != 0 {
@@ -252,6 +264,42 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_fuzz(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.flag_parse("seed", 0)?;
+    let iters: u64 = args.flag_parse("iters", iters_from_env(ir_system::fuzz::DEFAULT_ITERS))?;
+    let corpus_dir = args.flag("corpus").map(std::path::PathBuf::from);
+
+    let config = FuzzConfig {
+        seed,
+        iters,
+        corpus_dir: corpus_dir.clone(),
+        minimize_budget: 200,
+    };
+    let report = ir_system::fuzz::fuzz(&config).map_err(|e| e.to_string())?;
+    println!(
+        "fuzz seed {seed}: {} case(s) executed, {} novel fingerprint(s) ({} unique outcomes)",
+        report.iters,
+        report.novel,
+        report.fingerprints.len()
+    );
+    for d in &report.discoveries {
+        match &d.saved_to {
+            Some(path) => println!("divergence {} -> {}", d.signature, path.display()),
+            None => println!("divergence {} (already in corpus)", d.signature),
+        }
+        println!("  {}", d.detail);
+    }
+    if report.is_clean() {
+        println!("all backend pairs agree bitwise");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} unique divergence(s) discovered",
+            report.discoveries.len()
+        ))
+    }
 }
 
 fn main() -> ExitCode {
@@ -268,6 +316,7 @@ fn main() -> ExitCode {
         Some("realign") => cmd_realign(&args),
         Some("simulate") => cmd_simulate(&args),
         Some("serve") => cmd_serve(&args),
+        Some("fuzz") => cmd_fuzz(&args),
         _ => Err("missing or unknown subcommand".to_string()),
     };
     match result {

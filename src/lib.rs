@@ -20,6 +20,9 @@
 //! - [`serve`] — the async batched realignment service: bounded
 //!   admission queue, adaptive batcher and sharded accelerator pool
 //!   ([`serve::RealignService`]).
+//! - [`fuzz`] — the differential greybox fuzzer that cross-checks every
+//!   backend pair on adversarial inputs and persists minimized
+//!   reproducers ([`fuzz::fuzz`], [`fuzz::FuzzConfig`]).
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@ pub use ir_baselines as baselines;
 pub use ir_cloud as cloud;
 pub use ir_core as core;
 pub use ir_fpga as fpga;
+pub use ir_fuzz as fuzz;
 pub use ir_genome as genome;
 pub use ir_serve as serve;
 pub use ir_sim as sim;

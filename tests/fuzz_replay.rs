@@ -1,0 +1,75 @@
+//! Replays the checked-in fuzz corpus as a regression suite.
+//!
+//! Every case under `fuzz/corpus/seeds/` and `fuzz/corpus/discovered/`
+//! runs through the full differential executor. Seeds are expected to be
+//! divergence-free; a discovered case is a minimized reproducer of a bug
+//! that has since been fixed, so it must be divergence-free too — if a
+//! regression resurrects the divergence, this test names the exact case
+//! file and signature.
+
+use ir_system::fuzz::corpus::{load_dir, DISCOVERED_DIR, SEEDS_DIR};
+use ir_system::fuzz::{execute, FuzzInput};
+use std::path::Path;
+
+fn corpus_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fuzz/corpus")
+}
+
+#[test]
+fn seed_corpus_is_present() {
+    let seeds = load_dir(&corpus_root().join(SEEDS_DIR)).expect("seeds load");
+    assert!(
+        seeds.len() >= 5,
+        "expected at least 5 checked-in seed cases, found {}",
+        seeds.len()
+    );
+}
+
+#[test]
+fn corpus_encoding_roundtrips() {
+    for sub in [SEEDS_DIR, DISCOVERED_DIR] {
+        for (name, input) in load_dir(&corpus_root().join(sub)).expect("corpus load") {
+            let reencoded = input.encode();
+            let redecoded = FuzzInput::decode(&reencoded)
+                .unwrap_or_else(|e| panic!("{sub}/{name}: re-decode failed: {e}"));
+            assert_eq!(
+                redecoded.encode(),
+                reencoded,
+                "{sub}/{name}: encode/decode is not a fixpoint"
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_replays_divergence_free() {
+    let mut replayed = 0usize;
+    for sub in [SEEDS_DIR, DISCOVERED_DIR] {
+        for (name, input) in load_dir(&corpus_root().join(sub)).expect("corpus load") {
+            let outcome = execute(&input);
+            assert!(
+                outcome.is_clean(),
+                "{sub}/{name} diverged: {:?}",
+                outcome
+                    .mismatches
+                    .iter()
+                    .map(|m| (&m.signature, &m.detail))
+                    .collect::<Vec<_>>()
+            );
+            replayed += 1;
+        }
+    }
+    assert!(replayed >= 5, "replayed only {replayed} cases");
+}
+
+#[test]
+fn corpus_replay_is_deterministic() {
+    for (name, input) in load_dir(&corpus_root().join(SEEDS_DIR)).expect("seeds load") {
+        let a = execute(&input);
+        let b = execute(&input);
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "{name}: outcome fingerprint varies between identical replays"
+        );
+    }
+}

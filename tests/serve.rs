@@ -67,7 +67,9 @@ fn requests(targets: &[ir_system::genome::RealignmentTarget], rate_rps: f64) -> 
 fn run_service(config: ServeConfig, rate_rps: f64) -> ServiceReport {
     let targets = workload();
     let mut service = RealignService::new(config).expect("valid config");
-    service.run(requests(&targets, rate_rps))
+    service
+        .run(requests(&targets, rate_rps))
+        .expect("service run succeeds")
 }
 
 /// The canonical faulty single-thread run, shared across tests.
