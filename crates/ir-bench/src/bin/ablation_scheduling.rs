@@ -7,7 +7,7 @@
 //! runtime. This sweep compares four dispatch policies on one
 //! chromosome's workload.
 
-use ir_bench::{bench_workload, scale_from_env, Table};
+use ir_bench::{bench_workload, scale_from_env, OracleCache, Table};
 use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling};
 use ir_genome::Chromosome;
 
@@ -34,12 +34,21 @@ fn main() {
         ("asynchronous — the paper's fix", Scheduling::Asynchronous),
     ];
 
+    // All four policies replay the same workload under the same serial
+    // timing key — one warmed oracle serves the whole ablation.
+    let mut oracle = OracleCache::from_env().load_or_compute(
+        &format!("bench-{}-serial", workload.chromosome),
+        &workload.targets,
+        &FpgaParams::serial(),
+        1,
+    );
+
     let mut table = Table::new(vec!["policy", "wall s", "unit utilization", "vs unsorted"]);
     let mut baseline = 0.0f64;
     for (name, scheduling) in policies {
         let run = AcceleratedSystem::new(FpgaParams::serial(), scheduling)
             .expect("serial config fits")
-            .run(&workload.targets);
+            .run_with_oracle(&workload.targets, &mut oracle);
         if baseline == 0.0 {
             baseline = run.wall_time_s;
         }

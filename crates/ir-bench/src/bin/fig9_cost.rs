@@ -13,7 +13,10 @@
 //! work.
 
 use ir_baselines::{adam::AdamModel, gatk::GatkModel};
-use ir_bench::{bench_workload, default_workload, fmt_duration, scale_from_env, Table};
+use ir_bench::{
+    bench_workload, default_workload, fmt_duration, parallel_sweep, scale_from_env,
+    threads_from_env, OracleCache, Table,
+};
 use ir_cloud::{cost_efficiency_ratio, CostedRun, Instance};
 use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling};
 
@@ -45,19 +48,34 @@ fn main() {
         + 12.0;
 
     // Accelerator: measured sustained throughput on the bench workload.
+    // The per-chromosome IRACC evaluations share the oracle cache with
+    // fig9_speedup / headline_claims (same workload, same timing key).
     let bench_gen = bench_workload(scale);
-    let iracc =
-        AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous).expect("iracc fits");
-    let mut bench_naive = 0u64;
-    let mut bench_wall = 0.0f64;
-    for workload in bench_gen.autosomes() {
-        bench_naive += workload
-            .targets
-            .iter()
-            .map(|t| t.shape().worst_case_comparisons())
-            .sum::<u64>();
-        bench_wall += iracc.run(&workload.targets).wall_time_s;
-    }
+    let cache = OracleCache::from_env();
+    let workloads = bench_gen.autosomes();
+    let per_chromosome: Vec<(u64, f64)> =
+        parallel_sweep(&workloads, threads_from_env(), |workload| {
+            let iracc = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous)
+                .expect("iracc fits");
+            let mut oracle = cache.load_or_compute(
+                &format!("bench-{}-iracc", workload.chromosome),
+                &workload.targets,
+                &FpgaParams::iracc(),
+                1,
+            );
+            (
+                workload
+                    .targets
+                    .iter()
+                    .map(|t| t.shape().worst_case_comparisons())
+                    .sum::<u64>(),
+                iracc
+                    .run_with_oracle(&workload.targets, &mut oracle)
+                    .wall_time_s,
+            )
+        });
+    let bench_naive: u64 = per_chromosome.iter().map(|&(n, _)| n).sum();
+    let bench_wall: f64 = per_chromosome.iter().map(|&(_, w)| w).sum();
     let throughput = bench_naive as f64 / bench_wall; // naive-equivalent cmp/s
     let iracc_full = paper_naive as f64 * upscale / throughput;
 

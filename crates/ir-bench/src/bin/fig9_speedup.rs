@@ -10,11 +10,20 @@
 //! (avg 41.4×).
 //!
 //! Run with `IR_SCALE` (default 1e-4) to trade accuracy for time.
-
-use crossbeam::thread;
+//! `IR_THREADS` sets the sweep worker count; `IR_ORACLE_CACHE` shares
+//! the memoized datapath evaluations with the other figure binaries.
+//! Neither changes a single emitted byte.
+//!
+//! The TaskP and TaskP-Async columns share one functional oracle (the
+//! datapath result depends only on the serial timing key, not on the
+//! flush discipline), so each chromosome's serial datapath is evaluated
+//! once instead of twice; the IRACC column keys separately.
 
 use ir_baselines::{adam::AdamModel, gatk::GatkModel};
-use ir_bench::{bench_workload, fmt_duration, gmean, scale_from_env, Table};
+use ir_bench::{
+    bench_workload, fmt_duration, gmean, parallel_sweep, scale_from_env, threads_from_env,
+    OracleCache, Table,
+};
 use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling};
 use ir_genome::Chromosome;
 
@@ -30,61 +39,52 @@ struct ChromosomeRow {
 fn main() {
     let scale = scale_from_env();
     let generator = bench_workload(scale);
+    let cache = OracleCache::from_env();
     println!("Figure 9 (left): hardware-accelerated INDEL realignment vs software");
     println!("workload scale: {scale} of the paper's NA12878 run\n");
 
     let chromosomes: Vec<Chromosome> = Chromosome::autosomes().collect();
-    let rows: Vec<Option<ChromosomeRow>> = (0..chromosomes.len()).map(|_| None).collect();
-
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(11);
-    let chunks: Vec<(usize, Chromosome)> = chromosomes.iter().copied().enumerate().collect();
-    let rows_mutex = std::sync::Mutex::new(rows);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    thread::scope(|scope| {
-        let (chunks, rows, next, generator) = (&chunks, &rows_mutex, &next, &generator);
-        for _ in 0..workers {
-            scope.spawn(move |_| {
-                let taskp = AcceleratedSystem::new(FpgaParams::serial(), Scheduling::Synchronous)
+    let rows: Vec<ChromosomeRow> =
+        parallel_sweep(&chromosomes, threads_from_env(), |&chromosome| {
+            let taskp = AcceleratedSystem::new(FpgaParams::serial(), Scheduling::Synchronous)
+                .expect("serial config fits");
+            let taskp_async =
+                AcceleratedSystem::new(FpgaParams::serial(), Scheduling::Asynchronous)
                     .expect("serial config fits");
-                let taskp_async =
-                    AcceleratedSystem::new(FpgaParams::serial(), Scheduling::Asynchronous)
-                        .expect("serial config fits");
-                let iracc = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous)
-                    .expect("iracc config fits");
-                let gatk = GatkModel::default();
-                let adam = AdamModel::default().without_startup();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    if i >= chunks.len() {
-                        break;
-                    }
-                    let (idx, chromosome) = chunks[i];
-                    let workload = generator.chromosome(chromosome);
-                    let shapes: Vec<_> = workload.targets.iter().map(|t| t.shape()).collect();
-                    let row = ChromosomeRow {
-                        chromosome,
-                        gatk_s: gatk.run_shapes(&shapes).wall_time_s,
-                        adam_s: adam.run_shapes(&shapes).wall_time_s,
-                        taskp_s: taskp.run(&workload.targets).wall_time_s,
-                        async_s: taskp_async.run(&workload.targets).wall_time_s,
-                        iracc_s: iracc.run(&workload.targets).wall_time_s,
-                    };
-                    rows.lock().unwrap()[idx] = Some(row);
-                }
-            });
-        }
-    })
-    .expect("worker threads join");
+            let iracc = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous)
+                .expect("iracc config fits");
+            let gatk = GatkModel::default();
+            let adam = AdamModel::default().without_startup();
 
-    let rows: Vec<ChromosomeRow> = rows_mutex
-        .into_inner()
-        .expect("workers joined")
-        .into_iter()
-        .map(|r| r.expect("all rows filled"))
-        .collect();
+            let workload = generator.chromosome(chromosome);
+            let shapes: Vec<_> = workload.targets.iter().map(|t| t.shape()).collect();
+            let mut serial_oracle = cache.load_or_compute(
+                &format!("bench-{chromosome}-serial"),
+                &workload.targets,
+                &FpgaParams::serial(),
+                1,
+            );
+            let mut iracc_oracle = cache.load_or_compute(
+                &format!("bench-{chromosome}-iracc"),
+                &workload.targets,
+                &FpgaParams::iracc(),
+                1,
+            );
+            ChromosomeRow {
+                chromosome,
+                gatk_s: gatk.run_shapes(&shapes).wall_time_s,
+                adam_s: adam.run_shapes(&shapes).wall_time_s,
+                taskp_s: taskp
+                    .run_with_oracle(&workload.targets, &mut serial_oracle)
+                    .wall_time_s,
+                async_s: taskp_async
+                    .run_with_oracle(&workload.targets, &mut serial_oracle)
+                    .wall_time_s,
+                iracc_s: iracc
+                    .run_with_oracle(&workload.targets, &mut iracc_oracle)
+                    .wall_time_s,
+            }
+        });
 
     let mut table = Table::new(vec![
         "chromosome",

@@ -13,7 +13,10 @@
 //! measured by simulation at `IR_SCALE` and applied to the same work.
 
 use ir_baselines::gatk::GatkModel;
-use ir_bench::{bench_workload, default_workload, fmt_duration, scale_from_env, Table};
+use ir_bench::{
+    bench_workload, default_workload, fmt_duration, parallel_sweep, scale_from_env,
+    threads_from_env, OracleCache, Table,
+};
 use ir_cloud::{run_cost_usd, Instance};
 use ir_fpga::{AcceleratedSystem, FpgaParams, Scheduling};
 
@@ -45,23 +48,36 @@ fn main() {
         .sum();
     let gatk_full = GatkModel::default().run_shapes(&paper_shapes).wall_time_s * upscale;
 
-    // Accelerator throughput from the simulated bench workload.
+    // Accelerator throughput from the simulated bench workload; the
+    // per-chromosome IRACC evaluations share the oracle cache with
+    // fig9_speedup / fig9_cost (same workload, same timing key).
     let bench_gen = bench_workload(scale);
-    let iracc =
-        AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous).expect("iracc fits");
-    let mut bench_naive = 0u64;
-    let mut bench_executed = 0u64;
-    let mut bench_wall = 0.0f64;
-    for workload in bench_gen.autosomes() {
-        bench_naive += workload
-            .targets
-            .iter()
-            .map(|t| t.shape().worst_case_comparisons())
-            .sum::<u64>();
-        let run = iracc.run(&workload.targets);
-        bench_wall += run.wall_time_s;
-        bench_executed += run.comparisons;
-    }
+    let cache = OracleCache::from_env();
+    let workloads = bench_gen.autosomes();
+    let per_chromosome: Vec<(u64, u64, f64)> =
+        parallel_sweep(&workloads, threads_from_env(), |workload| {
+            let iracc = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous)
+                .expect("iracc fits");
+            let mut oracle = cache.load_or_compute(
+                &format!("bench-{}-iracc", workload.chromosome),
+                &workload.targets,
+                &FpgaParams::iracc(),
+                1,
+            );
+            let run = iracc.run_with_oracle(&workload.targets, &mut oracle);
+            (
+                workload
+                    .targets
+                    .iter()
+                    .map(|t| t.shape().worst_case_comparisons())
+                    .sum::<u64>(),
+                run.comparisons,
+                run.wall_time_s,
+            )
+        });
+    let bench_naive: u64 = per_chromosome.iter().map(|&(n, _, _)| n).sum();
+    let bench_executed: u64 = per_chromosome.iter().map(|&(_, e, _)| e).sum();
+    let bench_wall: f64 = per_chromosome.iter().map(|&(_, _, w)| w).sum();
     let throughput = bench_naive as f64 / bench_wall;
     let iracc_full = paper_naive as f64 * upscale / throughput;
 

@@ -104,8 +104,10 @@ fn main() {
     ]);
     let mut throughputs = Vec::new();
     let mut p99s = Vec::new();
+    let mut adaptive_report = None;
     for (label, max_batch) in modes {
         let (label, report) = run_mode(label, max_batch, threads, &targets, rate_rps);
+        let is_adaptive = label == "adaptive";
         let pctl = |p| report.latency_percentile_s(p).expect("responses completed");
         throughputs.push(report.throughput_rps());
         p99s.push(pctl(99.0));
@@ -121,9 +123,26 @@ fn main() {
             format!("{:.2}", report.mean_batch_occupancy()),
             format!("{}", report.counters.gauge("serve/queue_depth_hwm")),
         ]);
+        if is_adaptive {
+            adaptive_report = Some(report);
+        }
     }
     println!();
     table.emit("serve_load");
+    // The adaptive mode's structured report feeds the perf-trajectory
+    // snapshot (`ir-cli bench-snapshot` reads serve_report.json).
+    if let Some(report) = adaptive_report {
+        let path = ir_bench::results_dir().join("serve_report.json");
+        match std::fs::write(&path, report.to_json()) {
+            Ok(()) => println!("[json] {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+        println!(
+            "adaptive SLO attainment: {:.4} (deadline {:.1} ms)",
+            report.slo_attainment(),
+            report.slo_deadline_s * 1e3
+        );
+    }
     println!(
         "adaptive batching: {:.2}x throughput vs batch-size-1, p99 {:.3} ms vs {:.3} ms",
         throughputs[1] / throughputs[0],

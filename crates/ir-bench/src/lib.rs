@@ -25,6 +25,10 @@ use std::sync::mpsc;
 
 use ir_workloads::{WorkloadConfig, WorkloadGenerator};
 
+pub mod oracle_cache;
+
+pub use oracle_cache::OracleCache;
+
 /// Reads the workload scale from `IR_SCALE` (default `1e-4`).
 ///
 /// Scale 1.0 is the paper's full NA12878 run (~2.8 M IR targets across

@@ -245,7 +245,7 @@ fn masked_chunk_sum(mask: u64, scores: &[u8]) -> u32 {
 /// event-driven backend. Where the engine jumps the clock to a unit's
 /// completion event, this jumps the *cycle accounting* to the scan's
 /// outcome, comparing 16 bases per word-op (SWAR over the 4-bit packing).
-/// Three shapes cover every configuration:
+/// Four shapes cover every configuration:
 ///
 /// - **Serial with immediate pruning** (`lanes == 1`,
 ///   `prune_latency_blocks == 0`): each 16-base chunk reduces to a
@@ -262,6 +262,11 @@ fn masked_chunk_sum(mask: u64, scores: &[u8]) -> u32 {
 ///   shape unpacks both sides once and runs the same fixed-trip byte
 ///   multiply-accumulate the byte-per-base scan uses, amortizing the
 ///   unpack across all offsets.
+/// - **No comparator** (`pruning == false`, the HLS-style configs):
+///   the scan never stops early at any offset, so the cycle and
+///   comparison charges are closed-form (`(max_k + 1) · nblocks` and
+///   `(max_k + 1) · n`) and the whole pair reduces to the same dense
+///   unconditional byte fold as the drain-swallowed shape.
 /// - **Everything else**: [`run_pair`]'s block loop verbatim — same
 ///   per-block cycle charge, same prune-verdict drain — with the inner
 ///   per-base compare loop replaced by the SWAR mismatch reduction. The
@@ -359,6 +364,27 @@ pub fn run_pair_fast_packed(
                 min = MinWhd { whd, offset: k };
             }
         }
+    } else if !cfg.pruning {
+        // With no prune comparator the block loop has no data-dependent
+        // exit at any offset: every scan folds the full read, so the
+        // counts are closed-form and only the min-WHD needs computing —
+        // the same dense byte multiply-accumulate as the shape above,
+        // minus the comparator bookkeeping.
+        let rb = read.unpack_codes();
+        let cb = cons.unpack_codes();
+        for k in 0..=max_k {
+            let win = &cb[k..k + n];
+            let mut whd = 0u32;
+            for i in 0..n {
+                whd += u32::from(win[i] != rb[i]) * u32::from(scores[i]);
+            }
+            let whd = u64::from(whd);
+            if whd < min.whd {
+                min = MinWhd { whd, offset: k };
+            }
+        }
+        comparisons = (max_k as u64 + 1) * n as u64;
+        cycles += (max_k as u64 + 1) * nblocks;
     } else {
         // run_pair's block loop with the per-base compare replaced by the
         // SWAR reduction; covers data-parallel, unpruned and deep-drain

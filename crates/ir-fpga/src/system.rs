@@ -682,6 +682,32 @@ impl AcceleratedSystem {
         plan: &mut FaultPlan,
         policy: &ResiliencePolicy,
     ) -> SystemRun {
+        self.run_resilient_inner(targets, plan, policy, None)
+    }
+
+    /// [`Self::run_resilient`] over a shared [`FunctionalOracle`]. The
+    /// oracle memoizes the *fault-free* datapath result per target;
+    /// injected faults mutate the per-attempt clone the resilience layer
+    /// receives, never the cached entry, so a fault-rate sweep over one
+    /// workload evaluates each target's datapath exactly once. Like
+    /// [`Self::run_with_oracle`] this always takes the event-driven path.
+    pub fn run_resilient_with_oracle(
+        &self,
+        targets: &[RealignmentTarget],
+        plan: &mut FaultPlan,
+        policy: &ResiliencePolicy,
+        oracle: &mut FunctionalOracle,
+    ) -> SystemRun {
+        self.run_resilient_inner(targets, plan, policy, Some(oracle))
+    }
+
+    fn run_resilient_inner(
+        &self,
+        targets: &[RealignmentTarget],
+        plan: &mut FaultPlan,
+        policy: &ResiliencePolicy,
+        oracle: Option<&mut FunctionalOracle>,
+    ) -> SystemRun {
         let mut state = FaultState {
             plan,
             policy,
@@ -689,7 +715,16 @@ impl AcceleratedSystem {
             failures: vec![0; self.params.num_units],
             quarantined: vec![false; self.params.num_units],
         };
-        let mut run = self.run_inner(targets, self.telemetry, Some(&mut state));
+        let mut run = match oracle {
+            Some(o) => crate::engine::run_event_driven(
+                self,
+                targets,
+                self.telemetry,
+                Some(&mut state),
+                Some(o),
+            ),
+            None => self.run_inner(targets, self.telemetry, Some(&mut state)),
+        };
         state.report.faults = state.plan.counts();
         if let Some(snapshot) = run.telemetry.as_mut() {
             state.report.record_into(&mut snapshot.counters);

@@ -435,6 +435,7 @@ fn serve_config(input: &FuzzInput, spec: &ServeSpec, threads: usize) -> ServeCon
         admission_watermark: spec.admission_watermark,
         max_batch: spec.max_batch,
         flush_deadline_s: spec.flush_deadline_ns as f64 * 1e-9,
+        slo_deadline_s: ServeConfig::default().slo_deadline_s,
         params: input.params.params(),
         scheduling: input.scheduling,
         policy: ResiliencePolicy::default(),

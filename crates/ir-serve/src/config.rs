@@ -39,6 +39,10 @@ pub struct ServeConfig {
     /// Longest a queued request may wait for its batch to fill before the
     /// batcher flushes a partial batch.
     pub flush_deadline_s: f64,
+    /// Latency SLO: a completed request whose end-to-end latency is at
+    /// most this counts toward `serve/slo_met`, otherwise
+    /// `serve/slo_missed` ([`crate::ServiceReport::slo_attainment`]).
+    pub slo_deadline_s: f64,
     /// Backend configuration for every shard.
     pub params: FpgaParams,
     /// Backend scheduling scheme.
@@ -61,6 +65,7 @@ impl Default for ServeConfig {
             admission_watermark: 256,
             max_batch: 32,
             flush_deadline_s: 500e-6,
+            slo_deadline_s: 10e-3,
             params: FpgaParams::iracc(),
             scheduling: Scheduling::Asynchronous,
             policy: ResiliencePolicy::default(),
@@ -97,6 +102,9 @@ impl ServeConfig {
         }
         if !(self.flush_deadline_s > 0.0 && self.flush_deadline_s.is_finite()) {
             return invalid("flush_deadline_s", "must be positive and finite");
+        }
+        if !(self.slo_deadline_s > 0.0 && self.slo_deadline_s.is_finite()) {
+            return invalid("slo_deadline_s", "must be positive and finite");
         }
         if self.threads == 0 {
             return invalid("threads", "at least one oracle thread required");
@@ -149,6 +157,13 @@ mod tests {
                     ..ServeConfig::default()
                 },
                 "deadline",
+            ),
+            (
+                ServeConfig {
+                    slo_deadline_s: f64::INFINITY,
+                    ..ServeConfig::default()
+                },
+                "slo_deadline",
             ),
             (
                 ServeConfig {

@@ -34,6 +34,10 @@ pub struct Response {
     /// When the request arrived (µs of virtual time would lose precision;
     /// seconds as the raw f64 bits are what the byte-diff artifacts pin).
     pub arrival_s: f64,
+    /// When its batch became ready for dispatch: the arrival that filled
+    /// the batch, or the flush-deadline expiry for a partial batch
+    /// (clamped into `[latest batch arrival, dispatch]`).
+    pub ready_s: f64,
     /// When its batch was dispatched to a shard.
     pub dispatch_s: f64,
     /// When its batch completed.
@@ -66,6 +70,25 @@ impl Response {
     pub fn service_s(&self) -> f64 {
         self.completion_s - self.dispatch_s
     }
+
+    /// Span 1 of the request journey: admission-control wait. Admission
+    /// decides synchronously at arrival, so this is structurally zero —
+    /// the span exists so the histogram schema stays stable if admission
+    /// ever becomes asynchronous.
+    pub fn admission_wait_s(&self) -> f64 {
+        0.0
+    }
+
+    /// Span 2: batch formation — arrival until the batch became ready
+    /// (filled to `max_batch` or hit the flush deadline).
+    pub fn batch_wait_s(&self) -> f64 {
+        self.ready_s - self.arrival_s
+    }
+
+    /// Span 3: shard queue — batch ready until an idle shard took it.
+    pub fn shard_wait_s(&self) -> f64 {
+        self.dispatch_s - self.ready_s
+    }
 }
 
 // f64 fields are never NaN (they come from the virtual clock), so exact
@@ -94,6 +117,7 @@ mod tests {
         let r = Response {
             id: 1,
             arrival_s: 1.0,
+            ready_s: 1.2,
             dispatch_s: 1.5,
             completion_s: 2.25,
             shard: 0,
@@ -104,5 +128,10 @@ mod tests {
         };
         assert!((r.latency_s() - 1.25).abs() < 1e-12);
         assert!((r.queue_wait_s() + r.service_s() - r.latency_s()).abs() < 1e-12);
+        // The finer span taxonomy tiles the same interval.
+        let spans = r.admission_wait_s() + r.batch_wait_s() + r.shard_wait_s() + r.service_s();
+        assert!((spans - r.latency_s()).abs() < 1e-12);
+        assert!((r.batch_wait_s() - 0.2).abs() < 1e-12);
+        assert!((r.shard_wait_s() - 0.3).abs() < 1e-12);
     }
 }

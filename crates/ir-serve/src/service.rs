@@ -3,7 +3,9 @@
 
 use ir_fpga::ResilienceReport;
 use ir_sim::{EventQueue, SimTime};
-use ir_telemetry::PerfCounters;
+use ir_telemetry::json::escape_json_string;
+use ir_telemetry::{PerfCounters, SpanKind, Trace, Tracer, Track};
+use std::fmt::Write as _;
 
 use crate::batcher::{BatchPolicy, FlushVerdict};
 use crate::config::ServeConfig;
@@ -52,8 +54,17 @@ pub struct ServiceReport {
     /// fault injection was off).
     pub resilience: ResilienceReport,
     /// The `serve/*` counter registry (plus mirrored `resilience/*`
-    /// counters when fault injection was on).
+    /// counters when fault injection was on): admission/batching/shard
+    /// tallies, per-request span histograms (`serve/span_*_us`) and the
+    /// SLO counters `serve/slo_met` / `serve/slo_missed`.
     pub counters: PerfCounters,
+    /// The latency SLO the run was judged against
+    /// ([`ServeConfig::slo_deadline_s`]).
+    pub slo_deadline_s: f64,
+    /// Per-shard span trace: one `batch <seq>` compute span per
+    /// dispatched batch on `Track::Shard(i)`, loadable in Perfetto via
+    /// [`Trace::to_chrome_json`].
+    pub trace: Trace,
 }
 
 impl ServiceReport {
@@ -110,6 +121,75 @@ impl ServiceReport {
         let mut sorted: Vec<&Response> = self.responses.iter().collect();
         sorted.sort_by_key(|r| r.id);
         sorted
+    }
+
+    /// Fraction of completed requests that met the latency SLO
+    /// ([`ServeConfig::slo_deadline_s`]); 1.0 for an empty run.
+    pub fn slo_attainment(&self) -> f64 {
+        let met = self.counters.counter("serve/slo_met");
+        let missed = self.counters.counter("serve/slo_missed");
+        if met + missed == 0 {
+            1.0
+        } else {
+            met as f64 / (met + missed) as f64
+        }
+    }
+
+    /// Structured JSON export: the headline service metrics plus every
+    /// counter, gauge and span-histogram summary, as one deterministic
+    /// document (`ir-cli serve --json FILE` writes this).
+    pub fn to_json(&self) -> String {
+        let pctl = |p: f64| self.latency_percentile_s(p).unwrap_or(0.0) * 1e6;
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"completed\": {},", self.completed());
+        let _ = writeln!(out, "  \"rejected\": {},", self.rejections.len());
+        let _ = writeln!(out, "  \"batches\": {},", self.batches);
+        let _ = writeln!(out, "  \"makespan_s\": {},", self.makespan_s);
+        let _ = writeln!(out, "  \"throughput_rps\": {},", self.throughput_rps());
+        let _ = writeln!(out, "  \"latency_p50_us\": {},", pctl(50.0));
+        let _ = writeln!(out, "  \"latency_p95_us\": {},", pctl(95.0));
+        let _ = writeln!(out, "  \"latency_p99_us\": {},", pctl(99.0));
+        let _ = writeln!(out, "  \"slo_deadline_s\": {},", self.slo_deadline_s);
+        let _ = writeln!(out, "  \"slo_attainment\": {},", self.slo_attainment());
+        let mut first = true;
+        let sep = |out: &mut String, first: &mut bool| {
+            if !std::mem::take(first) {
+                out.push_str(",\n");
+            }
+        };
+        out.push_str("  \"counters\": {\n");
+        for (k, v) in self.counters.counters() {
+            sep(&mut out, &mut first);
+            let _ = write!(out, "    {}: {v}", escape_json_string(k));
+        }
+        out.push_str("\n  },\n  \"gauges\": {\n");
+        first = true;
+        for (k, v) in self.counters.gauges() {
+            sep(&mut out, &mut first);
+            let _ = write!(out, "    {}: {v}", escape_json_string(k));
+        }
+        out.push_str("\n  },\n  \"histograms\": {\n");
+        first = true;
+        for (k, h) in self.counters.histograms() {
+            sep(&mut out, &mut first);
+            let p = |q: f64| h.percentile(q).unwrap_or(0);
+            let _ = write!(
+                out,
+                "    {}: {{\"count\": {}, \"mean\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                escape_json_string(k),
+                h.count,
+                h.mean(),
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                p(50.0),
+                p(95.0),
+                p(99.0),
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
     }
 }
 
@@ -189,6 +269,7 @@ impl RealignService {
 
         let mut in_flight: Vec<Option<InFlight>> = (0..self.shards.len()).map(|_| None).collect();
         let mut counters = PerfCounters::default();
+        let mut tracer = Tracer::default();
         let mut responses = Vec::new();
         let mut rejections = Vec::new();
         let mut resilience = ResilienceReport::default();
@@ -227,7 +308,8 @@ impl RealignService {
 
             // Dispatch loop: pair idle shards with ready batches.
             while let Some(shard_idx) = in_flight.iter().position(Option::is_none) {
-                let take = match policy.verdict(&queue, now) {
+                let verdict = policy.verdict(&queue, now);
+                let take = match verdict {
                     FlushVerdict::Full => {
                         flush_full += 1;
                         self.config.max_batch
@@ -251,6 +333,24 @@ impl RealignService {
                     FlushVerdict::Idle => break,
                 };
                 let batch = queue.take(take);
+                // When the batch became ready for dispatch: the arrival
+                // that filled it, or the flush-deadline expiry of its
+                // oldest request for a partial flush. A busy pool can
+                // dispatch later than either instant (then the gap is
+                // shard-queue wait, not batch-formation wait), and late
+                // stragglers can arrive after the oldest request's
+                // deadline — the clamp keeps ready_s inside
+                // `[latest batch arrival, now]` in both cases.
+                let latest_arrival = batch
+                    .iter()
+                    .map(|r| r.arrival_s)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let ready = match verdict {
+                    FlushVerdict::DeadlineExpired => (batch[0].arrival_s
+                        + self.config.flush_deadline_s)
+                        .clamp(latest_arrival, now),
+                    _ => latest_arrival.min(now),
+                };
                 let targets: Vec<_> = batch.iter().map(|r| r.target.clone()).collect();
                 let outcome = self.shards[shard_idx].run_batch(&targets)?;
                 if let Some(report) = &outcome.resilience {
@@ -271,13 +371,28 @@ impl RealignService {
                     .iter()
                     .zip(&outcome.results)
                     .map(|(req, &(best_consensus, realigned))| {
+                        let latency = completion - req.arrival_s;
+                        counters.observe("serve/latency_us", (latency * 1e6) as u64);
+                        // The request-journey span breakdown, in µs:
+                        // admission (structurally zero today) → batch
+                        // formation → shard queue → execution = total.
+                        counters.observe("serve/span_admission_us", 0);
                         counters.observe(
-                            "serve/latency_us",
-                            ((completion - req.arrival_s) * 1e6) as u64,
+                            "serve/span_batch_wait_us",
+                            ((ready - req.arrival_s) * 1e6) as u64,
                         );
+                        counters.observe("serve/span_shard_wait_us", ((now - ready) * 1e6) as u64);
+                        counters.observe("serve/span_exec_us", ((completion - now) * 1e6) as u64);
+                        counters.observe("serve/span_total_us", (latency * 1e6) as u64);
+                        if latency <= self.config.slo_deadline_s {
+                            counters.add("serve/slo_met", 1);
+                        } else {
+                            counters.add("serve/slo_missed", 1);
+                        }
                         Response {
                             id: req.id,
                             arrival_s: req.arrival_s,
+                            ready_s: ready,
                             dispatch_s: now,
                             completion_s: completion,
                             shard: shard_idx,
@@ -288,6 +403,15 @@ impl RealignService {
                         }
                     })
                     .collect();
+                tracer.span_args(
+                    Track::Shard(shard_idx),
+                    SpanKind::Compute,
+                    &format!("batch {batch_seq}"),
+                    None,
+                    now,
+                    completion,
+                    &[("batch", batch_seq), ("requests", batch.len() as u64)],
+                );
                 in_flight[shard_idx] = Some(InFlight { responses: stamped });
                 events.push(
                     SimTime::from_seconds(completion),
@@ -321,6 +445,8 @@ impl RealignService {
             batches: batch_seq,
             resilience,
             counters,
+            slo_deadline_s: self.config.slo_deadline_s,
+            trace: tracer.into_trace(),
         })
     }
 }

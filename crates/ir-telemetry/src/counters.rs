@@ -76,6 +76,45 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated value at percentile `p` (0–100), or `None` when the
+    /// histogram is empty.
+    ///
+    /// The estimate is the upper edge of the first bucket whose
+    /// cumulative count reaches the requested rank, clamped into
+    /// `[min, max]`. The clamp is what keeps the edges honest:
+    ///
+    /// - a single observation reports that exact value at every `p`;
+    /// - when every observation landed in the unbounded overflow bucket
+    ///   (whose upper edge would be `u64::MAX`), the estimate is `max`
+    ///   rather than a bucket bound four orders of magnitude away;
+    /// - `p = 0` reports `min` exactly.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        if p == 0.0 {
+            return Some(self.min);
+        }
+        // Nearest-rank: the smallest observation with at least
+        // ceil(p/100 * count) observations at or below it.
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let hi = if i + 1 < HISTOGRAM_BUCKETS {
+                    Self::bucket_lo(i + 1) - 1
+                } else {
+                    u64::MAX
+                };
+                return Some(hi.clamp(self.min, self.max));
+            }
+        }
+        // Unreachable (seen reaches self.count >= rank), but stay total.
+        Some(self.max)
+    }
 }
 
 /// The registry: three deterministic maps.
@@ -224,6 +263,60 @@ mod tests {
         assert_eq!(h.buckets[1], 1); // 1
         assert_eq!(h.buckets[2], 1); // 3
         assert_eq!(h.buckets[7], 1); // 100 in [64,128)
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_none() {
+        let h = Histogram::default();
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), None);
+        }
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        for v in [0u64, 1, 7, 1 << 30, u64::MAX] {
+            let mut h = Histogram::default();
+            h.observe(v);
+            for p in [0.0, 1.0, 50.0, 99.9, 100.0] {
+                assert_eq!(h.percentile(p), Some(v), "v={v} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_with_all_samples_in_overflow_bucket_reports_max() {
+        // Everything lands in the unbounded last bucket; the naive bucket
+        // upper edge would be u64::MAX.
+        let mut h = Histogram::default();
+        let lo = Histogram::bucket_lo(HISTOGRAM_BUCKETS - 1);
+        for v in [lo, lo + 10, lo * 2, u64::MAX / 2] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(h.min));
+        assert_eq!(h.percentile(50.0), Some(h.max));
+        assert_eq!(h.percentile(99.0), Some(h.max));
+        assert_eq!(h.percentile(100.0), Some(h.max));
+    }
+
+    #[test]
+    fn percentile_ranks_across_buckets() {
+        // 90 small values in [1,2) and 10 large in [64,128): p50 sits in
+        // the small bucket (upper edge 1), p95+ in the large one.
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(1);
+        }
+        for _ in 0..10 {
+            h.observe(100);
+        }
+        assert_eq!(h.percentile(50.0), Some(1));
+        assert_eq!(h.percentile(90.0), Some(1));
+        assert_eq!(h.percentile(95.0), Some(100)); // bucket edge 127 clamps to max
+        assert_eq!(h.percentile(100.0), Some(100));
+        // Out-of-range p clamps rather than panicking.
+        assert_eq!(h.percentile(-5.0), Some(h.min));
+        assert_eq!(h.percentile(250.0), Some(h.max));
     }
 
     #[test]

@@ -1,0 +1,522 @@
+//! Perf-trajectory snapshots: the versioned `BENCH_<n>.json` schema and
+//! the tolerance-banded diff behind `ir-cli bench-diff`.
+//!
+//! Every PR checks in one [`BenchSnapshot`] capturing where the suite's
+//! wall time went (per-figure `wall_ms/*`), what the service layer
+//! sustained (`serve/*` throughput, latency percentiles and SLO
+//! attainment) and the headline kernel speedups (`speedup/*`), stamped
+//! with the git revision and the `IR_SCALE`/`IR_THREADS` the run used.
+//! CI regenerates a snapshot at reduced scale and diffs it against the
+//! committed one; [`SnapshotDiff::has_regressions`] gates the job.
+//!
+//! The diff applies per-namespace tolerance bands rather than exact
+//! comparison — wall clocks are noisy, simulated metrics are not:
+//!
+//! | namespace               | direction        | tolerance |
+//! |-------------------------|------------------|-----------|
+//! | `wall_ms/*`             | lower is better  | +50%      |
+//! | `serve/throughput_rps`  | higher is better | −10%      |
+//! | `serve/p50_us`/`p95_us`/`p99_us` | lower   | +25%      |
+//! | `serve/slo_attainment`  | higher is better | −10%      |
+//! | `speedup/*`             | higher is better | −10%      |
+//!
+//! Host wall clocks are additionally only comparable between runs of the
+//! same configuration: when `ir_scale` or `ir_threads` differ, `wall_ms`
+//! comparisons are skipped with a note instead of judged. A metric
+//! present in the old snapshot but missing from the new one is always a
+//! regression (a bench silently dropping out of the suite must fail the
+//! gate); a metric only present in the new snapshot is informational.
+
+use crate::json::{escape_json_string, parse_json, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Current snapshot schema version; bump when the JSON shape changes.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+
+/// One perf-trajectory snapshot (the content of a `BENCH_<n>.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Schema version ([`SNAPSHOT_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Git revision the snapshot was produced at (`unknown` outside a
+    /// checkout).
+    pub git_rev: String,
+    /// Workload scale the suite ran at.
+    pub ir_scale: f64,
+    /// Host threads the suite ran with.
+    pub ir_threads: u64,
+    /// Flat metric map, keys namespaced `wall_ms/*`, `serve/*`,
+    /// `speedup/*`. A `BTreeMap` keeps serialization diff-stable.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl BenchSnapshot {
+    /// An empty snapshot at the current schema version.
+    pub fn new(git_rev: &str, ir_scale: f64, ir_threads: u64) -> Self {
+        BenchSnapshot {
+            schema_version: SNAPSHOT_SCHEMA_VERSION,
+            git_rev: git_rev.to_string(),
+            ir_scale,
+            ir_threads,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Serializes to the canonical two-space-indented JSON document
+    /// (deterministic: metrics in key order, floats in shortest
+    /// round-trip form).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.metrics.len() * 48);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(out, "  \"git_rev\": {},", escape_json_string(&self.git_rev));
+        let _ = writeln!(out, "  \"ir_scale\": {},", fmt_f64(self.ir_scale));
+        let _ = writeln!(out, "  \"ir_threads\": {},", self.ir_threads);
+        out.push_str("  \"metrics\": {");
+        let mut first = true;
+        for (k, v) in &self.metrics {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", escape_json_string(k), fmt_f64(*v));
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses a snapshot document, verifying the schema version.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let doc = parse_json(input)?;
+        let schema_version = doc
+            .get("schema_version")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing schema_version")? as u64;
+        if schema_version != SNAPSHOT_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (expected {SNAPSHOT_SCHEMA_VERSION})"
+            ));
+        }
+        let git_rev = doc
+            .get("git_rev")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing git_rev")?
+            .to_string();
+        let ir_scale = doc
+            .get("ir_scale")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing ir_scale")?;
+        let ir_threads = doc
+            .get("ir_threads")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing ir_threads")? as u64;
+        let mut metrics = BTreeMap::new();
+        for (k, v) in doc
+            .get("metrics")
+            .and_then(JsonValue::as_object)
+            .ok_or("missing metrics object")?
+        {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| format!("metric {k} is not a number"))?;
+            metrics.insert(k.clone(), n);
+        }
+        Ok(BenchSnapshot {
+            schema_version,
+            git_rev,
+            ir_scale,
+            ir_threads,
+            metrics,
+        })
+    }
+
+    /// Diffs `self` (the committed baseline) against `new`, applying the
+    /// per-namespace tolerance bands described in the module docs.
+    pub fn diff(&self, new: &BenchSnapshot) -> SnapshotDiff {
+        let config_mismatch = self.ir_scale != new.ir_scale || self.ir_threads != new.ir_threads;
+        let mut deltas = Vec::new();
+        for (key, &old_v) in &self.metrics {
+            let delta = match new.metrics.get(key) {
+                None => MetricDelta {
+                    key: key.clone(),
+                    old: Some(old_v),
+                    new: None,
+                    status: DeltaStatus::MissingInNew,
+                    note: "present in baseline, missing from new snapshot".to_string(),
+                },
+                Some(&new_v) => judge(key, old_v, new_v, config_mismatch),
+            };
+            deltas.push(delta);
+        }
+        for (key, &new_v) in &new.metrics {
+            if !self.metrics.contains_key(key) {
+                deltas.push(MetricDelta {
+                    key: key.clone(),
+                    old: None,
+                    new: Some(new_v),
+                    status: DeltaStatus::NewOnly,
+                    note: "new metric, informational".to_string(),
+                });
+            }
+        }
+        SnapshotDiff {
+            config_mismatch,
+            deltas,
+        }
+    }
+}
+
+/// Shortest round-trip JSON number for an `f64` (the grammar forbids
+/// non-finite values, which snapshots never contain).
+fn fmt_f64(v: f64) -> String {
+    debug_assert!(v.is_finite());
+    let s = format!("{v}");
+    // `{}` on f64 never emits an exponent for integral values, but an
+    // integral float like 5.0 formats as "5" — still a valid JSON number.
+    s
+}
+
+/// How one metric moved between snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaStatus {
+    /// Within the tolerance band (or informational-only namespace).
+    Ok,
+    /// Moved favorably beyond the tolerance band.
+    Improved,
+    /// Moved unfavorably beyond the tolerance band — gates CI.
+    Regressed,
+    /// In the baseline but not the new snapshot — gates CI.
+    MissingInNew,
+    /// Only in the new snapshot; informational.
+    NewOnly,
+    /// Not comparable (configuration mismatch); informational.
+    Skipped,
+}
+
+/// One metric's comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric key.
+    pub key: String,
+    /// Baseline value, if present.
+    pub old: Option<f64>,
+    /// New value, if present.
+    pub new: Option<f64>,
+    /// Verdict.
+    pub status: DeltaStatus,
+    /// Human-readable explanation.
+    pub note: String,
+}
+
+/// The result of diffing two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDiff {
+    /// Whether `ir_scale`/`ir_threads` differed (wall comparisons skipped).
+    pub config_mismatch: bool,
+    /// Per-metric verdicts, baseline keys first (in key order), then
+    /// new-only keys.
+    pub deltas: Vec<MetricDelta>,
+}
+
+impl SnapshotDiff {
+    /// Whether any metric regressed or went missing — the CI gate.
+    pub fn has_regressions(&self) -> bool {
+        self.deltas
+            .iter()
+            .any(|d| matches!(d.status, DeltaStatus::Regressed | DeltaStatus::MissingInNew))
+    }
+
+    /// Renders the diff as an aligned text report, one metric per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.config_mismatch {
+            out.push_str(
+                "note: ir_scale/ir_threads differ between snapshots; wall_ms comparisons skipped\n",
+            );
+        }
+        let key_w = self
+            .deltas
+            .iter()
+            .map(|d| d.key.len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        for d in &self.deltas {
+            let tag = match d.status {
+                DeltaStatus::Ok => "ok        ",
+                DeltaStatus::Improved => "improved  ",
+                DeltaStatus::Regressed => "REGRESSED ",
+                DeltaStatus::MissingInNew => "MISSING   ",
+                DeltaStatus::NewOnly => "new       ",
+                DeltaStatus::Skipped => "skipped   ",
+            };
+            let fmt = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.4}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{tag} {key:<key_w$}  {old:>14} -> {new:>14}  {note}",
+                key = d.key,
+                old = fmt(d.old),
+                new = fmt(d.new),
+                note = d.note,
+            );
+        }
+        let regressions = self
+            .deltas
+            .iter()
+            .filter(|d| matches!(d.status, DeltaStatus::Regressed | DeltaStatus::MissingInNew))
+            .count();
+        let _ = writeln!(
+            out,
+            "{} metrics compared, {} regression{}",
+            self.deltas.len(),
+            regressions,
+            if regressions == 1 { "" } else { "s" },
+        );
+        out
+    }
+}
+
+/// Which way a metric should move, and how much slack it gets.
+struct Policy {
+    higher_is_better: bool,
+    /// Relative tolerance (e.g. 0.5 = 50%).
+    tolerance: f64,
+    /// Whether the metric is a host wall clock (skipped on config
+    /// mismatch, judged loosely otherwise).
+    is_wall_clock: bool,
+}
+
+fn policy_for(key: &str) -> Option<Policy> {
+    if key.starts_with("wall_ms/") {
+        return Some(Policy {
+            higher_is_better: false,
+            tolerance: 0.5,
+            is_wall_clock: true,
+        });
+    }
+    if key == "serve/throughput_rps" || key == "serve/slo_attainment" || key.starts_with("speedup/")
+    {
+        return Some(Policy {
+            higher_is_better: true,
+            tolerance: 0.10,
+            is_wall_clock: false,
+        });
+    }
+    if key == "serve/p50_us" || key == "serve/p95_us" || key == "serve/p99_us" {
+        return Some(Policy {
+            higher_is_better: false,
+            tolerance: 0.25,
+            is_wall_clock: false,
+        });
+    }
+    None
+}
+
+fn judge(key: &str, old: f64, new: f64, config_mismatch: bool) -> MetricDelta {
+    let base = |status, note: String| MetricDelta {
+        key: key.to_string(),
+        old: Some(old),
+        new: Some(new),
+        status,
+        note,
+    };
+    let Some(policy) = policy_for(key) else {
+        return base(DeltaStatus::Ok, "no policy; informational".to_string());
+    };
+    if policy.is_wall_clock && config_mismatch {
+        return base(
+            DeltaStatus::Skipped,
+            "wall clock not comparable across ir_scale/ir_threads".to_string(),
+        );
+    }
+    if old == 0.0 {
+        // No meaningful relative band off a zero baseline.
+        return base(DeltaStatus::Ok, "zero baseline; informational".to_string());
+    }
+    let ratio = new / old;
+    let (regressed, improved) = if policy.higher_is_better {
+        (
+            ratio < 1.0 - policy.tolerance,
+            ratio > 1.0 + policy.tolerance,
+        )
+    } else {
+        (
+            ratio > 1.0 + policy.tolerance,
+            ratio < 1.0 - policy.tolerance,
+        )
+    };
+    let pct = (ratio - 1.0) * 100.0;
+    let band = policy.tolerance * 100.0;
+    if regressed {
+        base(
+            DeltaStatus::Regressed,
+            format!("{pct:+.1}% exceeds the ±{band:.0}% band"),
+        )
+    } else if improved {
+        base(DeltaStatus::Improved, format!("{pct:+.1}%"))
+    } else {
+        base(DeltaStatus::Ok, format!("{pct:+.1}% within ±{band:.0}%"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchSnapshot {
+        let mut s = BenchSnapshot::new("abc1234", 5e-3, 4);
+        s.metrics.insert("wall_ms/fig9_speedup".into(), 9000.0);
+        s.metrics.insert("serve/throughput_rps".into(), 120000.0);
+        s.metrics.insert("serve/p99_us".into(), 850.5);
+        s.metrics.insert("serve/slo_attainment".into(), 0.998);
+        s.metrics.insert("speedup/fig9_taskp_gmean".into(), 11.5);
+        s
+    }
+
+    /// The serialized form is part of the repo's public surface (checked
+    /// in as BENCH_<n>.json); this golden string pins it.
+    #[test]
+    fn golden_serialization() {
+        let golden = "{\n\
+                      \x20 \"schema_version\": 1,\n\
+                      \x20 \"git_rev\": \"abc1234\",\n\
+                      \x20 \"ir_scale\": 0.005,\n\
+                      \x20 \"ir_threads\": 4,\n\
+                      \x20 \"metrics\": {\n\
+                      \x20   \"serve/p99_us\": 850.5,\n\
+                      \x20   \"serve/slo_attainment\": 0.998,\n\
+                      \x20   \"serve/throughput_rps\": 120000,\n\
+                      \x20   \"speedup/fig9_taskp_gmean\": 11.5,\n\
+                      \x20   \"wall_ms/fig9_speedup\": 9000\n\
+                      \x20 }\n\
+                      }\n";
+        assert_eq!(sample().to_json(), golden);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = sample();
+        let back = BenchSnapshot::from_json(&s.to_json()).expect("parses");
+        assert_eq!(back, s);
+        let empty = BenchSnapshot::new("", 1e-3, 1);
+        assert_eq!(
+            BenchSnapshot::from_json(&empty.to_json()).expect("parses"),
+            empty
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_other_schema_versions_and_shapes() {
+        let bumped = sample()
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 2");
+        assert!(BenchSnapshot::from_json(&bumped)
+            .unwrap_err()
+            .contains("schema_version"));
+        assert!(BenchSnapshot::from_json("{}").is_err());
+        assert!(BenchSnapshot::from_json("[1,2]").is_err());
+    }
+
+    #[test]
+    fn diff_flags_regressions_beyond_the_band() {
+        let old = sample();
+        let mut new = sample();
+        // Throughput drops 20% (> 10% band) and p99 grows 50% (> 25%).
+        new.metrics.insert("serve/throughput_rps".into(), 96000.0);
+        new.metrics.insert("serve/p99_us".into(), 1275.75);
+        let diff = old.diff(&new);
+        assert!(diff.has_regressions());
+        let status = |k: &str| {
+            diff.deltas
+                .iter()
+                .find(|d| d.key == k)
+                .map(|d| d.status)
+                .unwrap()
+        };
+        assert_eq!(status("serve/throughput_rps"), DeltaStatus::Regressed);
+        assert_eq!(status("serve/p99_us"), DeltaStatus::Regressed);
+        assert_eq!(status("wall_ms/fig9_speedup"), DeltaStatus::Ok);
+    }
+
+    #[test]
+    fn diff_tolerates_noise_and_credits_improvements() {
+        let old = sample();
+        let mut new = sample();
+        new.metrics.insert("wall_ms/fig9_speedup".into(), 12000.0); // +33% < 50% band
+        new.metrics.insert("serve/throughput_rps".into(), 114000.0); // −5% < 10%
+        new.metrics.insert("serve/p99_us".into(), 500.0); // −41%: improved
+        let diff = old.diff(&new);
+        assert!(!diff.has_regressions());
+        let status = |k: &str| {
+            diff.deltas
+                .iter()
+                .find(|d| d.key == k)
+                .map(|d| d.status)
+                .unwrap()
+        };
+        assert_eq!(status("wall_ms/fig9_speedup"), DeltaStatus::Ok);
+        assert_eq!(status("serve/throughput_rps"), DeltaStatus::Ok);
+        assert_eq!(status("serve/p99_us"), DeltaStatus::Improved);
+    }
+
+    #[test]
+    fn diff_treats_missing_metrics_as_regressions_and_new_as_info() {
+        let old = sample();
+        let mut new = sample();
+        new.metrics.remove("speedup/fig9_taskp_gmean");
+        new.metrics.insert("wall_ms/new_bench".into(), 5.0);
+        let diff = old.diff(&new);
+        assert!(diff.has_regressions());
+        let find = |k: &str| diff.deltas.iter().find(|d| d.key == k).unwrap();
+        assert_eq!(
+            find("speedup/fig9_taskp_gmean").status,
+            DeltaStatus::MissingInNew
+        );
+        assert_eq!(find("wall_ms/new_bench").status, DeltaStatus::NewOnly);
+        // A NewOnly metric alone never gates.
+        let mut only_new = sample();
+        only_new.metrics.insert("wall_ms/new_bench".into(), 5.0);
+        assert!(!old.diff(&only_new).has_regressions());
+    }
+
+    #[test]
+    fn diff_skips_wall_clocks_across_configs_but_judges_simulated_metrics() {
+        let old = sample();
+        let mut new = sample();
+        new.ir_scale = 1e-3; // different configuration
+        new.metrics.insert("wall_ms/fig9_speedup".into(), 90000.0); // 10×: skipped
+        new.metrics.insert("serve/throughput_rps".into(), 60000.0); // −50%: still judged
+        let diff = old.diff(&new);
+        assert!(diff.config_mismatch);
+        let status = |k: &str| {
+            diff.deltas
+                .iter()
+                .find(|d| d.key == k)
+                .map(|d| d.status)
+                .unwrap()
+        };
+        assert_eq!(status("wall_ms/fig9_speedup"), DeltaStatus::Skipped);
+        assert_eq!(status("serve/throughput_rps"), DeltaStatus::Regressed);
+        assert!(diff.has_regressions());
+        assert!(diff.render().contains("wall_ms comparisons skipped"));
+    }
+
+    #[test]
+    fn render_lists_every_metric_and_counts_regressions() {
+        let old = sample();
+        let mut new = sample();
+        new.metrics.insert("serve/throughput_rps".into(), 1.0);
+        let text = old.diff(&new).render();
+        for key in old.metrics.keys() {
+            assert!(text.contains(key.as_str()), "render misses {key}");
+        }
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("1 regression\n"));
+    }
+}

@@ -20,6 +20,8 @@ pub enum Track {
     Unit(usize),
     /// The host control program (command issue, response drain).
     Host,
+    /// One service shard (a simulated FPGA behind the batching frontend).
+    Shard(usize),
     /// One fleet instance (cloud-level schedules).
     Instance(usize),
 }
@@ -30,6 +32,7 @@ impl Track {
         match self {
             Track::Dma => 0,
             Track::Unit(u) => 1 + u as u64,
+            Track::Shard(s) => 500 + s as u64,
             Track::Host => 900,
             Track::Instance(i) => 1000 + i as u64,
         }
@@ -40,6 +43,7 @@ impl Track {
         match self {
             Track::Dma => "dma".to_string(),
             Track::Unit(u) => format!("unit {u}"),
+            Track::Shard(s) => format!("shard {s}"),
             Track::Host => "host".to_string(),
             Track::Instance(i) => format!("instance {i}"),
         }
@@ -271,6 +275,8 @@ mod tests {
         assert_eq!(Track::Dma.tid(), 0);
         assert_eq!(Track::Unit(0).tid(), 1);
         assert_eq!(Track::Unit(31).tid(), 32);
+        assert_eq!(Track::Shard(0).tid(), 500);
+        assert_eq!(Track::Shard(7).tid(), 507);
         assert_eq!(Track::Host.tid(), 900);
         assert_eq!(Track::Instance(3).tid(), 1003);
     }

@@ -6,22 +6,55 @@
 #           the recorded results in EXPERIMENTS.md use 5e-3).
 #
 # Outputs: results/<name>.log (full console text) plus the
-# results/<name>.csv + results/<name>.txt pairs every table emits, and
-# results/bench_summary.json mapping each binary to its wall-clock ms
-# (machine-readable, for tracking harness performance across revisions).
+# results/<name>.csv + results/<name>.txt pairs every table emits,
+# results/bench_summary.json mapping each binary to its wall-clock ms,
+# and a perf-trajectory snapshot (default BENCH_7.json at the repo root,
+# override with IR_BENCH_SNAPSHOT) assembled by `ir-cli bench-snapshot`.
+# Diff two snapshots with `ir-cli bench-diff <old> <new>`.
+#
+# Knobs:
+#   IR_THREADS         worker threads for the figure binaries
+#                      (default: host core count)
+#   IR_ORACLE_CACHE    oracle disk-cache directory (default:
+#                      results/.oracle-cache, wiped at start; set to the
+#                      empty string to disable caching)
+#   IR_BENCH_SNAPSHOT  snapshot output path (default: BENCH_7.json)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-1e-3}"
 export IR_SCALE="$SCALE"
-THREADS="${IR_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+# Default the worker-thread count to the host core count. The figure
+# binaries read IR_THREADS themselves, so it must be exported.
+export IR_THREADS="${IR_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+SNAPSHOT="${IR_BENCH_SNAPSHOT:-BENCH_7.json}"
 mkdir -p results
 
+# Cross-binary oracle disk cache: binaries sharing a workload and timing
+# key replay each other's datapath evaluations instead of recomputing
+# them. Wiped every run so stale entries from another checkout never
+# leak in; results are byte-identical with the cache disabled.
+if [ "${IR_ORACLE_CACHE+set}" != "set" ]; then
+    IR_ORACLE_CACHE="results/.oracle-cache"
+fi
+if [ -n "$IR_ORACLE_CACHE" ]; then
+    rm -rf "$IR_ORACLE_CACHE"
+    mkdir -p "$IR_ORACLE_CACHE"
+    export IR_ORACLE_CACHE
+else
+    unset IR_ORACLE_CACHE
+fi
+
 cargo build --release -p ir-bench
+cargo build --release --bin ir-cli
+
+echo "rev $GIT_REV, scale $SCALE, $IR_THREADS thread(s), oracle cache ${IR_ORACLE_CACHE:-off}"
+echo
 
 SUMMARY="results/bench_summary.json"
-printf '{\n  "ir_scale": %s,\n  "threads": %s,\n  "wall_ms": {\n' "$SCALE" "$THREADS" > "$SUMMARY"
+printf '{\n  "ir_scale": %s,\n  "threads": %s,\n  "wall_ms": {\n' "$SCALE" "$IR_THREADS" > "$SUMMARY"
 FIRST=1
 
 run() {
@@ -47,6 +80,12 @@ run table_resources
 run frequency_study
 run complexity_table
 
+# fig9_speedup runs before the other heavy sweeps: it warms the oracle
+# cache's per-chromosome serial and IRACC entries that fig9_cost,
+# hls_comparison, headline_claims, resilience_study, multi_fpga and the
+# ablations replay instead of recomputing.
+run fig9_speedup
+
 # Microarchitecture and scheduling.
 run fig7_scheduling
 run probe_variance
@@ -69,7 +108,6 @@ run serve_load
 
 # Evaluation headliners.
 run fig3_ir_fraction
-run fig9_speedup
 run fig9_cost
 run hls_comparison
 run gpu_comparison
@@ -78,3 +116,6 @@ run headline_claims
 printf '\n  }\n}\n' >> "$SUMMARY"
 echo "all figures regenerated under results/ at scale $SCALE"
 echo "wall-clock summary: $SUMMARY"
+
+./target/release/ir-cli bench-snapshot --results results --rev "$GIT_REV" --out "$SNAPSHOT"
+echo "perf-trajectory snapshot: $SNAPSHOT"

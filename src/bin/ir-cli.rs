@@ -6,7 +6,10 @@
 //! ir-cli simulate targets.tio [--units 32] [--lanes 1|32] [--sched sync|async]
 //! ir-cli serve targets.tio [--shards N] [--batch B] [--deadline-us D]
 //!                          [--rate R] [--seed S] [--faults 0|1] [--threads N]
+//!                          [--slo-ms S] [--json FILE] [--trace FILE]
 //! ir-cli fuzz [--seed S] [--iters N] [--corpus DIR]
+//! ir-cli bench-snapshot [--results DIR] [--rev REV] [--out FILE]
+//! ir-cli bench-diff <OLD.json> <NEW.json>
 //! ```
 //!
 //! `gen` writes a synthetic chromosome workload in the text interchange
@@ -14,10 +17,16 @@
 //! `simulate` runs the same file through the cycle-level accelerated
 //! system and reports timing; `serve` replays the file as Poisson
 //! traffic through the batched realignment service and reports
-//! throughput and latency percentiles; `fuzz` runs the differential
-//! greybox fuzzer across every backend pair, persisting minimized
-//! divergence reproducers under the corpus directory, and exits
-//! nonzero if any divergence was found.
+//! throughput, latency percentiles and SLO attainment (optionally
+//! exporting the structured report as JSON and the per-shard spans as a
+//! Perfetto trace); `fuzz` runs the differential greybox fuzzer across
+//! every backend pair, persisting minimized divergence reproducers
+//! under the corpus directory, and exits nonzero if any divergence was
+//! found; `bench-snapshot` assembles the perf-trajectory snapshot
+//! (`BENCH_<n>.json`) from a results directory produced by
+//! `scripts/run_all_figures.sh`; `bench-diff` compares two snapshots
+//! under the per-metric tolerance bands and exits nonzero on any
+//! regression.
 
 use std::process::ExitCode;
 
@@ -36,8 +45,11 @@ usage:
   ir-cli realign <FILE> [--rule paper|gatk] [--threads N]
   ir-cli simulate <FILE> [--units N] [--lanes 1|32] [--sched sync|async]
   ir-cli serve <FILE> [--shards N] [--batch B] [--deadline-us D] [--rate R]
-               [--seed S] [--faults 0|1] [--threads N]
+               [--seed S] [--faults 0|1] [--threads N] [--slo-ms S]
+               [--json FILE] [--trace FILE]
   ir-cli fuzz [--seed S] [--iters N] [--corpus DIR]
+  ir-cli bench-snapshot [--results DIR] [--rev REV] [--out FILE]
+  ir-cli bench-diff <OLD.json> <NEW.json>
 ";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
@@ -194,6 +206,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let seed: u64 = args.flag_parse("seed", 41)?;
     let faults: u8 = args.flag_parse("faults", 0)?;
     let threads: usize = args.flag_parse("threads", 1)?;
+    let slo_ms: f64 = args.flag_parse("slo-ms", ServeConfig::default().slo_deadline_s * 1e3)?;
     if !(rate.is_finite() && rate > 0.0) {
         return Err(format!(
             "--rate must be a positive request rate, got {rate}"
@@ -204,6 +217,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         shards,
         max_batch,
         flush_deadline_s: deadline_us * 1e-6,
+        slo_deadline_s: slo_ms * 1e-3,
         threads: threads.max(1),
         faults: (faults != 0).then(|| FaultInjection {
             seed,
@@ -252,6 +266,21 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             pctl(95.0)?,
             pctl(99.0)?
         );
+        println!(
+            "SLO attainment {:.4} at a {slo_ms} ms deadline ({} met, {} missed)",
+            report.slo_attainment(),
+            report.counters.counter("serve/slo_met"),
+            report.counters.counter("serve/slo_missed")
+        );
+    }
+    if let Some(path) = args.flag("json") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("structured report -> {path}");
+    }
+    if let Some(path) = args.flag("trace") {
+        std::fs::write(path, report.trace.to_chrome_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("per-shard Perfetto trace -> {path} (open at https://ui.perfetto.dev)");
     }
     if faults != 0 {
         let r = &report.resilience;
@@ -264,6 +293,145 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Geometric mean of strictly positive values.
+fn gmean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    Some((values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp())
+}
+
+/// Lowercases a table header into a metric-key slug (`IRAcc-TaskP ×` →
+/// `iracc-taskp`): alphanumeric runs joined by single dashes.
+fn slugify(header: &str) -> String {
+    let mut out = String::new();
+    for ch in header.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.extend(ch.to_lowercase());
+        } else if !out.is_empty() && !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_end_matches('-').to_string()
+}
+
+fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
+    use ir_system::telemetry::json::{parse_json, JsonValue};
+    use ir_system::telemetry::BenchSnapshot;
+
+    let results = std::path::Path::new(args.flag("results").unwrap_or("results"));
+    let out = args.flag("out").unwrap_or("BENCH.json");
+    let rev = args.flag("rev").unwrap_or("unknown");
+
+    // Required: the wall-clock summary run_all_figures.sh writes.
+    let summary_path = results.join("bench_summary.json");
+    let summary_text = std::fs::read_to_string(&summary_path)
+        .map_err(|e| format!("reading {}: {e}", summary_path.display()))?;
+    let summary = parse_json(&summary_text)
+        .map_err(|e| format!("parsing {}: {e}", summary_path.display()))?;
+    let ir_scale = summary
+        .get("ir_scale")
+        .and_then(JsonValue::as_f64)
+        .ok_or("bench_summary.json missing ir_scale")?;
+    let ir_threads = summary
+        .get("threads")
+        .and_then(JsonValue::as_f64)
+        .ok_or("bench_summary.json missing threads")? as u64;
+    let mut snap = BenchSnapshot::new(rev, ir_scale, ir_threads);
+    for (name, wall) in summary
+        .get("wall_ms")
+        .and_then(JsonValue::as_object)
+        .ok_or("bench_summary.json missing wall_ms")?
+    {
+        let ms = wall
+            .as_f64()
+            .ok_or_else(|| format!("wall_ms entry {name} is not a number"))?;
+        snap.metrics.insert(format!("wall_ms/{name}"), ms);
+    }
+
+    // Optional: the serving layer's structured report (serve_load writes
+    // it for the adaptive mode).
+    let serve_path = results.join("serve_report.json");
+    if let Ok(text) = std::fs::read_to_string(&serve_path) {
+        let report =
+            parse_json(&text).map_err(|e| format!("parsing {}: {e}", serve_path.display()))?;
+        for (metric, source) in [
+            ("serve/throughput_rps", "throughput_rps"),
+            ("serve/p50_us", "latency_p50_us"),
+            ("serve/p95_us", "latency_p95_us"),
+            ("serve/p99_us", "latency_p99_us"),
+            ("serve/slo_attainment", "slo_attainment"),
+        ] {
+            let v = report
+                .get(source)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("serve_report.json missing {source}"))?;
+            snap.metrics.insert(metric.to_string(), v);
+        }
+    }
+
+    // Optional: kernel speedup ratios — the geometric mean of every
+    // speedup column of the fig9 per-chromosome table.
+    let fig9_path = results.join("fig9_speedup.csv");
+    if let Ok(text) = std::fs::read_to_string(&fig9_path) {
+        let mut lines = text.lines();
+        let headers: Vec<&str> = lines.next().unwrap_or("").split(',').collect();
+        let mut columns: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
+        for line in lines {
+            for (i, cell) in line.split(',').enumerate().skip(1) {
+                if let (Some(col), Ok(v)) = (columns.get_mut(i), cell.parse::<f64>()) {
+                    col.push(v);
+                }
+            }
+        }
+        for (header, column) in headers.iter().zip(&columns).skip(1) {
+            if let Some(g) = gmean(column) {
+                snap.metrics
+                    .insert(format!("speedup/{}-gmean", slugify(header)), g);
+            }
+        }
+    }
+
+    let json = snap.to_json();
+    BenchSnapshot::from_json(&json).map_err(|e| format!("snapshot failed self-check: {e}"))?;
+    std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} metrics (rev {rev}, scale {ir_scale}, {ir_threads} thread(s)) to {out}",
+        snap.metrics.len()
+    );
+    Ok(())
+}
+
+fn cmd_bench_diff(args: &Args) -> Result<(), String> {
+    use ir_system::telemetry::BenchSnapshot;
+
+    let old_path = args
+        .positional
+        .get(1)
+        .ok_or("bench-diff needs <OLD.json>")?;
+    let new_path = args
+        .positional
+        .get(2)
+        .ok_or("bench-diff needs <NEW.json>")?;
+    let load = |path: &str| -> Result<BenchSnapshot, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        BenchSnapshot::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    println!(
+        "baseline {old_path} (rev {}, scale {}) vs {new_path} (rev {}, scale {})",
+        old.git_rev, old.ir_scale, new.git_rev, new.ir_scale
+    );
+    let diff = old.diff(&new);
+    print!("{}", diff.render());
+    if diff.has_regressions() {
+        Err("perf regression against the baseline snapshot".to_string())
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_fuzz(args: &Args) -> Result<(), String> {
@@ -317,6 +485,8 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args),
         Some("serve") => cmd_serve(&args),
         Some("fuzz") => cmd_fuzz(&args),
+        Some("bench-snapshot") => cmd_bench_snapshot(&args),
+        Some("bench-diff") => cmd_bench_diff(&args),
         _ => Err("missing or unknown subcommand".to_string()),
     };
     match result {

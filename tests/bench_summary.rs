@@ -17,6 +17,7 @@
 use std::path::Path;
 
 use ir_system::telemetry::json::validate_json;
+use ir_system::telemetry::BenchSnapshot;
 
 fn repo_root() -> &'static Path {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -76,6 +77,65 @@ fn every_bench_binary_has_a_wall_clock_entry() {
              wire it into scripts/run_all_figures.sh and refresh the summary"
         );
     }
+}
+
+/// The checked-in perf-trajectory snapshot (`BENCH_7.json`, emitted by
+/// `ir-cli bench-snapshot` at the end of `scripts/run_all_figures.sh`)
+/// must parse under the versioned schema and carry one `wall_ms/<name>`
+/// metric per benchmark binary plus the serve and speedup families the
+/// CI regression gate diffs.
+#[test]
+fn checked_in_snapshot_parses_and_covers_the_suite() {
+    let path = repo_root().join("BENCH_7.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    validate_json(&text).expect("BENCH_7.json must satisfy the strict validator");
+    let snapshot = BenchSnapshot::from_json(&text).expect("BENCH_7.json parses as a snapshot");
+    assert!(
+        !snapshot.git_rev.is_empty(),
+        "snapshot must record a git rev"
+    );
+    assert!(snapshot.ir_scale > 0.0);
+    assert!(snapshot.ir_threads >= 1);
+    for name in bench_binaries() {
+        let key = format!("wall_ms/{name}");
+        assert!(
+            snapshot.metrics.contains_key(&key),
+            "snapshot misses {key} — regenerate with scripts/run_all_figures.sh"
+        );
+    }
+    for family in [
+        "serve/throughput_rps",
+        "serve/p99_us",
+        "serve/slo_attainment",
+    ] {
+        assert!(
+            snapshot.metrics.contains_key(family),
+            "snapshot misses the serve metric {family}"
+        );
+    }
+    assert!(
+        snapshot.metrics.keys().any(|k| k.starts_with("speedup/")),
+        "snapshot misses the speedup/* gmean family"
+    );
+    for (key, value) in &snapshot.metrics {
+        assert!(value.is_finite(), "non-finite metric {key}");
+        assert!(*value >= 0.0, "negative metric {key}");
+    }
+}
+
+/// A snapshot diffed against itself reports zero regressions — the
+/// degenerate case the CI gate relies on.
+#[test]
+fn checked_in_snapshot_self_diff_is_clean() {
+    let text = std::fs::read_to_string(repo_root().join("BENCH_7.json")).expect("snapshot");
+    let snapshot = BenchSnapshot::from_json(&text).expect("snapshot parses");
+    let diff = snapshot.diff(&snapshot);
+    assert!(
+        !diff.has_regressions(),
+        "self-diff regressed:\n{}",
+        diff.render()
+    );
 }
 
 #[test]

@@ -77,6 +77,96 @@ fn gen_realign_simulate_pipeline() {
     std::fs::remove_file(&path).ok();
 }
 
+/// `serve --json/--trace` write parseable artifacts, and the
+/// bench-snapshot → bench-diff pipeline gates on a synthetic regression:
+/// a snapshot diffs clean against itself and nonzero once a wall-clock
+/// metric is inflated past its tolerance band.
+#[test]
+fn serve_exports_and_bench_diff_gates_regressions() {
+    let dir = std::env::temp_dir().join(format!("ir_cli_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp results dir");
+    let targets = temp_path("serve_bench");
+    let out = cli()
+        .args([
+            "gen",
+            "--chromosome",
+            "21",
+            "--scale",
+            "2e-5",
+            "--seed",
+            "9",
+        ])
+        .args(["--out", targets.to_str().unwrap()])
+        .output()
+        .expect("gen runs");
+    assert!(out.status.success());
+
+    let json_path = dir.join("serve_report.json");
+    let trace_path = dir.join("serve.trace.json");
+    let out = cli()
+        .args(["serve", targets.to_str().unwrap(), "--rate", "20000"])
+        .args(["--slo-ms", "5", "--json", json_path.to_str().unwrap()])
+        .args(["--trace", trace_path.to_str().unwrap()])
+        .output()
+        .expect("serve runs");
+    assert!(
+        out.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("SLO attainment"), "{text}");
+    let report = std::fs::read_to_string(&json_path).expect("report written");
+    ir_system::telemetry::json::validate_json(&report).expect("report JSON parses");
+    assert!(report.contains("\"slo_attainment\""));
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    ir_system::telemetry::json::validate_json(&trace).expect("trace JSON parses");
+    assert!(trace.contains("\"shard 0\""));
+
+    // A minimal results directory: wall clocks plus the serve report.
+    std::fs::write(
+        dir.join("bench_summary.json"),
+        "{\n  \"ir_scale\": 2e-5,\n  \"threads\": 1,\n  \"wall_ms\": {\n    \"serve_load\": 120\n  }\n}\n",
+    )
+    .expect("summary written");
+    let snap = dir.join("BENCH_TEST.json");
+    let out = cli()
+        .args(["bench-snapshot", "--results", dir.to_str().unwrap()])
+        .args(["--rev", "test0000", "--out", snap.to_str().unwrap()])
+        .output()
+        .expect("bench-snapshot runs");
+    assert!(
+        out.status.success(),
+        "bench-snapshot failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let clean = cli()
+        .args(["bench-diff", snap.to_str().unwrap(), snap.to_str().unwrap()])
+        .output()
+        .expect("bench-diff runs");
+    assert!(clean.status.success(), "self-diff must pass");
+
+    let regressed = dir.join("BENCH_REGRESSED.json");
+    let inflated = std::fs::read_to_string(&snap)
+        .expect("snapshot readable")
+        .replace("\"wall_ms/serve_load\": 120", "\"wall_ms/serve_load\": 999");
+    std::fs::write(&regressed, inflated).expect("regressed snapshot written");
+    let gate = cli()
+        .args([
+            "bench-diff",
+            snap.to_str().unwrap(),
+            regressed.to_str().unwrap(),
+        ])
+        .output()
+        .expect("bench-diff runs");
+    assert!(!gate.status.success(), "inflated wall clock must gate");
+    assert!(String::from_utf8_lossy(&gate.stdout).contains("REGRESSED"));
+
+    std::fs::remove_file(&targets).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = cli().arg("frobnicate").output().expect("runs");

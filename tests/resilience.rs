@@ -104,6 +104,44 @@ fn default_rate_faults_every_target_completes() {
     }
 }
 
+/// `run_resilient_with_oracle` is bitwise-identical to `run_resilient`:
+/// the oracle memoizes only the fault-free datapath result, and every
+/// injected fault mutates the per-attempt clone, never the cached entry —
+/// whether the oracle starts cold, pre-warmed, or reused across seeds.
+#[test]
+fn resilient_with_oracle_matches_plain_resilient() {
+    use ir_system::fpga::FunctionalOracle;
+    let targets = workload(48);
+    for sched in [Scheduling::Synchronous, Scheduling::Asynchronous] {
+        let system = AcceleratedSystem::new(FpgaParams::iracc(), sched).expect("iracc fits");
+        let mut warm = FunctionalOracle::new();
+        warm.precompute(&targets, &FpgaParams::iracc(), 2);
+        let mut cold = FunctionalOracle::new();
+        for seed in [7u64, 1234] {
+            let mut plan_a = FaultPlan::with_default_rates(seed);
+            let plain = system.run_resilient(&targets, &mut plan_a, &ResiliencePolicy::default());
+            for oracle in [&mut warm, &mut cold] {
+                let mut plan_b = FaultPlan::with_default_rates(seed);
+                let via = system.run_resilient_with_oracle(
+                    &targets,
+                    &mut plan_b,
+                    &ResiliencePolicy::default(),
+                    oracle,
+                );
+                assert_eq!(plain.wall_time_s.to_bits(), via.wall_time_s.to_bits());
+                assert_eq!(plain.compute_cycles, via.compute_cycles);
+                assert_eq!(plain.comparisons, via.comparisons);
+                assert_eq!(plain.resilience, via.resilience);
+                for (a, b) in plain.results.iter().zip(&via.results) {
+                    assert_eq!(a.outcomes, b.outcomes);
+                    assert_eq!(a.cycles, b.cycles);
+                    assert_eq!(a.best, b.best);
+                }
+            }
+        }
+    }
+}
+
 /// The driver's batch path also always completes at default rates.
 #[test]
 fn default_rate_faults_driver_batch_completes() {

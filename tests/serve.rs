@@ -181,6 +181,111 @@ fn counters_mirror_reports() {
     );
 }
 
+/// Request-level tracing: every response's span breakdown tiles its
+/// end-to-end latency, the `serve/span_*_us` histograms cover every
+/// completion, and the SLO counters partition the completed set.
+#[test]
+fn span_breakdown_tiles_latency_and_feeds_histograms() {
+    let report = baseline();
+    for r in &report.responses {
+        assert!(
+            r.arrival_s <= r.ready_s,
+            "request {} ready before arrival",
+            r.id
+        );
+        assert!(
+            r.ready_s <= r.dispatch_s,
+            "request {} dispatched before ready",
+            r.id
+        );
+        assert!(
+            r.dispatch_s < r.completion_s,
+            "request {} empty execution",
+            r.id
+        );
+        let spans = r.admission_wait_s() + r.batch_wait_s() + r.shard_wait_s() + r.service_s();
+        assert!(
+            (spans - r.latency_s()).abs() < 1e-12,
+            "request {} spans do not tile its latency",
+            r.id
+        );
+    }
+    for key in [
+        "serve/span_admission_us",
+        "serve/span_batch_wait_us",
+        "serve/span_shard_wait_us",
+        "serve/span_exec_us",
+        "serve/span_total_us",
+    ] {
+        let h = report.counters.histogram(key).unwrap_or_else(|| {
+            panic!("missing histogram {key}");
+        });
+        assert_eq!(h.count, report.completed(), "{key} misses completions");
+        assert!(h.percentile(99.0).is_some());
+    }
+    let met = report.counters.counter("serve/slo_met");
+    let missed = report.counters.counter("serve/slo_missed");
+    assert_eq!(
+        met + missed,
+        report.completed(),
+        "SLO counters must partition"
+    );
+    let attainment = report.slo_attainment();
+    assert!((0.0..=1.0).contains(&attainment));
+    assert!(
+        (attainment - met as f64 / report.completed() as f64).abs() < 1e-12,
+        "slo_attainment disagrees with the counters"
+    );
+}
+
+/// The per-shard Perfetto trace carries one compute span per dispatched
+/// batch, on shard tracks, and serializes to valid Chrome trace JSON.
+/// The structured JSON report export parses too, and both artifacts are
+/// byte-identical across same-seed runs.
+#[test]
+fn trace_and_json_exports_are_valid_and_deterministic() {
+    let report = baseline();
+    assert_eq!(
+        report.trace.events.len() as u64,
+        report.batches,
+        "one span per dispatched batch"
+    );
+    for e in &report.trace.events {
+        assert!(
+            matches!(e.track, ir_system::telemetry::Track::Shard(_)),
+            "serve spans belong on shard tracks"
+        );
+    }
+    let chrome = report.trace.to_chrome_json();
+    ir_system::telemetry::json::validate_json(&chrome).expect("chrome trace parses");
+    assert!(chrome.contains("\"shard 0\""));
+
+    let json = report.to_json();
+    let doc = ir_system::telemetry::json::parse_json(&json).expect("report JSON parses");
+    for key in [
+        "completed",
+        "throughput_rps",
+        "latency_p99_us",
+        "slo_attainment",
+        "counters",
+        "histograms",
+    ] {
+        assert!(doc.get(key).is_some(), "report JSON misses {key}");
+    }
+    assert_eq!(
+        doc.get("completed").and_then(|v| v.as_f64()),
+        Some(report.completed() as f64)
+    );
+
+    let again = run_service(faulty_config(1), 20_000.0);
+    assert_eq!(again.to_json(), json, "report JSON must be seed-stable");
+    assert_eq!(
+        again.trace.to_chrome_json(),
+        chrome,
+        "chrome trace must be seed-stable"
+    );
+}
+
 /// Admission control: a tiny watermark at an overwhelming offered rate
 /// rejects with a positive retry-after hint, and completed + rejected
 /// still accounts for every offered request.
