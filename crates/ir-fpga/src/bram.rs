@@ -61,52 +61,63 @@ pub fn bram36_blocks(bytes: usize, width_bits: usize) -> usize {
 /// dist/pos buffers (paper Figures 5 and 6), with the port widths of the
 /// data-parallel design (32-byte block reads).
 pub fn unit_buffers() -> Vec<BufferSpec> {
+    unit_buffers_for(&crate::shape::BufferGeometry::HARDWARE)
+}
+
+/// The per-unit buffer inventory for an arbitrary [`BufferGeometry`]
+/// (shape-family unit sizing). [`unit_buffers`] is the hardware geometry's
+/// instance of this.
+///
+/// [`BufferGeometry`]: crate::shape::BufferGeometry
+pub fn unit_buffers_for(geometry: &crate::shape::BufferGeometry) -> Vec<BufferSpec> {
+    let g = geometry;
     vec![
-        // Input buffer #1: 32 consensuses × 2048 B, 256-bit block reads.
+        // Input buffer #1: one slot per consensus, 256-bit block reads
+        // (hardware: 32 × 2048 B).
         BufferSpec {
             name: "consensus bases",
-            bytes: 32 * 2048,
+            bytes: g.max_consensuses * g.consensus_slot_bytes,
             width_bits: 256,
         },
-        // Input buffer #2: 256 reads × 256 B.
+        // Input buffer #2: one slot per read (hardware: 256 × 256 B).
         BufferSpec {
             name: "read bases",
-            bytes: 256 * 256,
+            bytes: g.max_reads * g.read_slot_bytes,
             width_bits: 256,
         },
-        // Input buffer #3: 256 quality vectors × 256 B.
+        // Input buffer #3: one quality vector per read.
         BufferSpec {
             name: "read quality scores",
-            bytes: 256 * 256,
+            bytes: g.max_reads * g.read_slot_bytes,
             width_bits: 256,
         },
         // Output buffer #1: realign flag per read.
         BufferSpec {
             name: "realign flags",
-            bytes: 256,
+            bytes: g.max_reads,
             width_bits: 8,
         },
         // Output buffer #2: 4-byte new position per read.
         BufferSpec {
             name: "new positions",
-            bytes: 256 * 4,
+            bytes: g.max_reads * 4,
             width_bits: 32,
         },
         // Selector state: dist (4 B) + pos (2 B) per read, for the
         // reference, current and running-minimum consensuses.
         BufferSpec {
             name: "selector ref dist/pos",
-            bytes: 256 * 6,
+            bytes: g.max_reads * 6,
             width_bits: 48,
         },
         BufferSpec {
             name: "selector curr dist/pos",
-            bytes: 256 * 6,
+            bytes: g.max_reads * 6,
             width_bits: 48,
         },
         BufferSpec {
             name: "selector min dist/pos",
-            bytes: 256 * 6,
+            bytes: g.max_reads * 6,
             width_bits: 48,
         },
     ]
@@ -115,6 +126,14 @@ pub fn unit_buffers() -> Vec<BufferSpec> {
 /// Total BRAM36 primitives one IR unit's buffers consume.
 pub fn unit_bram36_blocks() -> usize {
     unit_buffers().iter().map(BufferSpec::bram36_blocks).sum()
+}
+
+/// Total BRAM36 primitives one IR unit consumes under `geometry`.
+pub fn unit_bram36_blocks_for(geometry: &crate::shape::BufferGeometry) -> usize {
+    unit_buffers_for(geometry)
+        .iter()
+        .map(BufferSpec::bram36_blocks)
+        .sum()
 }
 
 /// The road not taken: unit buffers if bases were packed 3 bits each

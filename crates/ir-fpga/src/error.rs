@@ -70,6 +70,18 @@ pub enum FpgaError {
         /// Targets the unit had completed before hanging.
         targets_completed: u64,
     },
+    /// A workload shape envelope no unit configuration can hold: one of
+    /// its dimensions overflows an ISA field width, or the buffer
+    /// geometry it implies leaves room for zero IR units on the fabric.
+    ShapeUnsupported {
+        /// The offending dimension (e.g. `"consensus length"`,
+        /// `"per-unit BRAM36 blocks"`).
+        what: &'static str,
+        /// The requested value.
+        value: usize,
+        /// The largest value a configuration can support.
+        max: usize,
+    },
 }
 
 impl fmt::Display for FpgaError {
@@ -123,6 +135,10 @@ impl fmt::Display for FpgaError {
                 f,
                 "unit {unit} hung mid-execution after {targets_completed} completed targets"
             ),
+            FpgaError::ShapeUnsupported { what, value, max } => write!(
+                f,
+                "no unit configuration holds this shape: {what} {value} exceeds {max}"
+            ),
         }
     }
 }
@@ -167,6 +183,11 @@ mod tests {
             FpgaError::UnitHung {
                 unit: 12,
                 targets_completed: 900,
+            },
+            FpgaError::ShapeUnsupported {
+                what: "consensus length",
+                value: 100_000,
+                max: 65_535,
             },
         ];
         for e in errors {

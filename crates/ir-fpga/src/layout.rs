@@ -14,13 +14,14 @@
 use ir_core::ReadOutcome;
 use ir_genome::RealignmentTarget;
 
-use crate::isa::BufferIndex;
+use crate::shape::BufferGeometry;
 use crate::FpgaError;
 
-/// Slot stride of the consensus buffer in bytes.
-pub const CONSENSUS_SLOT_BYTES: usize = 2048;
-/// Slot stride of the read-base and quality buffers in bytes.
-pub const READ_SLOT_BYTES: usize = 256;
+/// Slot stride of the consensus buffer in bytes (hardware geometry).
+pub const CONSENSUS_SLOT_BYTES: usize = BufferGeometry::HARDWARE.consensus_slot_bytes;
+/// Slot stride of the read-base and quality buffers in bytes (hardware
+/// geometry).
+pub const READ_SLOT_BYTES: usize = BufferGeometry::HARDWARE.read_slot_bytes;
 
 /// The three input-buffer images for one target, slot-aligned exactly as
 /// the unit's block RAMs store them.
@@ -30,31 +31,41 @@ pub struct HostBuffers {
     read_bases: Vec<u8>,
     read_quals: Vec<u8>,
     payload_bytes: u64,
+    geometry: BufferGeometry,
 }
 
 impl HostBuffers {
-    /// Builds the slot-aligned buffer images for `target`. Unused slot
-    /// tails are zero-filled (the hardware never reads past the programmed
-    /// lengths).
+    /// Builds the slot-aligned buffer images for `target` against the
+    /// deployed hardware geometry. Unused slot tails are zero-filled (the
+    /// hardware never reads past the programmed lengths).
     pub fn from_target(target: &RealignmentTarget) -> Self {
+        Self::from_target_with(target, &BufferGeometry::HARDWARE)
+    }
+
+    /// [`HostBuffers::from_target`] against an arbitrary per-shape unit
+    /// geometry: slot strides come from `geometry`, so a long-read unit
+    /// lays out 10 KiB consensus slots where the hardware unit uses 2 KiB.
+    pub fn from_target_with(target: &RealignmentTarget, geometry: &BufferGeometry) -> Self {
         let shape = target.shape();
-        let mut consensus = vec![0u8; shape.num_consensuses * CONSENSUS_SLOT_BYTES];
+        let cons_slot = geometry.consensus_slot_bytes;
+        let read_slot = geometry.read_slot_bytes;
+        let mut consensus = vec![0u8; shape.num_consensuses * cons_slot];
         for (i, cons) in target.consensuses().iter().enumerate() {
-            let slot = &mut consensus[i * CONSENSUS_SLOT_BYTES..][..cons.len()];
+            let slot = &mut consensus[i * cons_slot..][..cons.len()];
             slot.copy_from_slice(&cons.as_bytes());
         }
-        let mut read_bases = vec![0u8; shape.num_reads * READ_SLOT_BYTES];
-        let mut read_quals = vec![0u8; shape.num_reads * READ_SLOT_BYTES];
+        let mut read_bases = vec![0u8; shape.num_reads * read_slot];
+        let mut read_quals = vec![0u8; shape.num_reads * read_slot];
         for (j, read) in target.reads().iter().enumerate() {
-            read_bases[j * READ_SLOT_BYTES..][..read.len()]
-                .copy_from_slice(&read.bases().as_bytes());
-            read_quals[j * READ_SLOT_BYTES..][..read.len()].copy_from_slice(read.quals().scores());
+            read_bases[j * read_slot..][..read.len()].copy_from_slice(&read.bases().as_bytes());
+            read_quals[j * read_slot..][..read.len()].copy_from_slice(read.quals().scores());
         }
         HostBuffers {
             consensus,
             read_bases,
             read_quals,
             payload_bytes: shape.input_bytes(),
+            geometry: *geometry,
         }
     }
 
@@ -84,7 +95,15 @@ impl HostBuffers {
         self.consensus.len() + self.read_bases.len() + self.read_quals.len()
     }
 
-    /// Checks that the images fit the unit's physical buffers.
+    /// The unit buffer geometry these images were laid out against.
+    pub fn geometry(&self) -> &BufferGeometry {
+        &self.geometry
+    }
+
+    /// Checks that the images fit the physical buffers of the unit
+    /// geometry they were built for (the hardware geometry via
+    /// [`HostBuffers::from_target`], whose capacities equal
+    /// [`crate::isa::BufferIndex::capacity_bytes`]).
     ///
     /// # Errors
     ///
@@ -94,17 +113,17 @@ impl HostBuffers {
             (
                 "consensus",
                 self.consensus.len(),
-                BufferIndex::ConsensusBases.capacity_bytes(),
+                self.geometry.consensus_capacity_bytes(),
             ),
             (
                 "read bases",
                 self.read_bases.len(),
-                BufferIndex::ReadBases.capacity_bytes(),
+                self.geometry.read_capacity_bytes(),
             ),
             (
                 "read quality scores",
                 self.read_quals.len(),
-                BufferIndex::ReadQuals.capacity_bytes(),
+                self.geometry.read_capacity_bytes(),
             ),
         ];
         for (buffer, required, capacity) in checks {
@@ -261,6 +280,41 @@ mod tests {
             3 * CONSENSUS_SLOT_BYTES + 2 * 2 * READ_SLOT_BYTES
         );
         buffers.check_fit().expect("figure 4 fits trivially");
+    }
+
+    #[test]
+    fn shape_geometry_changes_slot_strides() {
+        let target = figure4_target();
+        let geometry = BufferGeometry {
+            max_consensuses: 4,
+            max_reads: 8,
+            consensus_slot_bytes: 64,
+            read_slot_bytes: 32,
+        };
+        let buffers = HostBuffers::from_target_with(&target, &geometry);
+        // Consensus 1 starts at the *geometry's* slot stride, not 2048.
+        assert_eq!(&buffers.consensus()[64..64 + 7], b"ACCTGAA");
+        assert_eq!(&buffers.read_bases()[32..32 + 4], b"CCTC");
+        assert_eq!(buffers.footprint_bytes(), 3 * 64 + 2 * 2 * 32);
+        // Payload bytes are geometry-independent (packed host arrays).
+        assert_eq!(
+            buffers.payload_bytes(),
+            HostBuffers::from_target(&target).payload_bytes()
+        );
+        assert_eq!(buffers.geometry(), &geometry);
+        buffers.check_fit().expect("fits the small geometry");
+        // A geometry with too few consensus slots fails its fit check.
+        let tiny = BufferGeometry {
+            max_consensuses: 2,
+            ..geometry
+        };
+        assert!(matches!(
+            HostBuffers::from_target_with(&target, &tiny).check_fit(),
+            Err(FpgaError::BufferOverflow {
+                buffer: "consensus",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   five-command IR ISA of Table I.
 //! - [`bram`] / [`resources`] — block-RAM buffer geometry and the VU9P
 //!   floorplan model that enforces the 32-unit fit at ~88% BRAM.
+//! - [`shape`] — per-shape unit configuration derivation: resize the unit
+//!   buffers for a workload family's envelope and re-solve the floorplan
+//!   for the unit count that geometry leaves room for.
 //! - [`hdc`] — the Hamming Distance Calculator stage, serial
 //!   (1 compare/cycle) or 32-lane data-parallel (Figure 8), with
 //!   computation pruning.
@@ -76,6 +79,7 @@ pub mod oracle;
 pub mod resources;
 pub mod rocc;
 pub mod selector;
+pub mod shape;
 pub mod system;
 pub mod unit;
 
@@ -91,6 +95,7 @@ pub use isa::{BufferIndex, IrCommand};
 pub use oracle::FunctionalOracle;
 pub use params::{ClockRecipe, FpgaParams};
 pub use rocc::RoccInstruction;
+pub use shape::{derive_shape_config, BufferGeometry, ShapeConfig};
 pub use system::{
     AcceleratedSystem, Scheduling, SimBackend, SystemRun, TimelineEvent, TimelinePhase,
 };

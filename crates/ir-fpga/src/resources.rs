@@ -57,9 +57,18 @@ pub struct ResourceReport {
 }
 
 /// Computes the resource report for `units` IR units with `lanes` HDC
-/// lanes.
+/// lanes, using the deployed hardware's 53-block unit buffers.
 pub fn report(units: usize, lanes: usize) -> ResourceReport {
-    let per_unit = bram::unit_bram36_blocks() + ARB_QUEUE_BLOCKS_PER_UNIT;
+    report_with_unit_blocks(units, lanes, bram::unit_bram36_blocks())
+}
+
+/// [`report`] for a unit whose buffers consume `unit_blocks` BRAM36
+/// primitives — the floorplan check behind the per-shape unit
+/// configurations of [`crate::shape`]. The per-unit arbiter queue and the
+/// shared system blocks are charged on top, exactly as for the hardware
+/// geometry.
+pub fn report_with_unit_blocks(units: usize, lanes: usize, unit_blocks: usize) -> ResourceReport {
+    let per_unit = unit_blocks + ARB_QUEUE_BLOCKS_PER_UNIT;
     let bram_blocks = units * per_unit + SYSTEM_BRAM_BLOCKS;
     let unit_luts = if lanes > 1 {
         UNIT_LUTS_DATA_PARALLEL
@@ -81,8 +90,16 @@ pub fn report(units: usize, lanes: usize) -> ResourceReport {
 
 /// Maximum units that fit under the routability ceiling.
 pub fn max_units(lanes: usize) -> usize {
+    max_units_with_unit_blocks(bram::unit_bram36_blocks(), lanes)
+}
+
+/// [`max_units`] for a unit whose buffers consume `unit_blocks` BRAM36
+/// primitives. Returns 0 when even a single unit of that geometry blows
+/// the routability ceiling — the signal [`crate::shape`] turns into a
+/// [`FpgaError::ShapeUnsupported`] rejection.
+pub fn max_units_with_unit_blocks(unit_blocks: usize, lanes: usize) -> usize {
     (1..=256)
-        .take_while(|&u| report(u, lanes).fits)
+        .take_while(|&u| report_with_unit_blocks(u, lanes, unit_blocks).fits)
         .last()
         .unwrap_or(0)
 }

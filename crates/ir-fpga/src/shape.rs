@@ -1,0 +1,378 @@
+//! Per-shape unit configuration derivation.
+//!
+//! The deployed accelerator sizes every IR unit for one workload shape:
+//! 32 consensuses × 2048 B and 256 reads × 256 B (paper §III-A). Other
+//! sequencing regimes break that envelope in different directions — long
+//! reads need kilobyte read slots, deep panels need four times the read
+//! count — and because the unit count "is limited by the number of block
+//! RAM cells available", resizing the buffers moves the whole floorplan.
+//!
+//! This module closes that loop. [`BufferGeometry`] names a unit's buffer
+//! sizing; [`derive_shape_config`] takes a workload's
+//! [`TargetLimits`] envelope plus a base [`FpgaParams`] and produces the
+//! [`ShapeConfig`] a fabric built for that shape would use: the rounded
+//! buffer geometry, the per-unit BRAM36 cost, the maximum unit count the
+//! VU9P floorplan admits at that cost, and the derived parameters (unit
+//! count clamped to what fits). Shapes no configuration can hold — an ISA
+//! field overflow or a geometry so large zero units fit — are rejected
+//! with [`FpgaError::ShapeUnsupported`].
+
+use ir_genome::{TargetLimits, TargetShape};
+use serde::{Deserialize, Serialize};
+
+use crate::bram;
+use crate::params::FpgaParams;
+use crate::resources::{self, ResourceReport};
+use crate::FpgaError;
+
+/// Slot alignment of the unit's block-indexed buffers: slots are padded
+/// to whole 32-byte bus beats so block reads never straddle a beat.
+pub const SLOT_ALIGN_BYTES: usize = 32;
+
+/// ISA field widths that bound any geometry (Table I): `ir_set_size`
+/// carries the consensus count in a u8 and the read count in a u16;
+/// `ir_set_len` carries consensus lengths in a u16.
+const MAX_ISA_CONSENSUSES: usize = u8::MAX as usize;
+const MAX_ISA_READS: usize = u16::MAX as usize;
+const MAX_ISA_CONSENSUS_LEN: usize = u16::MAX as usize;
+
+/// One IR unit's buffer sizing: how many slots each block-indexed buffer
+/// holds and how wide each slot is. The deployed hardware's instance is
+/// [`BufferGeometry::HARDWARE`]; per-shape instances come from
+/// [`BufferGeometry::from_limits`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufferGeometry {
+    /// Consensus slots in input buffer #1 (including the reference).
+    pub max_consensuses: usize,
+    /// Read slots in input buffers #2/#3 and the two output buffers.
+    pub max_reads: usize,
+    /// Bytes per consensus slot (the block-index stride).
+    pub consensus_slot_bytes: usize,
+    /// Bytes per read slot in the base and quality buffers.
+    pub read_slot_bytes: usize,
+}
+
+impl BufferGeometry {
+    /// The deployed hardware's geometry: 32 × 2048 B consensuses,
+    /// 256 × 256 B reads.
+    pub const HARDWARE: BufferGeometry = BufferGeometry {
+        max_consensuses: 32,
+        max_reads: 256,
+        consensus_slot_bytes: 2048,
+        read_slot_bytes: 256,
+    };
+
+    /// The tightest geometry that holds every target inside `limits`,
+    /// with slot strides rounded up to whole 32-byte bus beats.
+    ///
+    /// `from_limits(&TargetLimits::HARDWARE)` is exactly
+    /// [`BufferGeometry::HARDWARE`]. Callers must pass bounded limits
+    /// (e.g. not [`TargetLimits::UNBOUNDED`]); [`derive_shape_config`]
+    /// enforces the ISA field bounds before constructing a geometry.
+    pub fn from_limits(limits: &TargetLimits) -> Self {
+        let align = |bytes: usize| bytes.div_ceil(SLOT_ALIGN_BYTES) * SLOT_ALIGN_BYTES;
+        BufferGeometry {
+            max_consensuses: limits.max_consensuses,
+            max_reads: limits.max_reads,
+            consensus_slot_bytes: align(limits.max_consensus_len),
+            read_slot_bytes: align(limits.max_read_len),
+        }
+    }
+
+    /// The shape envelope this geometry admits (slot strides read back as
+    /// maximum sequence lengths).
+    pub fn limits(&self) -> TargetLimits {
+        TargetLimits {
+            max_consensuses: self.max_consensuses,
+            max_reads: self.max_reads,
+            max_consensus_len: self.consensus_slot_bytes,
+            max_read_len: self.read_slot_bytes,
+        }
+    }
+
+    /// Whether one target of `shape` fits this unit's buffers.
+    pub fn holds(&self, shape: &TargetShape) -> bool {
+        shape.num_consensuses <= self.max_consensuses
+            && shape.num_reads <= self.max_reads
+            && shape
+                .consensus_lens
+                .iter()
+                .all(|&len| len <= self.consensus_slot_bytes)
+            && shape
+                .read_lens
+                .iter()
+                .all(|&len| len <= self.read_slot_bytes)
+    }
+
+    /// Capacity of input buffer #1 in bytes.
+    pub fn consensus_capacity_bytes(&self) -> usize {
+        self.max_consensuses * self.consensus_slot_bytes
+    }
+
+    /// Capacity of input buffers #2 and #3 in bytes (each).
+    pub fn read_capacity_bytes(&self) -> usize {
+        self.max_reads * self.read_slot_bytes
+    }
+
+    /// BRAM36 primitives one unit of this geometry consumes.
+    pub fn unit_bram36_blocks(&self) -> usize {
+        bram::unit_bram36_blocks_for(self)
+    }
+}
+
+impl Default for BufferGeometry {
+    fn default() -> Self {
+        BufferGeometry::HARDWARE
+    }
+}
+
+/// A complete per-shape unit configuration: the buffer geometry, its BRAM
+/// cost, how many units of it the floorplan admits, and the derived
+/// [`FpgaParams`] (base parameters with the unit count clamped to fit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShapeConfig {
+    /// The unit buffer geometry sized for the shape.
+    pub geometry: BufferGeometry,
+    /// Derived accelerator parameters: the base parameters with
+    /// `num_units` clamped to [`ShapeConfig::max_units`].
+    pub params: FpgaParams,
+    /// BRAM36 primitives one unit of this geometry consumes.
+    pub unit_bram36_blocks: usize,
+    /// Maximum units of this geometry under the routability ceiling —
+    /// the unit-count hint a fleet scheduler sizes shards with.
+    pub max_units: usize,
+    /// Floorplan report for the derived configuration.
+    pub resources: ResourceReport,
+}
+
+/// Derives the unit configuration for a workload whose targets fit
+/// `limits`, starting from `base` parameters (clock, lanes, pruning, DMA
+/// latencies are inherited; the unit count is clamped to what the
+/// shape's buffer geometry leaves room for).
+///
+/// # Errors
+///
+/// Returns [`FpgaError::ShapeUnsupported`] when
+///
+/// - a dimension overflows an ISA field (consensus count > 255 for
+///   `ir_set_size`'s u8, read count > 65535 for its u16, or consensus
+///   length > 65535 for `ir_set_len`'s u16), or
+/// - the implied buffer geometry is so large that zero units fit under
+///   the VU9P routability ceiling.
+pub fn derive_shape_config(
+    limits: &TargetLimits,
+    base: &FpgaParams,
+) -> Result<ShapeConfig, FpgaError> {
+    let isa_bounds = [
+        (
+            "consensus count",
+            limits.max_consensuses,
+            MAX_ISA_CONSENSUSES,
+        ),
+        ("read count", limits.max_reads, MAX_ISA_READS),
+        (
+            "consensus length",
+            limits.max_consensus_len,
+            MAX_ISA_CONSENSUS_LEN,
+        ),
+        // Reads never exceed the shortest consensus, so the consensus
+        // bound transitively caps read length too — but reject an
+        // envelope that states a longer one, rather than quietly
+        // generating targets it cannot describe.
+        ("read length", limits.max_read_len, MAX_ISA_CONSENSUS_LEN),
+    ];
+    for (what, value, max) in isa_bounds {
+        if value > max {
+            return Err(FpgaError::ShapeUnsupported { what, value, max });
+        }
+    }
+
+    let geometry = BufferGeometry::from_limits(limits);
+    let unit_blocks = geometry.unit_bram36_blocks();
+    let max_units = resources::max_units_with_unit_blocks(unit_blocks, base.lanes);
+    if max_units == 0 {
+        return Err(FpgaError::ShapeUnsupported {
+            what: "per-unit BRAM36 blocks",
+            value: unit_blocks,
+            max: resources::max_units(base.lanes) * bram::unit_bram36_blocks(),
+        });
+    }
+
+    let params = FpgaParams {
+        num_units: base.num_units.min(max_units),
+        ..*base
+    };
+    let resources = resources::report_with_unit_blocks(params.num_units, params.lanes, unit_blocks);
+    Ok(ShapeConfig {
+        geometry,
+        params,
+        unit_bram36_blocks: unit_blocks,
+        max_units,
+        resources,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_limits_round_trip_to_hardware_geometry() {
+        let g = BufferGeometry::from_limits(&TargetLimits::HARDWARE);
+        assert_eq!(g, BufferGeometry::HARDWARE);
+        assert_eq!(g.limits(), TargetLimits::HARDWARE);
+        assert_eq!(g.unit_bram36_blocks(), bram::unit_bram36_blocks());
+        assert_eq!(g.consensus_capacity_bytes(), 65_536);
+        assert_eq!(g.read_capacity_bytes(), 65_536);
+    }
+
+    #[test]
+    fn slot_strides_round_up_to_bus_beats() {
+        let limits = TargetLimits {
+            max_consensuses: 4,
+            max_reads: 10,
+            max_consensus_len: 100,
+            max_read_len: 33,
+        };
+        let g = BufferGeometry::from_limits(&limits);
+        assert_eq!(g.consensus_slot_bytes, 128);
+        assert_eq!(g.read_slot_bytes, 64);
+    }
+
+    #[test]
+    fn hardware_shape_derivation_reproduces_the_deployed_config() {
+        let cfg = derive_shape_config(&TargetLimits::HARDWARE, &FpgaParams::iracc()).unwrap();
+        assert_eq!(cfg.geometry, BufferGeometry::HARDWARE);
+        assert_eq!(cfg.unit_bram36_blocks, 53);
+        assert_eq!(cfg.max_units, 32);
+        assert_eq!(cfg.params, FpgaParams::iracc());
+        assert_eq!(cfg.resources, resources::report(32, 32));
+    }
+
+    #[test]
+    fn long_read_geometry_still_fits_a_full_fabric() {
+        // ONT/PacBio-style envelope: few huge slots.
+        let limits = TargetLimits {
+            max_consensuses: 6,
+            max_reads: 8,
+            max_consensus_len: 10_240,
+            max_read_len: 6_144,
+        };
+        let cfg = derive_shape_config(&limits, &FpgaParams::iracc()).unwrap();
+        assert_eq!(cfg.unit_bram36_blocks, 45);
+        assert!(cfg.max_units >= 32, "max_units {}", cfg.max_units);
+        assert_eq!(cfg.params.num_units, 32);
+    }
+
+    #[test]
+    fn deep_panel_geometry_costs_units() {
+        // 1024 read slots: the read/qual buffers dominate and the fabric
+        // shrinks below the deployed 32 units.
+        let limits = TargetLimits {
+            max_consensuses: 32,
+            max_reads: 1_024,
+            max_consensus_len: 640,
+            max_read_len: 160,
+        };
+        let cfg = derive_shape_config(&limits, &FpgaParams::iracc()).unwrap();
+        assert_eq!(cfg.unit_bram36_blocks, 98);
+        assert_eq!(cfg.max_units, 18);
+        assert_eq!(cfg.params.num_units, 18);
+        assert!(cfg.resources.fits);
+        assert!(cfg.resources.bram_utilization <= resources::ROUTABILITY_CEILING);
+    }
+
+    #[test]
+    fn thin_metagenomic_geometry_frees_bram() {
+        let limits = TargetLimits {
+            max_consensuses: 16,
+            max_reads: 64,
+            max_consensus_len: 2_048,
+            max_read_len: 160,
+        };
+        let cfg = derive_shape_config(&limits, &FpgaParams::iracc()).unwrap();
+        assert!(cfg.unit_bram36_blocks < 53);
+        assert!(cfg.max_units > 32);
+        // The unit count hint grows but the derived config never exceeds
+        // the base request.
+        assert_eq!(cfg.params.num_units, 32);
+    }
+
+    #[test]
+    fn rejects_isa_field_overflows() {
+        let too_long = TargetLimits {
+            max_consensus_len: 100_000,
+            ..TargetLimits::HARDWARE
+        };
+        assert!(matches!(
+            derive_shape_config(&too_long, &FpgaParams::iracc()),
+            Err(FpgaError::ShapeUnsupported {
+                what: "consensus length",
+                value: 100_000,
+                max: 65_535,
+            })
+        ));
+        let too_many = TargetLimits {
+            max_consensuses: 300,
+            ..TargetLimits::HARDWARE
+        };
+        assert!(matches!(
+            derive_shape_config(&too_many, &FpgaParams::iracc()),
+            Err(FpgaError::ShapeUnsupported {
+                what: "consensus count",
+                ..
+            })
+        ));
+        assert!(derive_shape_config(&TargetLimits::UNBOUNDED, &FpgaParams::iracc()).is_err());
+    }
+
+    #[test]
+    fn rejects_geometries_that_fit_zero_units() {
+        // Passes every ISA width check but wants ~256 KiB of read buffer
+        // per unit — no unit of that geometry fits the VU9P.
+        let limits = TargetLimits {
+            max_consensuses: 255,
+            max_reads: 50_000,
+            max_consensus_len: 4_096,
+            max_read_len: 256,
+        };
+        let err = derive_shape_config(&limits, &FpgaParams::iracc()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FpgaError::ShapeUnsupported {
+                    what: "per-unit BRAM36 blocks",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn holds_checks_every_dimension() {
+        let g = BufferGeometry::HARDWARE;
+        let fits = TargetShape {
+            num_consensuses: 2,
+            num_reads: 3,
+            consensus_lens: vec![100, 90],
+            read_lens: vec![50, 50, 50],
+        };
+        assert!(g.holds(&fits));
+        let long_cons = TargetShape {
+            consensus_lens: vec![100, 4_000],
+            ..fits.clone()
+        };
+        assert!(!g.holds(&long_cons));
+        let long_read = TargetShape {
+            read_lens: vec![50, 50, 500],
+            ..fits.clone()
+        };
+        assert!(!g.holds(&long_read));
+        let crowded = TargetShape {
+            num_reads: 1_000,
+            ..fits
+        };
+        assert!(!g.holds(&crowded));
+    }
+}

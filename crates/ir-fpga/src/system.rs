@@ -19,6 +19,7 @@ use crate::mem::burst_stats;
 use crate::oracle::FunctionalOracle;
 use crate::params::FpgaParams;
 use crate::resources::{validate, ResourceReport};
+use crate::shape::BufferGeometry;
 use crate::unit::{simulate_target, UnitRun};
 use crate::FpgaError;
 
@@ -552,12 +553,16 @@ pub struct AcceleratedSystem {
     scheduling: Scheduling,
     dma: DmaParams,
     resources: ResourceReport,
+    geometry: BufferGeometry,
     telemetry: bool,
     backend: SimBackend,
 }
 
 impl AcceleratedSystem {
-    /// Builds a system, validating FPGA fit and timing closure.
+    /// Builds a system, validating FPGA fit and timing closure. The unit
+    /// buffer geometry defaults to the deployed hardware's
+    /// ([`BufferGeometry::HARDWARE`]); per-shape fabrics install their
+    /// derived geometry with [`Self::with_geometry`].
     ///
     /// # Errors
     ///
@@ -570,9 +575,39 @@ impl AcceleratedSystem {
             scheduling,
             dma: DmaParams::default(),
             resources,
+            geometry: BufferGeometry::HARDWARE,
             telemetry: false,
             backend: SimBackend::default(),
         })
+    }
+
+    /// Installs a per-shape unit buffer geometry (from
+    /// [`crate::shape::derive_shape_config`], whose derivation already
+    /// proved the fit) and recomputes the floorplan report at that
+    /// geometry's per-unit BRAM cost. Admission against the geometry is a
+    /// host-side policy ([`Self::admits`]); the cycle model itself is
+    /// geometry-agnostic, so a default-geometry system behaves exactly as
+    /// before.
+    pub fn with_geometry(mut self, geometry: BufferGeometry) -> Self {
+        self.geometry = geometry;
+        self.resources = crate::resources::report_with_unit_blocks(
+            self.params.num_units,
+            self.params.lanes,
+            geometry.unit_bram36_blocks(),
+        );
+        self
+    }
+
+    /// The unit buffer geometry this fabric was built with.
+    pub fn geometry(&self) -> &BufferGeometry {
+        &self.geometry
+    }
+
+    /// Whether one target of `shape` fits this fabric's unit buffers —
+    /// the admission predicate shape-aware routers consult before
+    /// dispatching to this system.
+    pub fn admits(&self, shape: &TargetShape) -> bool {
+        self.geometry.holds(shape)
     }
 
     /// Overrides the DMA parameters (defaults to [`DmaParams::default`]).
@@ -1370,6 +1405,33 @@ mod tests {
             faulty >= clean,
             "recovery must cost wall time: {faulty} < {clean}"
         );
+    }
+
+    #[test]
+    fn per_shape_geometry_changes_admission_not_timing() {
+        let targets = small_workload();
+        let base = AcceleratedSystem::new(FpgaParams::iracc(), Scheduling::Asynchronous).unwrap();
+        assert_eq!(base.geometry(), &BufferGeometry::HARDWARE);
+        assert!(targets.iter().all(|t| base.admits(&t.shape())));
+
+        let tight = BufferGeometry {
+            max_consensuses: 4,
+            max_reads: 8,
+            consensus_slot_bytes: 512,
+            read_slot_bytes: 64,
+        };
+        let shaped = base.clone().with_geometry(tight);
+        // Admission follows the geometry: the wider workload targets no
+        // longer fit the tight unit buffers...
+        assert!(targets.iter().any(|t| !shaped.admits(&t.shape())));
+        // ...and the floorplan report re-prices the unit at its new BRAM
+        // cost...
+        assert!(shaped.resources().bram_blocks < base.resources().bram_blocks);
+        // ...but the cycle model is geometry-agnostic: identical runs.
+        let a = base.run(&targets);
+        let b = shaped.run(&targets);
+        assert_eq!(a.wall_time_s, b.wall_time_s);
+        assert_eq!(a.compute_cycles, b.compute_cycles);
     }
 
     #[test]

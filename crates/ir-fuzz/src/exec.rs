@@ -444,16 +444,21 @@ fn serve_config(input: &FuzzInput, spec: &ServeSpec, threads: usize) -> ServeCon
             rates: f.rates,
         }),
         threads,
+        pool: None,
+        tenants: None,
     }
 }
 
 fn requests(input: &FuzzInput, spec: &ServeSpec) -> Vec<Request> {
+    let family = input.family.unwrap_or_default();
     input
         .targets
         .iter()
         .zip(&spec.arrival_ns)
         .enumerate()
-        .map(|(i, (t, &ns))| Request::new(i as u64, ns as f64 * 1e-9, t.clone()))
+        .map(|(i, (t, &ns))| {
+            Request::new(i as u64, ns as f64 * 1e-9, t.clone()).with_family(family)
+        })
         .collect()
 }
 
@@ -610,6 +615,7 @@ fn error_tag(e: &ir_serve::ServeError) -> &'static str {
         NoResponses => "no-responses",
         PercentileOutOfRange { .. } => "percentile-out-of-range",
         UndrainedQueue { .. } => "undrained-queue",
+        UnknownTenant { .. } => "unknown-tenant",
         _ => "other",
     }
 }

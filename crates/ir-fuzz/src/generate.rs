@@ -15,7 +15,7 @@
 
 use ir_fpga::{FaultRates, Scheduling};
 use ir_genome::{Base, Qual, Read, RealignmentTarget, Sequence, MAX_PHRED_SCORE};
-use ir_workloads::{WorkloadConfig, WorkloadGenerator};
+use ir_workloads::{ShapeFamily, WorkloadConfig};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -209,6 +209,49 @@ fn serve(rng: &mut StdRng, requests: usize) -> Option<ServeSpec> {
     })
 }
 
+/// A scaled-down realistic generator config for `family`: the family's
+/// own error/coverage/consensus statistics, but with the dimensions
+/// shrunk far below the shape envelope so a case stays inside the
+/// comparison budget (a full-size long-read target alone would cost ~1e9
+/// comparisons).
+fn mini_config(family: ShapeFamily) -> WorkloadConfig {
+    let base = family.profile().config(1e-5);
+    match family {
+        ShapeFamily::ShortReadGermline => WorkloadConfig {
+            read_len: 24,
+            min_consensus_len: 32,
+            max_consensus_len: 96,
+            min_reads: 2,
+            max_reads: 8,
+            ..base
+        },
+        ShapeFamily::LongRead => WorkloadConfig {
+            read_len: 48,
+            min_consensus_len: 64,
+            max_consensus_len: 160,
+            min_reads: 2,
+            max_reads: 4,
+            ..base
+        },
+        ShapeFamily::DeepPanel => WorkloadConfig {
+            read_len: 12,
+            min_consensus_len: 24,
+            max_consensus_len: 64,
+            min_reads: 8,
+            max_reads: 24,
+            ..base
+        },
+        ShapeFamily::Metagenomic => WorkloadConfig {
+            read_len: 12,
+            min_consensus_len: 16,
+            max_consensus_len: 64,
+            min_reads: 2,
+            max_reads: 12,
+            ..base
+        },
+    }
+}
+
 /// Trims `targets` from the back until the case fits the comparison
 /// budget (always keeps at least one target).
 fn enforce_budget(targets: &mut Vec<RealignmentTarget>) {
@@ -226,18 +269,15 @@ fn enforce_budget(targets: &mut Vec<RealignmentTarget>) {
 
 /// Draws one fresh adversarial case.
 pub fn generate(rng: &mut StdRng) -> FuzzInput {
+    let mut family = None;
     let mut targets: Vec<RealignmentTarget> = if rng.random_bool(0.15) {
-        // Occasionally a realistic mini-workload, as a sanity anchor.
-        WorkloadGenerator::new(WorkloadConfig {
-            scale: 1e-5,
-            read_len: 24,
-            min_consensus_len: 32,
-            max_consensus_len: 96,
-            min_reads: 2,
-            max_reads: 8,
-            ..WorkloadConfig::default()
-        })
-        .targets(rng.random_range(1..4), rng.random::<u64>())
+        // Occasionally a realistic mini-workload, as a sanity anchor —
+        // drawn from a uniformly chosen shape family so the serve-layer
+        // family routing sees all four regimes.
+        let f = ShapeFamily::ALL[rng.random_range(0..ShapeFamily::ALL.len())];
+        family = Some(f);
+        ir_workloads::WorkloadGenerator::new(mini_config(f))
+            .targets(rng.random_range(1..4), rng.random::<u64>())
     } else {
         let n = rng.random_range(1..5usize);
         (0..n).map(|_| target(rng, 24)).collect()
@@ -248,6 +288,7 @@ pub fn generate(rng: &mut StdRng) -> FuzzInput {
         params: params(rng),
         scheduling: SCHEDULINGS[rng.random_range(0..SCHEDULINGS.len())],
         prune_latency_blocks: [0, 1, 2, 5][rng.random_range(0..4usize)],
+        family,
         fault: fault(rng),
         serve: serve(rng, requests),
         targets,
@@ -258,12 +299,21 @@ pub fn generate(rng: &mut StdRng) -> FuzzInput {
 /// call, always yielding a valid executable input.
 pub fn mutate(input: &FuzzInput, rng: &mut StdRng) -> FuzzInput {
     let mut out = input.clone();
-    match rng.random_range(0..8u32) {
+    match rng.random_range(0..9u32) {
         0 => out.params = params(rng),
         1 => out.scheduling = SCHEDULINGS[rng.random_range(0..SCHEDULINGS.len())],
         2 => out.prune_latency_blocks = [0, 1, 2, 5][rng.random_range(0..4usize)],
         3 => out.fault = fault(rng),
         4 => out.serve = serve(rng, out.targets.len()),
+        8 => {
+            // Re-tag the family the serve router sees (targets are
+            // unchanged: routing is by tag, not by shape inspection).
+            out.family = if rng.random_bool(0.5) {
+                Some(ShapeFamily::ALL[rng.random_range(0..ShapeFamily::ALL.len())])
+            } else {
+                None
+            };
+        }
         5 => {
             // Duplicate one target (pileup pressure on the schedulers).
             let i = rng.random_range(0..out.targets.len());

@@ -10,14 +10,17 @@
 //! irfuzz v1
 //! params preset=iracc units=32 lanes=32 pruning=1 overhead=2 prune_latency=2
 //! scheduling async
+//! family long-read
 //! fault seed=7 rates=3f50624dd2f1a9fc ... (6 hex f64 bit patterns)
 //! serve shards=2 max_batch=32 watermark=256 deadline_ns=500000 arrivals=0,1250,2500
 //! ---
 //! <ir_genome::tio target payload>
 //! ```
 //!
-//! `fault` and `serve` lines are optional. Every `f64` travels as the hex
-//! of its bit pattern and every arrival as integer nanoseconds, so decode ∘
+//! `family`, `fault` and `serve` lines are optional (an absent `family`
+//! means the default short-read germline regime, which keeps every
+//! pre-family corpus case byte-stable). Every `f64` travels as the hex of
+//! its bit pattern and every arrival as integer nanoseconds, so decode ∘
 //! encode is the identity and no parse ever goes through a lossy decimal
 //! round-trip.
 
@@ -25,6 +28,7 @@ use std::fmt::Write as _;
 
 use ir_fpga::{FaultRates, FpgaParams, Scheduling};
 use ir_genome::{tio, RealignmentTarget};
+use ir_workloads::ShapeFamily;
 
 /// Which paper configuration the backend parameters start from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +138,10 @@ pub struct FuzzInput {
     /// Extra kernel knob: prune-verdict latency in blocks (the serial
     /// design closes in 0, the 32-lane adder tree in 2).
     pub prune_latency_blocks: u64,
+    /// Workload shape family the targets were drawn from; `None` means
+    /// the default short-read germline regime (and encodes to nothing,
+    /// keeping pre-family corpus cases byte-stable).
+    pub family: Option<ShapeFamily>,
     /// Optional fault injection.
     pub fault: Option<FaultSpec>,
     /// Optional serve-layer scenario.
@@ -211,6 +219,9 @@ impl FuzzInput {
             self.prune_latency_blocks,
         );
         let _ = writeln!(out, "scheduling {}", scheduling_name(self.scheduling));
+        if let Some(family) = self.family {
+            let _ = writeln!(out, "family {}", family.name());
+        }
         if let Some(f) = &self.fault {
             let r = f.rates;
             let _ = writeln!(
@@ -260,6 +271,7 @@ impl FuzzInput {
         let mut params: Option<ParamsSpec> = None;
         let mut prune_latency_blocks = 0u64;
         let mut scheduling: Option<Scheduling> = None;
+        let mut family = None;
         let mut fault = None;
         let mut serve = None;
         let mut header_len = "irfuzz v1\n".len();
@@ -291,6 +303,12 @@ impl FuzzInput {
                         .get(1)
                         .ok_or_else(|| DecodeError("scheduling line missing value".into()))?;
                     scheduling = Some(scheduling_from(name)?);
+                }
+                Some("family") => {
+                    let name = tokens
+                        .get(1)
+                        .ok_or_else(|| DecodeError("family line missing value".into()))?;
+                    family = Some(name.parse::<ShapeFamily>().map_err(DecodeError)?);
                 }
                 Some("fault") => {
                     let seed = parse(field(&tokens, "seed")?, "fault seed")?;
@@ -358,6 +376,7 @@ impl FuzzInput {
             params,
             scheduling,
             prune_latency_blocks,
+            family,
             fault,
             serve,
             targets,
@@ -396,6 +415,7 @@ mod tests {
             },
             scheduling: Scheduling::SynchronousUnsorted,
             prune_latency_blocks: 2,
+            family: Some(ShapeFamily::Metagenomic),
             fault: Some(FaultSpec {
                 seed: 99,
                 rates: FaultRates::uniform(0.125),
@@ -419,6 +439,7 @@ mod tests {
         assert_eq!(back.encode(), text, "decode ∘ encode is stable");
         assert_eq!(back.params, input.params);
         assert_eq!(back.scheduling, input.scheduling);
+        assert_eq!(back.family, input.family);
         assert_eq!(back.fault, input.fault);
         assert_eq!(back.serve, input.serve);
         assert_eq!(back.targets, input.targets);
@@ -427,13 +448,29 @@ mod tests {
     #[test]
     fn optional_sections_stay_optional() {
         let mut input = sample();
+        input.family = None;
         input.fault = None;
         input.serve = None;
         let text = input.encode();
+        assert!(!text.contains("\nfamily "));
         assert!(!text.contains("\nfault "));
         assert!(!text.contains("\nserve "));
         let back = FuzzInput::decode(&text).unwrap();
-        assert!(back.fault.is_none() && back.serve.is_none());
+        assert!(back.family.is_none() && back.fault.is_none() && back.serve.is_none());
+    }
+
+    #[test]
+    fn every_family_name_roundtrips_in_the_header() {
+        for family in ShapeFamily::ALL {
+            let mut input = sample();
+            input.family = Some(family);
+            let back = FuzzInput::decode(&input.encode()).unwrap();
+            assert_eq!(back.family, Some(family));
+        }
+        let mangled = sample()
+            .encode()
+            .replace("family metagenomic", "family nanopore");
+        assert!(FuzzInput::decode(&mangled).is_err());
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! Service configuration.
 
-use ir_fpga::{FaultRates, FpgaParams, ResiliencePolicy, Scheduling};
+use ir_fpga::{
+    derive_shape_config, BufferGeometry, FaultRates, FpgaParams, ResiliencePolicy, Scheduling,
+};
+use ir_genome::TargetLimits;
+use ir_workloads::ShapeFamily;
 
 use crate::error::ServeError;
 
@@ -17,6 +21,86 @@ pub struct FaultInjection {
     pub seed: u64,
     /// Per-site fault probabilities.
     pub rates: FaultRates,
+}
+
+/// One shard of a heterogeneous pool: which shape families it serves and
+/// the per-shape accelerator configuration derived for their union
+/// envelope.
+///
+/// Build specs with [`ShardSpec::for_families`], which re-solves the VU9P
+/// floorplan for the buffer geometry those families need (fewer, bigger
+/// units for long reads; more read slots and fewer units for deep panels)
+/// and rejects family sets no unit configuration can hold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSpec {
+    /// Shape families this shard advertises; the router only sends a
+    /// request here if its family is in this list.
+    pub families: Vec<ShapeFamily>,
+    /// Backend parameters (unit count already clamped to what the
+    /// geometry leaves room for).
+    pub params: FpgaParams,
+    /// Backend scheduling scheme.
+    pub scheduling: Scheduling,
+    /// Per-unit buffer geometry sized for the family envelope.
+    pub geometry: BufferGeometry,
+}
+
+impl ShardSpec {
+    /// Derives the spec for `families` from `base` parameters: the buffer
+    /// geometry is sized for the union of the families' shape envelopes
+    /// and the unit count is clamped to what that geometry fits on the
+    /// VU9P.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when `families` is empty or
+    /// when no unit configuration holds the union envelope
+    /// ([`ir_fpga::FpgaError::ShapeUnsupported`]).
+    pub fn for_families(
+        families: &[ShapeFamily],
+        base: &FpgaParams,
+        scheduling: Scheduling,
+    ) -> Result<ShardSpec, ServeError> {
+        if families.is_empty() {
+            return Err(ServeError::InvalidConfig {
+                field: "pool",
+                reason: "shard spec advertises no shape families".to_string(),
+            });
+        }
+        let mut union = TargetLimits {
+            max_consensuses: 0,
+            max_reads: 0,
+            max_consensus_len: 0,
+            max_read_len: 0,
+        };
+        for family in families {
+            let limits = family.profile().limits();
+            union.max_consensuses = union.max_consensuses.max(limits.max_consensuses);
+            union.max_reads = union.max_reads.max(limits.max_reads);
+            union.max_consensus_len = union.max_consensus_len.max(limits.max_consensus_len);
+            union.max_read_len = union.max_read_len.max(limits.max_read_len);
+        }
+        let shape = derive_shape_config(&union, base).map_err(|e| ServeError::InvalidConfig {
+            field: "pool",
+            reason: e.to_string(),
+        })?;
+        Ok(ShardSpec {
+            families: families.to_vec(),
+            params: shape.params,
+            scheduling,
+            geometry: shape.geometry,
+        })
+    }
+}
+
+/// Admission quota for one tenant of a multi-tenant service: the most
+/// requests the tenant may have queued (across all family queues) at once.
+/// Tenants beyond their quota are rejected with a retry-after hint even
+/// when the global watermark still has room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Maximum queued requests for this tenant.
+    pub max_queued: usize,
 }
 
 /// Everything that determines a service run besides the traffic itself.
@@ -56,6 +140,16 @@ pub struct ServeConfig {
     /// bitwise identical for any value; `1` is the fully single-threaded
     /// replayable mode the deterministic tests pin.
     pub threads: usize,
+    /// Heterogeneous shard pool: one [`ShardSpec`] per shard (must match
+    /// `shards` in length). `None` runs the homogeneous pool — every
+    /// shard gets `params`/`scheduling` with the hardware geometry and
+    /// serves every family — which is byte-identical to the pre-pool
+    /// service.
+    pub pool: Option<Vec<ShardSpec>>,
+    /// Per-tenant admission quotas; `Some` turns on multi-tenant
+    /// accounting (per-tenant `serve/tenant<i>/*` counters) and rejects
+    /// requests from tenants over quota or with out-of-range indices.
+    pub tenants: Option<Vec<TenantQuota>>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +165,8 @@ impl Default for ServeConfig {
             policy: ResiliencePolicy::default(),
             faults: None,
             threads: 1,
+            pool: None,
+            tenants: None,
         }
     }
 }
@@ -112,6 +208,31 @@ impl ServeConfig {
         if let Some(f) = &self.faults {
             if let Err(e) = f.rates.checked() {
                 return invalid("faults", &e.to_string());
+            }
+        }
+        if let Some(pool) = &self.pool {
+            if pool.len() != self.shards {
+                return invalid(
+                    "pool",
+                    &format!(
+                        "pool has {} shard specs but shards is {}",
+                        pool.len(),
+                        self.shards
+                    ),
+                );
+            }
+            for (i, spec) in pool.iter().enumerate() {
+                if spec.families.is_empty() {
+                    return invalid("pool", &format!("shard {i} advertises no shape families"));
+                }
+            }
+        }
+        if let Some(tenants) = &self.tenants {
+            if tenants.is_empty() {
+                return invalid("tenants", "at least one tenant quota required");
+            }
+            if let Some(i) = tenants.iter().position(|q| q.max_queued == 0) {
+                return invalid("tenants", &format!("tenant {i} quota must be at least 1"));
             }
         }
         Ok(())
@@ -194,5 +315,74 @@ mod tests {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg} missing {needle}");
         }
+    }
+
+    #[test]
+    fn shard_spec_derives_per_family_geometry() {
+        let base = FpgaParams::iracc();
+        let short = ShardSpec::for_families(
+            &[ShapeFamily::ShortReadGermline],
+            &base,
+            Scheduling::Asynchronous,
+        )
+        .unwrap();
+        // The short-read family is the deployed hardware: same geometry,
+        // same 32 units.
+        assert_eq!(short.geometry, BufferGeometry::HARDWARE);
+        assert_eq!(short.params.num_units, 32);
+
+        let panel =
+            ShardSpec::for_families(&[ShapeFamily::DeepPanel], &base, Scheduling::Asynchronous)
+                .unwrap();
+        // 1024-read buffers cost BRAM: fewer units fit.
+        assert!(panel.params.num_units < 32);
+        assert!(panel.geometry.max_reads >= 1_024);
+
+        let meta =
+            ShardSpec::for_families(&[ShapeFamily::Metagenomic], &base, Scheduling::Asynchronous)
+                .unwrap();
+        // The thin metagenomic envelope still deploys the full sea.
+        assert_eq!(meta.params.num_units, 32);
+    }
+
+    #[test]
+    fn shard_spec_rejects_empty_family_list() {
+        let err = ShardSpec::for_families(&[], &FpgaParams::iracc(), Scheduling::Asynchronous)
+            .expect_err("must reject");
+        assert!(err.to_string().contains("families"));
+    }
+
+    #[test]
+    fn pool_and_tenant_validation() {
+        let spec = ShardSpec::for_families(
+            &[ShapeFamily::ShortReadGermline],
+            &FpgaParams::iracc(),
+            Scheduling::Asynchronous,
+        )
+        .unwrap();
+        // Pool length must match the shard count.
+        let cfg = ServeConfig {
+            shards: 2,
+            pool: Some(vec![spec.clone()]),
+            ..ServeConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().to_string().contains("pool"));
+        let cfg = ServeConfig {
+            shards: 2,
+            pool: Some(vec![spec.clone(), spec.clone()]),
+            ..ServeConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+        // Tenant quotas must be positive.
+        let cfg = ServeConfig {
+            tenants: Some(vec![TenantQuota { max_queued: 0 }]),
+            ..ServeConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().to_string().contains("tenant"));
+        let cfg = ServeConfig {
+            tenants: Some(vec![TenantQuota { max_queued: 8 }]),
+            ..ServeConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
     }
 }

@@ -58,6 +58,14 @@ pub enum ServeError {
         /// Requests left in the queue.
         depth: usize,
     },
+    /// A request named a tenant index outside the configured quota table
+    /// (a stream/config mismatch, not load shedding).
+    UnknownTenant {
+        /// The offending tenant index.
+        tenant: usize,
+        /// How many tenants the config declares.
+        tenants: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -85,6 +93,12 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::UndrainedQueue { depth } => {
                 write!(f, "event loop finished with {depth} requests still queued")
+            }
+            ServeError::UnknownTenant { tenant, tenants } => {
+                write!(
+                    f,
+                    "request names tenant {tenant} but only {tenants} are configured"
+                )
             }
         }
     }

@@ -23,6 +23,20 @@
 //!    enabled each batch runs the host resilience layer, whose software
 //!    fallback is the service's degraded tier.
 //!
+//! # Heterogeneous pools and multi-tenancy
+//!
+//! Requests carry a workload [`ir_workloads::ShapeFamily`] and a tenant
+//! index. The service keeps one submission queue per family, so batches
+//! are family-pure, and routes each family only to shards that advertise
+//! it. With [`ServeConfig::pool`] set, each shard is built from a
+//! [`ShardSpec`] whose buffer geometry and unit count are re-derived for
+//! its families' shape envelope (long-read shards trade unit count for
+//! kilobase buffers; deep-panel shards for 1024-read coverage). With
+//! [`ServeConfig::tenants`] set, per-tenant admission quotas shed
+//! over-quota load and `serve/tenant<i>/*` counters expose per-tenant
+//! QoS. Both default to `None`, which reproduces the homogeneous
+//! single-family service byte for byte.
+//!
 //! # Determinism
 //!
 //! The whole service runs in **virtual time** on an
@@ -86,7 +100,7 @@ mod service;
 mod shard;
 
 pub use batcher::{BatchPolicy, FlushVerdict};
-pub use config::{FaultInjection, ServeConfig};
+pub use config::{FaultInjection, ServeConfig, ShardSpec, TenantQuota};
 pub use error::ServeError;
 pub use queue::{Admission, SubmissionQueue};
 pub use request::{Rejection, Request, Response};

@@ -1,6 +1,7 @@
 //! Requests, responses and admission rejections.
 
 use ir_genome::RealignmentTarget;
+use ir_workloads::ShapeFamily;
 
 /// One client request: realign `target`, submitted at `arrival_s` of
 /// virtual time.
@@ -12,16 +13,37 @@ pub struct Request {
     pub arrival_s: f64,
     /// The realignment work item.
     pub target: RealignmentTarget,
+    /// The workload shape family this target was drawn from; routing only
+    /// dispatches the request to shards advertising the family.
+    pub family: ShapeFamily,
+    /// The submitting tenant (index into [`crate::ServeConfig::tenants`]
+    /// when per-tenant quotas are configured; otherwise informational).
+    pub tenant: usize,
 }
 
 impl Request {
-    /// Bundles a target into a request.
+    /// Bundles a target into a request for the default short-read
+    /// germline family, tenant 0.
     pub fn new(id: u64, arrival_s: f64, target: RealignmentTarget) -> Self {
         Request {
             id,
             arrival_s,
             target,
+            family: ShapeFamily::ShortReadGermline,
+            tenant: 0,
         }
+    }
+
+    /// Tags the request with a workload shape family.
+    pub fn with_family(mut self, family: ShapeFamily) -> Self {
+        self.family = family;
+        self
+    }
+
+    /// Tags the request with a submitting tenant.
+    pub fn with_tenant(mut self, tenant: usize) -> Self {
+        self.tenant = tenant;
+        self
     }
 }
 
@@ -53,6 +75,10 @@ pub struct Response {
     pub best_consensus: usize,
     /// Reads whose alignment changed.
     pub realigned: usize,
+    /// The request's shape family, echoed from the submission.
+    pub family: ShapeFamily,
+    /// The request's tenant, echoed from the submission.
+    pub tenant: usize,
 }
 
 impl Response {
@@ -125,6 +151,8 @@ mod tests {
             batch_size: 4,
             best_consensus: 0,
             realigned: 0,
+            family: ShapeFamily::ShortReadGermline,
+            tenant: 0,
         };
         assert!((r.latency_s() - 1.25).abs() < 1e-12);
         assert!((r.queue_wait_s() + r.service_s() - r.latency_s()).abs() < 1e-12);

@@ -5,6 +5,7 @@ use ir_fpga::ResilienceReport;
 use ir_sim::{EventQueue, SimTime};
 use ir_telemetry::json::escape_json_string;
 use ir_telemetry::{PerfCounters, SpanKind, Trace, Tracer, Track};
+use ir_workloads::ShapeFamily;
 use std::fmt::Write as _;
 
 use crate::batcher::{BatchPolicy, FlushVerdict};
@@ -252,7 +253,26 @@ impl RealignService {
             max_batch: self.config.max_batch,
             flush_deadline_s: self.config.flush_deadline_s,
         };
-        let mut queue = SubmissionQueue::new(self.config.admission_watermark);
+        // One submission queue per shape family: routing is by family, so
+        // batches stay family-pure and a queue's flush verdict consults
+        // only its own occupancy. A default single-family stream exercises
+        // only queue 0 and reproduces the pre-pool service byte for byte.
+        let mut queues: Vec<SubmissionQueue> = ShapeFamily::ALL
+            .iter()
+            .map(|_| SubmissionQueue::new(self.config.admission_watermark))
+            .collect();
+        // Per-shard family advertisements, collected up front so the
+        // dispatch loop can borrow the shard pool mutably.
+        let shard_families: Vec<Vec<ShapeFamily>> =
+            self.shards.iter().map(|s| s.families().to_vec()).collect();
+        let mut routable = [false; ShapeFamily::ALL.len()];
+        for families in &shard_families {
+            for f in families {
+                routable[f.index()] = true;
+            }
+        }
+        let tenant_quotas = self.config.tenants.clone();
+        let mut tenant_queued: Vec<usize> = vec![0; tenant_quotas.as_ref().map_or(0, Vec::len)];
         let mut events: EventQueue<Event> = EventQueue::new();
         let mut stream: Vec<Option<Request>> = requests.into_iter().map(Some).collect();
         for (i, req) in stream.iter().enumerate() {
@@ -277,7 +297,7 @@ impl RealignService {
         let mut batch_seq = 0u64;
         let mut flush_full = 0u64;
         let mut flush_deadline = 0u64;
-        let mut flush_scheduled: Option<f64> = None;
+        let mut scheduled_flushes: Vec<f64> = Vec::new();
         let mut makespan_s = 0.0f64;
 
         while let Some(ev) = events.pop() {
@@ -287,14 +307,60 @@ impl RealignService {
                     let req = stream[i]
                         .take()
                         .ok_or(ServeError::DuplicateArrival { index: i })?;
-                    match queue.offer(req, est_service_s) {
-                        Admission::Accepted => {}
-                        Admission::Rejected(r) => rejections.push(r),
+                    let tenant = req.tenant;
+                    if let Some(quotas) = &tenant_quotas {
+                        if tenant >= quotas.len() {
+                            return Err(ServeError::UnknownTenant {
+                                tenant,
+                                tenants: quotas.len(),
+                            });
+                        }
+                    }
+                    if !routable[req.family.index()] {
+                        // No shard in the pool advertises this family;
+                        // shed immediately rather than queueing forever.
+                        counters.add("serve/unroutable", 1);
+                        if tenant_quotas.is_some() {
+                            counters.add(&format!("serve/tenant{tenant}/rejected"), 1);
+                        }
+                        rejections.push(Rejection {
+                            id: req.id,
+                            arrival_s: req.arrival_s,
+                            retry_after_s: est_service_s,
+                        });
+                    } else if tenant_quotas
+                        .as_ref()
+                        .is_some_and(|q| tenant_queued[tenant] >= q[tenant].max_queued)
+                    {
+                        // Per-tenant admission: over-quota tenants shed
+                        // load even while the global watermark has room.
+                        counters.add(&format!("serve/tenant{tenant}/rejected"), 1);
+                        rejections.push(Rejection {
+                            id: req.id,
+                            arrival_s: req.arrival_s,
+                            retry_after_s: est_service_s,
+                        });
+                    } else {
+                        let family = req.family.index();
+                        match queues[family].offer(req, est_service_s) {
+                            Admission::Accepted => {
+                                if tenant_quotas.is_some() {
+                                    tenant_queued[tenant] += 1;
+                                    counters.add(&format!("serve/tenant{tenant}/accepted"), 1);
+                                }
+                            }
+                            Admission::Rejected(r) => {
+                                if tenant_quotas.is_some() {
+                                    counters.add(&format!("serve/tenant{tenant}/rejected"), 1);
+                                }
+                                rejections.push(r);
+                            }
+                        }
                     }
                 }
                 Event::Flush => {
-                    if flush_scheduled == Some(now) {
-                        flush_scheduled = None;
+                    if let Some(i) = scheduled_flushes.iter().position(|&d| d == now) {
+                        scheduled_flushes.remove(i);
                     }
                 }
                 Event::Done { shard } => {
@@ -306,131 +372,179 @@ impl RealignService {
                 }
             }
 
-            // Dispatch loop: pair idle shards with ready batches.
-            while let Some(shard_idx) = in_flight.iter().position(Option::is_none) {
-                let verdict = policy.verdict(&queue, now);
-                let take = match verdict {
-                    FlushVerdict::Full => {
-                        flush_full += 1;
-                        self.config.max_batch
+            // Dispatch loop: pair idle shards with ready family batches.
+            // The scan restarts from shard 0 after every dispatch
+            // (mirroring the pre-pool first-idle-shard order); each shard
+            // takes the first of its advertised families whose queue is
+            // ready, so batches are family-pure and only land on shards
+            // whose geometry holds them.
+            'dispatch: loop {
+                for shard_idx in 0..in_flight.len() {
+                    if in_flight[shard_idx].is_some() {
+                        continue;
                     }
-                    FlushVerdict::DeadlineExpired => {
-                        flush_deadline += 1;
-                        queue.depth()
-                    }
-                    FlushVerdict::Wait(deadline) => {
-                        if flush_scheduled != Some(deadline) {
-                            events.push(
-                                SimTime::from_seconds(deadline),
-                                PRIO_FLUSH,
-                                0,
-                                Event::Flush,
-                            );
-                            flush_scheduled = Some(deadline);
+                    for &family in &shard_families[shard_idx] {
+                        let queue = &mut queues[family.index()];
+                        let verdict = policy.verdict(queue, now);
+                        let take = match verdict {
+                            FlushVerdict::Full => {
+                                flush_full += 1;
+                                self.config.max_batch
+                            }
+                            FlushVerdict::DeadlineExpired => {
+                                flush_deadline += 1;
+                                queue.depth()
+                            }
+                            FlushVerdict::Wait(deadline) => {
+                                if !scheduled_flushes.contains(&deadline) {
+                                    events.push(
+                                        SimTime::from_seconds(deadline),
+                                        PRIO_FLUSH,
+                                        0,
+                                        Event::Flush,
+                                    );
+                                    scheduled_flushes.push(deadline);
+                                }
+                                continue;
+                            }
+                            FlushVerdict::Idle => continue,
+                        };
+                        let batch = queue.take(take);
+                        // When the batch became ready for dispatch: the
+                        // arrival that filled it, or the flush-deadline
+                        // expiry of its oldest request for a partial
+                        // flush. A busy pool can dispatch later than
+                        // either instant (then the gap is shard-queue
+                        // wait, not batch-formation wait), and late
+                        // stragglers can arrive after the oldest
+                        // request's deadline — the clamp keeps ready_s
+                        // inside `[latest batch arrival, now]` in both
+                        // cases.
+                        let latest_arrival = batch
+                            .iter()
+                            .map(|r| r.arrival_s)
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        let ready = match verdict {
+                            FlushVerdict::DeadlineExpired => (batch[0].arrival_s
+                                + self.config.flush_deadline_s)
+                                .clamp(latest_arrival, now),
+                            _ => latest_arrival.min(now),
+                        };
+                        let targets: Vec<_> = batch.iter().map(|r| r.target.clone()).collect();
+                        let outcome = self.shards[shard_idx].run_batch(&targets)?;
+                        if let Some(report) = &outcome.resilience {
+                            resilience.absorb(report);
                         }
-                        break;
-                    }
-                    FlushVerdict::Idle => break,
-                };
-                let batch = queue.take(take);
-                // When the batch became ready for dispatch: the arrival
-                // that filled it, or the flush-deadline expiry of its
-                // oldest request for a partial flush. A busy pool can
-                // dispatch later than either instant (then the gap is
-                // shard-queue wait, not batch-formation wait), and late
-                // stragglers can arrive after the oldest request's
-                // deadline — the clamp keeps ready_s inside
-                // `[latest batch arrival, now]` in both cases.
-                let latest_arrival = batch
-                    .iter()
-                    .map(|r| r.arrival_s)
-                    .fold(f64::NEG_INFINITY, f64::max);
-                let ready = match verdict {
-                    FlushVerdict::DeadlineExpired => (batch[0].arrival_s
-                        + self.config.flush_deadline_s)
-                        .clamp(latest_arrival, now),
-                    _ => latest_arrival.min(now),
-                };
-                let targets: Vec<_> = batch.iter().map(|r| r.target.clone()).collect();
-                let outcome = self.shards[shard_idx].run_batch(&targets)?;
-                if let Some(report) = &outcome.resilience {
-                    resilience.absorb(report);
-                }
-                let completion = now + outcome.wall_time_s;
-                // Calibrate the retry-after estimate from real service
-                // time, amortized over the batch.
-                let per_req = outcome.wall_time_s / batch.len() as f64;
-                est_service_s = (1.0 - EST_ALPHA) * est_service_s + EST_ALPHA * per_req;
-                counters.observe("serve/batch_occupancy", batch.len() as u64);
-                counters.add(&PerfCounters::key("serve", Some(shard_idx), "batches"), 1);
-                counters.add(
-                    &PerfCounters::key("serve", Some(shard_idx), "requests"),
-                    batch.len() as u64,
-                );
-                let stamped: Vec<Response> = batch
-                    .iter()
-                    .zip(&outcome.results)
-                    .map(|(req, &(best_consensus, realigned))| {
-                        let latency = completion - req.arrival_s;
-                        counters.observe("serve/latency_us", (latency * 1e6) as u64);
-                        // The request-journey span breakdown, in µs:
-                        // admission (structurally zero today) → batch
-                        // formation → shard queue → execution = total.
-                        counters.observe("serve/span_admission_us", 0);
-                        counters.observe(
-                            "serve/span_batch_wait_us",
-                            ((ready - req.arrival_s) * 1e6) as u64,
+                        let completion = now + outcome.wall_time_s;
+                        // Calibrate the retry-after estimate from real
+                        // service time, amortized over the batch.
+                        let per_req = outcome.wall_time_s / batch.len() as f64;
+                        est_service_s = (1.0 - EST_ALPHA) * est_service_s + EST_ALPHA * per_req;
+                        counters.observe("serve/batch_occupancy", batch.len() as u64);
+                        counters.add(&PerfCounters::key("serve", Some(shard_idx), "batches"), 1);
+                        counters.add(
+                            &PerfCounters::key("serve", Some(shard_idx), "requests"),
+                            batch.len() as u64,
                         );
-                        counters.observe("serve/span_shard_wait_us", ((now - ready) * 1e6) as u64);
-                        counters.observe("serve/span_exec_us", ((completion - now) * 1e6) as u64);
-                        counters.observe("serve/span_total_us", (latency * 1e6) as u64);
-                        if latency <= self.config.slo_deadline_s {
-                            counters.add("serve/slo_met", 1);
-                        } else {
-                            counters.add("serve/slo_missed", 1);
-                        }
-                        Response {
-                            id: req.id,
-                            arrival_s: req.arrival_s,
-                            ready_s: ready,
-                            dispatch_s: now,
-                            completion_s: completion,
-                            shard: shard_idx,
-                            batch: batch_seq,
-                            batch_size: batch.len(),
-                            best_consensus,
-                            realigned,
-                        }
-                    })
-                    .collect();
-                tracer.span_args(
-                    Track::Shard(shard_idx),
-                    SpanKind::Compute,
-                    &format!("batch {batch_seq}"),
-                    None,
-                    now,
-                    completion,
-                    &[("batch", batch_seq), ("requests", batch.len() as u64)],
-                );
-                in_flight[shard_idx] = Some(InFlight { responses: stamped });
-                events.push(
-                    SimTime::from_seconds(completion),
-                    PRIO_DONE,
-                    0,
-                    Event::Done { shard: shard_idx },
-                );
-                batch_seq += 1;
+                        let stamped: Vec<Response> = batch
+                            .iter()
+                            .zip(&outcome.results)
+                            .map(|(req, &(best_consensus, realigned))| {
+                                let latency = completion - req.arrival_s;
+                                counters.observe("serve/latency_us", (latency * 1e6) as u64);
+                                // The request-journey span breakdown, in
+                                // µs: admission (structurally zero today)
+                                // → batch formation → shard queue →
+                                // execution = total.
+                                counters.observe("serve/span_admission_us", 0);
+                                counters.observe(
+                                    "serve/span_batch_wait_us",
+                                    ((ready - req.arrival_s) * 1e6) as u64,
+                                );
+                                counters.observe(
+                                    "serve/span_shard_wait_us",
+                                    ((now - ready) * 1e6) as u64,
+                                );
+                                counters.observe(
+                                    "serve/span_exec_us",
+                                    ((completion - now) * 1e6) as u64,
+                                );
+                                counters.observe("serve/span_total_us", (latency * 1e6) as u64);
+                                if latency <= self.config.slo_deadline_s {
+                                    counters.add("serve/slo_met", 1);
+                                } else {
+                                    counters.add("serve/slo_missed", 1);
+                                }
+                                if tenant_quotas.is_some() {
+                                    let t = req.tenant;
+                                    tenant_queued[t] -= 1;
+                                    counters.add(&format!("serve/tenant{t}/completed"), 1);
+                                    counters.observe(
+                                        &format!("serve/tenant{t}/latency_us"),
+                                        (latency * 1e6) as u64,
+                                    );
+                                    if latency <= self.config.slo_deadline_s {
+                                        counters.add(&format!("serve/tenant{t}/slo_met"), 1);
+                                    } else {
+                                        counters.add(&format!("serve/tenant{t}/slo_missed"), 1);
+                                    }
+                                }
+                                Response {
+                                    id: req.id,
+                                    arrival_s: req.arrival_s,
+                                    ready_s: ready,
+                                    dispatch_s: now,
+                                    completion_s: completion,
+                                    shard: shard_idx,
+                                    batch: batch_seq,
+                                    batch_size: batch.len(),
+                                    best_consensus,
+                                    realigned,
+                                    family,
+                                    tenant: req.tenant,
+                                }
+                            })
+                            .collect();
+                        tracer.span_args(
+                            Track::Shard(shard_idx),
+                            SpanKind::Compute,
+                            &format!("batch {batch_seq}"),
+                            None,
+                            now,
+                            completion,
+                            &[("batch", batch_seq), ("requests", batch.len() as u64)],
+                        );
+                        in_flight[shard_idx] = Some(InFlight { responses: stamped });
+                        events.push(
+                            SimTime::from_seconds(completion),
+                            PRIO_DONE,
+                            0,
+                            Event::Done { shard: shard_idx },
+                        );
+                        batch_seq += 1;
+                        continue 'dispatch;
+                    }
+                }
+                break;
             }
-            counters.gauge_max("serve/queue_depth_hwm", queue.depth_high_water() as u64);
+            counters.gauge_max(
+                "serve/queue_depth_hwm",
+                queues.iter().map(|q| q.depth_high_water() as u64).sum(),
+            );
         }
 
-        if !queue.is_empty() {
-            return Err(ServeError::UndrainedQueue {
-                depth: queue.depth(),
-            });
+        let depth: usize = queues.iter().map(SubmissionQueue::depth).sum();
+        if depth > 0 {
+            return Err(ServeError::UndrainedQueue { depth });
         }
-        counters.set("serve/accepted", queue.accepted());
-        counters.set("serve/rejected", queue.rejected());
+        counters.set(
+            "serve/accepted",
+            queues.iter().map(SubmissionQueue::accepted).sum(),
+        );
+        // Tenant-quota and unroutable-family rejections bypass the
+        // queues, so the ground truth is the rejection list itself (on a
+        // default run it equals the queues' own tally).
+        counters.set("serve/rejected", rejections.len() as u64);
         counters.set("serve/completed", responses.len() as u64);
         counters.set("serve/batches", batch_seq);
         counters.set("serve/flush_full", flush_full);

@@ -3,6 +3,7 @@
 
 use ir_fpga::{AcceleratedSystem, FaultPlan, FpgaError, FunctionalOracle, ResilienceReport};
 use ir_genome::RealignmentTarget;
+use ir_workloads::ShapeFamily;
 
 use crate::config::ServeConfig;
 use crate::error::ServeError;
@@ -35,6 +36,7 @@ pub struct Shard {
     system: AcceleratedSystem,
     plan: Option<FaultPlan>,
     config: ServeConfig,
+    families: Vec<ShapeFamily>,
     batches: u64,
     requests: u64,
     busy_s: f64,
@@ -43,11 +45,25 @@ pub struct Shard {
 impl Shard {
     /// Builds shard `index` from the service config.
     ///
+    /// With a heterogeneous [`ServeConfig::pool`], the shard takes its
+    /// spec's parameters, scheduling and per-shape buffer geometry, and
+    /// advertises only the spec's families. Without one it is the
+    /// homogeneous pre-pool shard — hardware geometry, every family.
+    ///
     /// # Errors
     ///
     /// Propagates backend construction failures (FPGA fit / timing).
     pub fn new(index: usize, config: &ServeConfig) -> Result<Self, FpgaError> {
-        let system = AcceleratedSystem::new(config.params, config.scheduling)?;
+        let (system, families) = match config.pool.as_ref().and_then(|p| p.get(index)) {
+            Some(spec) => (
+                AcceleratedSystem::new(spec.params, spec.scheduling)?.with_geometry(spec.geometry),
+                spec.families.clone(),
+            ),
+            None => (
+                AcceleratedSystem::new(config.params, config.scheduling)?,
+                ShapeFamily::ALL.to_vec(),
+            ),
+        };
         let plan = config
             .faults
             .map(|f| FaultPlan::seeded(f.seed.wrapping_add(index as u64), f.rates));
@@ -56,6 +72,7 @@ impl Shard {
             system,
             plan,
             config: config.clone(),
+            families,
             batches: 0,
             requests: 0,
             busy_s: 0.0,
@@ -65,6 +82,16 @@ impl Shard {
     /// This shard's index in the pool.
     pub fn index(&self) -> usize {
         self.index
+    }
+
+    /// The shape families this shard advertises to the router.
+    pub fn families(&self) -> &[ShapeFamily] {
+        &self.families
+    }
+
+    /// Whether this shard serves `family`.
+    pub fn supports(&self, family: ShapeFamily) -> bool {
+        self.families.contains(&family)
     }
 
     /// Executes one batch and returns its outcome.
@@ -103,6 +130,11 @@ impl Shard {
                 .collect(),
             resilience: run.resilience,
         })
+    }
+
+    /// Whether this shard's buffer geometry holds `shape`.
+    pub fn admits(&self, shape: &ir_genome::TargetShape) -> bool {
+        self.system.admits(shape)
     }
 
     /// Batches executed so far.
@@ -209,6 +241,60 @@ mod tests {
         .run_batch(&batch)
         .unwrap();
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn pool_specs_resize_backends_and_scope_families() {
+        use crate::config::ShardSpec;
+        use ir_fpga::Scheduling;
+        use ir_genome::TargetShape;
+
+        let base = ServeConfig::default();
+        let pool = vec![
+            ShardSpec::for_families(
+                &[ShapeFamily::ShortReadGermline, ShapeFamily::Metagenomic],
+                &base.params,
+                Scheduling::Asynchronous,
+            )
+            .unwrap(),
+            ShardSpec::for_families(
+                &[ShapeFamily::DeepPanel],
+                &base.params,
+                Scheduling::Asynchronous,
+            )
+            .unwrap(),
+        ];
+        let config = ServeConfig {
+            pool: Some(pool),
+            ..base
+        };
+        let short = Shard::new(0, &config).unwrap();
+        let panel = Shard::new(1, &config).unwrap();
+
+        assert!(short.supports(ShapeFamily::ShortReadGermline));
+        assert!(short.supports(ShapeFamily::Metagenomic));
+        assert!(!short.supports(ShapeFamily::DeepPanel));
+        assert!(panel.supports(ShapeFamily::DeepPanel));
+        assert!(!panel.supports(ShapeFamily::ShortReadGermline));
+
+        // A 600-read deep-panel target only fits the panel shard's
+        // enlarged read buffers.
+        let deep = TargetShape {
+            num_consensuses: 8,
+            num_reads: 600,
+            consensus_lens: vec![512; 8],
+            read_lens: vec![150; 600],
+        };
+        assert!(panel.admits(&deep));
+        assert!(!short.admits(&deep));
+
+        // A default shard advertises everything and keeps hardware
+        // admission.
+        let default_shard = Shard::new(0, &ServeConfig::default()).unwrap();
+        for family in ShapeFamily::ALL {
+            assert!(default_shard.supports(family));
+        }
+        assert!(!default_shard.admits(&deep));
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Shape families: named workload regimes with their own generator
+//! profiles and accelerator shape envelopes.
+//!
+//! The paper evaluates one regime — NA12878-style short-read germline
+//! realignment — and the rest of this workspace inherited its constants
+//! (250 bp reads, 320–2048 bp consensuses, ≤256 reads/target) as implicit
+//! defaults. The FPGA-alignment literature catalogues at least three more
+//! regimes that stress an accelerator very differently:
+//!
+//! - **long-read** (ONT/PacBio): kilobase reads over few, huge targets.
+//!   Consensus and read buffers blow past the short-read BRAM layout, so
+//!   a unit needs a different buffer geometry (and gets *fewer* slots).
+//! - **deep-panel** (somatic panels at 500–1000×): small regions under
+//!   extreme coverage. The 256-read hardware buffer is the binding
+//!   constraint; arbiter contention and DMA chains dominate.
+//! - **metagenomic** (low, uneven coverage, many foreign reads): thin
+//!   targets whose mismapped reads defeat computation pruning.
+//!
+//! [`ShapeFamily`] names the regime; [`WorkloadProfile`] turns it into a
+//! concrete [`WorkloadConfig`] (and [`TargetLimits`] envelope) so every
+//! caller draws targets through the same API instead of hard-coding
+//! short-read constants. The short-read profile reproduces
+//! [`WorkloadConfig::default`] *exactly* — same seed, same draw order —
+//! so existing artifacts stay bitwise-identical.
+
+use std::str::FromStr;
+
+use ir_genome::TargetLimits;
+use serde::{Deserialize, Serialize};
+
+use crate::generator::{WorkloadConfig, WorkloadGenerator};
+
+/// A named workload shape regime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShapeFamily {
+    /// The paper's regime: Illumina short-read germline realignment
+    /// (250 bp reads, 320–2048 bp targets, Zipf coverage to 256 reads).
+    #[default]
+    ShortReadGermline,
+    /// ONT/PacBio long reads: ~5 kb reads over 6–10 kb targets, few reads
+    /// and few alternative haplotypes per target, high base-error rate.
+    LongRead,
+    /// Somatic deep-panel sequencing: 150 bp reads at 500–1000× over
+    /// small (≤640 bp) regions — hundreds to a thousand reads per target.
+    DeepPanel,
+    /// Metagenomic low-coverage profiles: short targets, thin and uneven
+    /// coverage, a large mismapped/foreign-read fraction.
+    Metagenomic,
+}
+
+impl ShapeFamily {
+    /// Every family, in canonical order (the routing/reporting order).
+    pub const ALL: [ShapeFamily; 4] = [
+        ShapeFamily::ShortReadGermline,
+        ShapeFamily::LongRead,
+        ShapeFamily::DeepPanel,
+        ShapeFamily::Metagenomic,
+    ];
+
+    /// Stable kebab-case name (CLI flags, CSV rows, fuzz-case encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShapeFamily::ShortReadGermline => "short-read",
+            ShapeFamily::LongRead => "long-read",
+            ShapeFamily::DeepPanel => "deep-panel",
+            ShapeFamily::Metagenomic => "metagenomic",
+        }
+    }
+
+    /// Index into [`ShapeFamily::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            ShapeFamily::ShortReadGermline => 0,
+            ShapeFamily::LongRead => 1,
+            ShapeFamily::DeepPanel => 2,
+            ShapeFamily::Metagenomic => 3,
+        }
+    }
+
+    /// The family's generator/limits profile.
+    pub fn profile(self) -> WorkloadProfile {
+        WorkloadProfile { family: self }
+    }
+}
+
+impl std::fmt::Display for ShapeFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ShapeFamily {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ShapeFamily::ALL
+            .into_iter()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = ShapeFamily::ALL.iter().map(|f| f.name()).collect();
+                format!(
+                    "unknown shape family {s:?} (expected one of {})",
+                    names.join("|")
+                )
+            })
+    }
+}
+
+/// A shape family's concrete workload recipe: the [`TargetLimits`]
+/// envelope its targets are generated against and the [`WorkloadConfig`]
+/// that draws them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadProfile {
+    family: ShapeFamily,
+}
+
+impl WorkloadProfile {
+    /// The profile for `family` (alias of [`ShapeFamily::profile`]).
+    pub fn of(family: ShapeFamily) -> Self {
+        family.profile()
+    }
+
+    /// Which family this profile describes.
+    pub fn family(&self) -> ShapeFamily {
+        self.family
+    }
+
+    /// The shape envelope targets of this family are generated against.
+    ///
+    /// Only the short-read family fits [`TargetLimits::HARDWARE`]; the
+    /// others deliberately exceed it in one dimension each (reads, bases
+    /// per consensus) so the per-shape derivation in `ir-fpga` has a real
+    /// sizing problem to solve.
+    pub fn limits(&self) -> TargetLimits {
+        match self.family {
+            ShapeFamily::ShortReadGermline => TargetLimits::HARDWARE,
+            ShapeFamily::LongRead => TargetLimits {
+                max_consensuses: 6,
+                max_reads: 8,
+                max_consensus_len: 10_240,
+                max_read_len: 6_144,
+            },
+            ShapeFamily::DeepPanel => TargetLimits {
+                max_consensuses: 32,
+                max_reads: 1_024,
+                max_consensus_len: 640,
+                max_read_len: 160,
+            },
+            ShapeFamily::Metagenomic => TargetLimits {
+                max_consensuses: 16,
+                max_reads: 64,
+                max_consensus_len: 2_048,
+                max_read_len: 160,
+            },
+        }
+    }
+
+    /// Multiplier on the per-chromosome target density relative to the
+    /// short-read germline regime (long reads collapse many short-read
+    /// targets into one interval; panels cover a tiny region set).
+    pub fn target_density_factor(&self) -> f64 {
+        match self.family {
+            ShapeFamily::ShortReadGermline => 1.0,
+            ShapeFamily::LongRead => 0.04,
+            ShapeFamily::DeepPanel => 0.08,
+            ShapeFamily::Metagenomic => 0.5,
+        }
+    }
+
+    /// The family's generator configuration at `scale` (the same scale
+    /// knob the bench binaries read from `IR_SCALE`; the per-family
+    /// density factor is folded in on top).
+    ///
+    /// `ShapeFamily::ShortReadGermline.profile().config(1e-3)` equals
+    /// [`WorkloadConfig::default`] exactly, bit for bit — the contract
+    /// that keeps every existing artifact byte-identical.
+    pub fn config(&self, scale: f64) -> WorkloadConfig {
+        let scale = scale * self.target_density_factor();
+        let limits = self.limits();
+        match self.family {
+            ShapeFamily::ShortReadGermline => WorkloadConfig {
+                scale,
+                ..WorkloadConfig::default()
+            },
+            ShapeFamily::LongRead => WorkloadConfig {
+                seed: WorkloadConfig::default().seed ^ 0x6c6f_6e67,
+                scale,
+                mean_alt_consensuses: 1.5,
+                min_reads: 2,
+                max_reads: 8,
+                read_len: 5_000,
+                min_consensus_len: 6_144,
+                max_consensus_len: 10_240,
+                base_error_rate: 0.05,
+                error_rate_spread: 2.0,
+                max_mismapped_fraction: 0.1,
+                variant_probability: 0.7,
+                zipf_exponent: 1.0,
+                limits,
+            },
+            ShapeFamily::DeepPanel => WorkloadConfig {
+                seed: WorkloadConfig::default().seed ^ 0x0070_616e_656c,
+                scale,
+                mean_alt_consensuses: 4.0,
+                min_reads: 384,
+                max_reads: 1_024,
+                read_len: 150,
+                min_consensus_len: 320,
+                max_consensus_len: 640,
+                base_error_rate: 0.005,
+                error_rate_spread: 2.0,
+                max_mismapped_fraction: 0.2,
+                variant_probability: 0.5,
+                zipf_exponent: 0.5,
+                limits,
+            },
+            ShapeFamily::Metagenomic => WorkloadConfig {
+                seed: WorkloadConfig::default().seed ^ 0x6d65_7461,
+                scale,
+                mean_alt_consensuses: 2.0,
+                min_reads: 2,
+                max_reads: 24,
+                read_len: 120,
+                min_consensus_len: 160,
+                max_consensus_len: 1_024,
+                base_error_rate: 0.02,
+                error_rate_spread: 4.0,
+                max_mismapped_fraction: 0.6,
+                variant_probability: 0.4,
+                zipf_exponent: 1.4,
+                limits,
+            },
+        }
+    }
+
+    /// A ready generator at `scale`.
+    pub fn generator(&self, scale: f64) -> WorkloadGenerator {
+        WorkloadGenerator::new(self.config(scale))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_read_profile_is_bitwise_the_default() {
+        let cfg = ShapeFamily::ShortReadGermline.profile().config(1e-3);
+        assert_eq!(cfg, WorkloadConfig::default());
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for family in ShapeFamily::ALL {
+            let back: ShapeFamily = family.name().parse().unwrap();
+            assert_eq!(back, family);
+            assert_eq!(ShapeFamily::ALL[family.index()], family);
+        }
+        assert!("nanopore".parse::<ShapeFamily>().is_err());
+    }
+
+    #[test]
+    fn every_family_generates_within_its_envelope() {
+        for family in ShapeFamily::ALL {
+            let profile = family.profile();
+            let limits = profile.limits();
+            let targets = profile.generator(1e-3).targets(3, 7);
+            assert_eq!(targets.len(), 3);
+            for t in &targets {
+                let shape = t.shape();
+                assert!(shape.num_consensuses <= limits.max_consensuses, "{family}");
+                assert!(shape.num_reads <= limits.max_reads, "{family}");
+                for &len in &shape.consensus_lens {
+                    assert!(len <= limits.max_consensus_len, "{family}");
+                }
+                for &len in &shape.read_lens {
+                    assert!(len <= limits.max_read_len, "{family}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn families_draw_distinct_streams() {
+        let a = ShapeFamily::LongRead
+            .profile()
+            .generator(1e-3)
+            .targets(2, 3);
+        let b = ShapeFamily::Metagenomic
+            .profile()
+            .generator(1e-3)
+            .targets(2, 3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn density_factors_thin_out_non_germline_families() {
+        use ir_genome::Chromosome;
+        let short = ShapeFamily::ShortReadGermline
+            .profile()
+            .generator(1e-3)
+            .target_count(Chromosome::Autosome(2));
+        for family in [ShapeFamily::LongRead, ShapeFamily::DeepPanel] {
+            let thin = family
+                .profile()
+                .generator(1e-3)
+                .target_count(Chromosome::Autosome(2));
+            assert!(thin < short / 4, "{family}: {thin} vs {short}");
+        }
+    }
+}

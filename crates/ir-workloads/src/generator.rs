@@ -4,13 +4,20 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use ir_genome::{Base, Chromosome, Qual, Read, RealignmentTarget, Sequence};
+use ir_genome::{Base, Chromosome, Qual, Read, RealignmentTarget, Sequence, TargetLimits};
 
 use crate::profile::expected_target_count;
 use crate::zipf::Zipf;
 
 /// Knobs of the synthetic workload, defaulted to the paper's published
 /// shape statistics.
+///
+/// The limits the generated targets are built against come from
+/// [`WorkloadConfig::limits`]; the default is the paper accelerator's
+/// [`TargetLimits::HARDWARE`] envelope, and shape-family profiles
+/// ([`crate::WorkloadProfile`]) substitute their own envelopes (e.g. the
+/// deep-panel family exceeds the 256-read hardware buffer on purpose, so
+/// the per-shape derivation in `ir-fpga` has something to size).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadConfig {
     /// Master seed; every chromosome derives its own stream from it.
@@ -19,7 +26,7 @@ pub struct WorkloadConfig {
     /// (1.0 = full NA12878 scale; default 1e-3 for laptop-scale runs).
     pub scale: f64,
     /// Mean number of *alternative* consensuses per target (total is
-    /// capped at 32 including the reference).
+    /// capped at `limits.max_consensuses` including the reference).
     pub mean_alt_consensuses: f64,
     /// Minimum reads per target (paper: 10).
     pub min_reads: usize,
@@ -51,6 +58,10 @@ pub struct WorkloadConfig {
     pub variant_probability: f64,
     /// Zipf exponent of the coverage imbalance (§II-C).
     pub zipf_exponent: f64,
+    /// Shape envelope the generated targets are validated against (and the
+    /// alternative-consensus count is capped by). Defaults to the paper
+    /// accelerator's hardware limits.
+    pub limits: TargetLimits,
 }
 
 impl Default for WorkloadConfig {
@@ -69,6 +80,7 @@ impl Default for WorkloadConfig {
             max_mismapped_fraction: 0.4,
             variant_probability: 0.6,
             zipf_exponent: 1.0,
+            limits: TargetLimits::HARDWARE,
         }
     }
 }
@@ -170,6 +182,22 @@ impl WorkloadGenerator {
             "reads must fit in the shortest consensus"
         );
         assert!(config.min_reads >= 1 && config.min_reads <= config.max_reads);
+        assert!(
+            config.max_reads <= config.limits.max_reads,
+            "read count bound exceeds the shape limits"
+        );
+        assert!(
+            config.max_consensus_len <= config.limits.max_consensus_len,
+            "consensus length bound exceeds the shape limits"
+        );
+        assert!(
+            config.read_len <= config.limits.max_read_len,
+            "read length exceeds the shape limits"
+        );
+        assert!(
+            config.limits.max_consensuses >= 2,
+            "shape limits must admit a reference plus one alternative"
+        );
         WorkloadGenerator { config }
     }
 
@@ -299,10 +327,12 @@ impl WorkloadGenerator {
         // candidates assembled from other INDEL hypotheses.
         let n_alts = {
             // Geometric with the configured mean, at least 1, capped so the
-            // total (with reference) stays ≤ 32.
+            // total (with reference) stays within the shape limits (31
+            // alternatives for the hardware envelope's 32 consensuses).
             let p = 1.0 / cfg.mean_alt_consensuses.max(1.0);
+            let cap = cfg.limits.max_consensuses - 1;
             let mut n = 1usize;
-            while n < 31 && rng.random::<f64>() > p {
+            while n < cap && rng.random::<f64>() > p {
                 n += 1;
             }
             n
@@ -385,11 +415,12 @@ impl WorkloadGenerator {
         }
 
         let target = RealignmentTarget::builder(start_pos)
+            .limits(cfg.limits)
             .reference(reference)
             .consensuses(consensuses)
             .reads(reads)
             .build()
-            .expect("generated target respects hardware limits");
+            .expect("generated target respects the configured shape limits");
         let truth = TargetTruth {
             has_variant,
             true_consensus: has_variant.then_some(1),

@@ -19,6 +19,12 @@
 //! The crate also provides the paper's worked examples: the Figure 4
 //! target and the Figure 7 scheduling toy experiment.
 //!
+//! Beyond the paper's short-read germline regime, [`ShapeFamily`] /
+//! [`WorkloadProfile`] name three more workload shapes (long-read,
+//! deep-panel, metagenomic) with their own generator profiles and
+//! [`ir_genome::TargetLimits`] envelopes, so the accelerator layers can
+//! size per-shape configurations instead of assuming one geometry.
+//!
 //! # Example
 //!
 //! ```
@@ -39,12 +45,14 @@
 
 mod arrivals;
 mod examples;
+mod family;
 mod generator;
 mod profile;
 mod zipf;
 
 pub use arrivals::ArrivalProcess;
 pub use examples::{figure4_target, scheduling_toy_targets};
+pub use family::{ShapeFamily, WorkloadProfile};
 pub use generator::{
     ChromosomeWorkload, ReadTruth, TargetTruth, WorkloadConfig, WorkloadGenerator, WorkloadStats,
 };

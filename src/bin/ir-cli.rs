@@ -2,18 +2,25 @@
 //!
 //! ```text
 //! ir-cli gen --chromosome 21 --scale 1e-4 --seed 7 --out targets.tio
+//! ir-cli workloads --family short-read|long-read|deep-panel|metagenomic
+//!                  [--scale F] [--count N] [--seed S] [--out FILE]
 //! ir-cli realign targets.tio [--rule paper|gatk] [--threads N]
 //! ir-cli simulate targets.tio [--units 32] [--lanes 1|32] [--sched sync|async]
 //! ir-cli serve targets.tio [--shards N] [--batch B] [--deadline-us D]
 //!                          [--rate R] [--seed S] [--faults 0|1] [--threads N]
 //!                          [--slo-ms S] [--json FILE] [--trace FILE]
+//!                          [--family F] [--pool hetero] [--tenants N]
+//!                          [--tenant-quota Q]
 //! ir-cli fuzz [--seed S] [--iters N] [--corpus DIR]
 //! ir-cli bench-snapshot [--results DIR] [--rev REV] [--out FILE]
 //! ir-cli bench-diff <OLD.json> <NEW.json>
 //! ```
 //!
 //! `gen` writes a synthetic chromosome workload in the text interchange
-//! format; `realign` runs the software realigner over a target file;
+//! format; `workloads` generates a shape-family workload
+//! (`ir_workloads::ShapeFamily`) and prints the unit configuration a
+//! fabric sized for that family would use; `realign` runs the software
+//! realigner over a target file;
 //! `simulate` runs the same file through the cycle-level accelerated
 //! system and reports timing; `serve` replays the file as Poisson
 //! traffic through the batched realignment service and reports
@@ -32,21 +39,26 @@ use std::process::ExitCode;
 
 use ir_system::baselines::parallel::realign_parallel;
 use ir_system::core::{IndelRealigner, SelectionRule};
-use ir_system::fpga::{AcceleratedSystem, FaultRates, FpgaParams, Scheduling};
+use ir_system::fpga::{derive_shape_config, AcceleratedSystem, FaultRates, FpgaParams, Scheduling};
 use ir_system::fuzz::{iters_from_env, FuzzConfig};
 use ir_system::genome::tio;
 use ir_system::genome::{Chromosome, RealignmentTarget};
-use ir_system::serve::{FaultInjection, RealignService, Request, ServeConfig};
-use ir_system::workloads::{ArrivalProcess, WorkloadConfig, WorkloadGenerator};
+use ir_system::serve::{
+    FaultInjection, RealignService, Request, ServeConfig, ShardSpec, TenantQuota,
+};
+use ir_system::workloads::{ArrivalProcess, ShapeFamily, WorkloadConfig, WorkloadGenerator};
 
 const USAGE: &str = "\
 usage:
   ir-cli gen --chromosome <1-22|X|Y> [--scale F] [--seed N] [--out FILE]
+  ir-cli workloads --family <short-read|long-read|deep-panel|metagenomic>
+               [--scale F] [--count N] [--seed S] [--out FILE]
   ir-cli realign <FILE> [--rule paper|gatk] [--threads N]
   ir-cli simulate <FILE> [--units N] [--lanes 1|32] [--sched sync|async]
   ir-cli serve <FILE> [--shards N] [--batch B] [--deadline-us D] [--rate R]
                [--seed S] [--faults 0|1] [--threads N] [--slo-ms S]
-               [--json FILE] [--trace FILE]
+               [--json FILE] [--trace FILE] [--family F] [--pool hetero]
+               [--tenants N] [--tenant-quota Q]
   ir-cli fuzz [--seed S] [--iters N] [--corpus DIR]
   ir-cli bench-snapshot [--results DIR] [--rev REV] [--out FILE]
   ir-cli bench-diff <OLD.json> <NEW.json>
@@ -121,6 +133,58 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
         "wrote {} targets for {chromosome} ({} reads, {:.2e} worst-case comparisons) to {out}",
         stats.num_targets, stats.total_reads, stats.worst_case_comparisons as f64
     );
+    Ok(())
+}
+
+fn cmd_workloads(args: &Args) -> Result<(), String> {
+    let family: ShapeFamily = args
+        .flag("family")
+        .ok_or("workloads requires --family (short-read|long-read|deep-panel|metagenomic)")?
+        .parse()?;
+    let scale: f64 = args.flag_parse("scale", 1e-4)?;
+    let count: usize = args.flag_parse("count", 16)?;
+    let seed: u64 = args.flag_parse("seed", 7)?;
+
+    let profile = family.profile();
+    let targets = profile.generator(scale).targets(count, seed);
+    let (mut reads, mut naive, mut bytes) = (0u64, 0u64, 0u64);
+    let (mut max_reads, mut max_cons_len) = (0usize, 0usize);
+    for t in &targets {
+        let shape = t.shape();
+        reads += shape.num_reads as u64;
+        naive += shape.worst_case_comparisons();
+        bytes += shape.input_bytes();
+        max_reads = max_reads.max(shape.num_reads);
+        max_cons_len = max_cons_len.max(shape.consensus_lens.iter().copied().max().unwrap_or(0));
+    }
+    println!(
+        "{family}: {} targets, {reads} reads (max {max_reads}/target), \
+         longest consensus {max_cons_len} bp, {:.2e} worst-case comparisons, {bytes} input bytes",
+        targets.len(),
+        naive as f64
+    );
+
+    let shape = derive_shape_config(&profile.limits(), &FpgaParams::iracc())
+        .map_err(|e| format!("deriving the {family} unit configuration: {e}"))?;
+    println!(
+        "derived fabric: {} units ({} max at {} BRAM36/unit, {:.1}% BRAM), \
+         geometry {}x{} B consensuses / {}x{} B reads",
+        shape.params.num_units,
+        shape.max_units,
+        shape.unit_bram36_blocks,
+        shape.resources.bram_utilization * 100.0,
+        shape.geometry.max_consensuses,
+        shape.geometry.consensus_slot_bytes,
+        shape.geometry.max_reads,
+        shape.geometry.read_slot_bytes
+    );
+
+    if let Some(out) = args.flag("out") {
+        let mut buffer = Vec::new();
+        tio::write_targets(&mut buffer, &targets).map_err(|e| e.to_string())?;
+        std::fs::write(out, &buffer).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {} targets to {out}", targets.len());
+    }
     Ok(())
 }
 
@@ -207,12 +271,33 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let faults: u8 = args.flag_parse("faults", 0)?;
     let threads: usize = args.flag_parse("threads", 1)?;
     let slo_ms: f64 = args.flag_parse("slo-ms", ServeConfig::default().slo_deadline_s * 1e3)?;
+    let family: ShapeFamily = args.flag_parse("family", ShapeFamily::default())?;
+    let tenants: usize = args.flag_parse("tenants", 0)?;
+    let tenant_quota: usize = args.flag_parse("tenant-quota", 64)?;
     if !(rate.is_finite() && rate > 0.0) {
         return Err(format!(
             "--rate must be a positive request rate, got {rate}"
         ));
     }
 
+    let base = ServeConfig::default();
+    // `--pool hetero` builds one shard per requested slot, cycling the
+    // shape families in declaration order; each shard's buffer geometry
+    // and unit count are re-derived for its family's envelope, and the
+    // service routes each request only to shards advertising its family.
+    let pool = match args.flag("pool") {
+        None => None,
+        Some("hetero") => Some(
+            (0..shards)
+                .map(|i| {
+                    let fam = ShapeFamily::ALL[i % ShapeFamily::ALL.len()];
+                    ShardSpec::for_families(&[fam], &base.params, base.scheduling)
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| e.to_string())?,
+        ),
+        Some(other) => return Err(format!("unknown --pool '{other}' (hetero)")),
+    };
     let config = ServeConfig {
         shards,
         max_batch,
@@ -223,14 +308,27 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             seed,
             rates: FaultRates::default_rates(),
         }),
-        ..ServeConfig::default()
+        pool,
+        tenants: (tenants > 0).then(|| {
+            vec![
+                TenantQuota {
+                    max_queued: tenant_quota.max(1)
+                };
+                tenants
+            ]
+        }),
+        ..base
     };
     let times = ArrivalProcess::poisson(seed, rate).times(targets.len());
     let requests: Vec<Request> = targets
         .into_iter()
         .zip(times)
         .enumerate()
-        .map(|(i, (t, at))| Request::new(i as u64, at, t))
+        .map(|(i, (t, at))| {
+            Request::new(i as u64, at, t)
+                .with_family(family)
+                .with_tenant(if tenants > 0 { i % tenants } else { 0 })
+        })
         .collect();
 
     let mut service = RealignService::new(config).map_err(|e| e.to_string())?;
@@ -271,6 +369,30 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             report.slo_attainment(),
             report.counters.counter("serve/slo_met"),
             report.counters.counter("serve/slo_missed")
+        );
+    }
+    if args.flag("pool").is_some() {
+        println!(
+            "heterogeneous pool: requests tagged {family}, {} unroutable",
+            report.counters.counter("serve/unroutable")
+        );
+    }
+    for t in 0..tenants {
+        println!(
+            "tenant {t}: {} accepted, {} rejected, {} completed (SLO {} met / {} missed)",
+            report
+                .counters
+                .counter(&format!("serve/tenant{t}/accepted")),
+            report
+                .counters
+                .counter(&format!("serve/tenant{t}/rejected")),
+            report
+                .counters
+                .counter(&format!("serve/tenant{t}/completed")),
+            report.counters.counter(&format!("serve/tenant{t}/slo_met")),
+            report
+                .counters
+                .counter(&format!("serve/tenant{t}/slo_missed")),
         );
     }
     if let Some(path) = args.flag("json") {
@@ -369,6 +491,35 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
                 .and_then(JsonValue::as_f64)
                 .ok_or_else(|| format!("serve_report.json missing {source}"))?;
             snap.metrics.insert(metric.to_string(), v);
+        }
+    }
+
+    // Optional: the workload atlas's per-family characterization rows.
+    let atlas_path = results.join("workload_atlas.json");
+    if let Ok(text) = std::fs::read_to_string(&atlas_path) {
+        let atlas =
+            parse_json(&text).map_err(|e| format!("parsing {}: {e}", atlas_path.display()))?;
+        let families = atlas
+            .get("families")
+            .and_then(JsonValue::as_array)
+            .ok_or("workload_atlas.json missing families")?;
+        for row in families {
+            let name = row
+                .get("family")
+                .and_then(JsonValue::as_str)
+                .ok_or("workload_atlas.json row missing family")?;
+            for source in [
+                "units",
+                "prune_rate",
+                "consensus_occupancy",
+                "read_occupancy",
+            ] {
+                let v = row
+                    .get(source)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("workload_atlas.json {name} row missing {source}"))?;
+                snap.metrics.insert(format!("atlas/{name}/{source}"), v);
+            }
         }
     }
 
@@ -481,6 +632,7 @@ fn main() -> ExitCode {
     };
     let result = match args.positional.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args),
+        Some("workloads") => cmd_workloads(&args),
         Some("realign") => cmd_realign(&args),
         Some("simulate") => cmd_simulate(&args),
         Some("serve") => cmd_serve(&args),

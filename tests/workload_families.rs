@@ -1,0 +1,164 @@
+//! Shape-family workload contracts: every family generates through the
+//! same [`ir_system::workloads::WorkloadProfile`] API, stays inside its
+//! declared shape envelope, generates deterministically, and round-trips
+//! through the per-shape accelerator derivation in `ir-fpga` — including
+//! the rejection paths for shapes no unit configuration can hold.
+
+use ir_system::fpga::{derive_shape_config, BufferGeometry, FpgaError, FpgaParams};
+use ir_system::genome::TargetLimits;
+use ir_system::workloads::{ShapeFamily, WorkloadProfile};
+
+const SCALE: f64 = 1e-4;
+const SEED: u64 = 0xFA111E5;
+
+/// Family target counts kept small: long-read and deep-panel targets are
+/// orders of magnitude heavier than short-read ones, and these tests only
+/// assert shape properties, never run the datapath.
+const COUNT: usize = 12;
+
+#[test]
+fn every_family_generates_through_the_profile_api() {
+    for &family in ShapeFamily::ALL.iter() {
+        let profile = WorkloadProfile::of(family);
+        assert_eq!(profile.family(), family);
+        let targets = profile.generator(SCALE).targets(COUNT, SEED);
+        assert_eq!(targets.len(), COUNT, "{family}");
+        assert_eq!(family.name().parse::<ShapeFamily>().unwrap(), family);
+    }
+}
+
+#[test]
+fn generated_targets_stay_inside_the_family_envelope() {
+    for &family in ShapeFamily::ALL.iter() {
+        let profile = family.profile();
+        let limits = profile.limits();
+        let geometry = BufferGeometry::from_limits(&limits);
+        for t in profile.generator(SCALE).targets(COUNT, SEED) {
+            let shape = t.shape();
+            assert!(
+                shape.num_consensuses <= limits.max_consensuses
+                    && shape.num_reads <= limits.max_reads
+                    && shape
+                        .consensus_lens
+                        .iter()
+                        .all(|&l| l <= limits.max_consensus_len)
+                    && shape.read_lens.iter().all(|&l| l <= limits.max_read_len),
+                "{family} target escapes its envelope: {shape:?}"
+            );
+            assert!(
+                geometry.holds(&shape),
+                "{family} geometry rejects its own target"
+            );
+        }
+    }
+}
+
+#[test]
+fn family_stats_match_their_sequencing_regime() {
+    // Worst-case comparisons per read scale with (consensus − read) ×
+    // read length, so each family's stats must reflect its regime:
+    // long reads are kilobases, deep panels pile hundreds of short reads
+    // on one locus, metagenomic targets are thin.
+    let stats = |family: ShapeFamily| {
+        let targets = family.profile().generator(SCALE).targets(COUNT, SEED);
+        let reads: u64 = targets.iter().map(|t| t.shape().num_reads as u64).sum();
+        let max_read_len = targets
+            .iter()
+            .flat_map(|t| t.shape().read_lens)
+            .max()
+            .unwrap_or(0);
+        (reads as f64 / COUNT as f64, max_read_len)
+    };
+
+    let (short_reads, short_len) = stats(ShapeFamily::ShortReadGermline);
+    let (long_reads, long_len) = stats(ShapeFamily::LongRead);
+    let (panel_reads, panel_len) = stats(ShapeFamily::DeepPanel);
+    let (meta_reads, meta_len) = stats(ShapeFamily::Metagenomic);
+
+    assert!(long_len > 4 * short_len, "long reads are kilobase-scale");
+    assert!(long_reads <= 8.0, "long-read targets hold few reads");
+    assert!(
+        panel_reads > 4.0 * short_reads,
+        "deep panels stack coverage: {panel_reads} vs {short_reads}"
+    );
+    assert!(panel_len < short_len, "panel reads are short amplicons");
+    assert!(meta_reads < short_reads, "metagenomic coverage is thin");
+    assert!(meta_len < short_len);
+}
+
+#[test]
+fn same_seed_generation_is_bitwise_deterministic() {
+    for &family in ShapeFamily::ALL.iter() {
+        let profile = family.profile();
+        let a = profile.generator(SCALE).targets(COUNT, SEED);
+        let b = profile.generator(SCALE).targets(COUNT, SEED);
+        assert_eq!(a, b, "{family} generation depends on hidden state");
+        let c = profile.generator(SCALE).targets(COUNT, SEED + 1);
+        assert_ne!(a, c, "{family} ignores its seed");
+    }
+}
+
+#[test]
+fn every_family_derives_a_valid_unit_configuration() {
+    for &family in ShapeFamily::ALL.iter() {
+        let cfg = derive_shape_config(&family.profile().limits(), &FpgaParams::iracc())
+            .unwrap_or_else(|e| panic!("{family} must derive: {e}"));
+        assert!(cfg.params.num_units >= 1);
+        assert!(cfg.params.num_units <= cfg.max_units);
+        assert!(cfg.resources.fits, "{family} derived config must route");
+        assert_eq!(
+            cfg.geometry,
+            BufferGeometry::from_limits(&family.profile().limits())
+        );
+    }
+
+    // The deployed hardware's envelope reproduces the paper's 32-unit
+    // fabric; the deep-panel envelope costs units (its read buffers
+    // dominate BRAM); the metagenomic envelope frees BRAM headroom.
+    let units = |family: ShapeFamily| {
+        derive_shape_config(&family.profile().limits(), &FpgaParams::iracc())
+            .unwrap()
+            .params
+            .num_units
+    };
+    assert_eq!(units(ShapeFamily::ShortReadGermline), 32);
+    assert!(units(ShapeFamily::DeepPanel) < 32);
+    assert_eq!(units(ShapeFamily::Metagenomic), 32);
+}
+
+#[test]
+fn derivation_rejects_shapes_no_config_can_hold() {
+    // ISA field overflow: consensus length beyond ir_set_len's u16.
+    let err = derive_shape_config(
+        &TargetLimits {
+            max_consensus_len: 70_000,
+            ..TargetLimits::HARDWARE
+        },
+        &FpgaParams::iracc(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, FpgaError::ShapeUnsupported { .. }), "{err}");
+
+    // Geometry that passes every ISA width but exceeds the VU9P's BRAM
+    // at even a single unit.
+    let err = derive_shape_config(
+        &TargetLimits {
+            max_consensuses: 255,
+            max_reads: 50_000,
+            max_consensus_len: 4_096,
+            max_read_len: 256,
+        },
+        &FpgaParams::iracc(),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            FpgaError::ShapeUnsupported {
+                what: "per-unit BRAM36 blocks",
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
