@@ -4,8 +4,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use ir_core::{calc_whd, calc_whd_bounded, calc_whd_bounded_packed, calc_whd_packed};
-use ir_fpga::hdc::{run_pair, run_pair_fast_packed, HdcConfig};
+use ir_core::batch::{CandidateBlock, SweepRead};
+use ir_core::{calc_whd, calc_whd_bounded, calc_whd_bounded_packed, calc_whd_packed, KernelKind};
+use ir_fpga::hdc::{
+    run_pair, run_pair_fast_packed, run_pair_fast_packed_with, run_read_sweep, HdcConfig,
+};
 use ir_genome::{Base, PackedSequence, Qual, Sequence};
 
 fn sequence(len: usize, salt: usize) -> Sequence {
@@ -165,10 +168,65 @@ fn bench_hdc_scan(c: &mut Criterion) {
     group.finish();
 }
 
+/// Every runnable kernel (scalar, SWAR, each `std::arch` ISA the host
+/// supports) through both execution modes — per-pair scans and the
+/// structure-of-arrays batch sweep — on the sparse and dense fixture
+/// shapes. This is the acceptance row for the explicit-SIMD engine: on
+/// the dense shape the widest SIMD kernel must clear 2x over SWAR.
+fn bench_kernel_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_dispatch");
+    let (n, candidates) = (250usize, 8usize);
+    let m = n + 448;
+    let quals = Qual::uniform(35, n).unwrap();
+    let cfg = HdcConfig {
+        pruning: false,
+        ..HdcConfig::data_parallel()
+    };
+    let cons: Vec<Sequence> = (0..candidates).map(|i| sequence(m, i + 1)).collect();
+    let packed_cons: Vec<PackedSequence> = cons.iter().map(PackedSequence::from).collect();
+    let block = CandidateBlock::from_packed_rows(&packed_cons);
+    // Sparse: a read sampled from one candidate. Dense: an unrelated read.
+    let sparse = cons[0].slice(17, 17 + n);
+    let dense = sequence(n, 77);
+    group.throughput(Throughput::Elements((candidates * (m - n + 1) * n) as u64));
+    for (shape, read) in [("sparse", &sparse), ("dense", &dense)] {
+        let packed_read = PackedSequence::from(read);
+        let sweep_read = SweepRead::new(read.bases(), &quals);
+        for kind in KernelKind::available() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}_pair"), shape),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        for pc in &packed_cons {
+                            black_box(run_pair_fast_packed_with(
+                                black_box(pc),
+                                black_box(&packed_read),
+                                black_box(&quals),
+                                kind,
+                                cfg,
+                            ));
+                        }
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}_batch"), shape),
+                &(),
+                |b, ()| {
+                    b.iter(|| run_read_sweep(black_box(&block), black_box(&sweep_read), kind, cfg))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_calc_whd,
     bench_scalar_vs_packed,
-    bench_hdc_scan
+    bench_hdc_scan,
+    bench_kernel_dispatch
 );
 criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Probe: how cold oracle compute time splits between the serial and
+//! IRACC timing keys (the two datapath families fig9_speedup computes).
+
+use std::time::Instant;
+
+use ir_bench::{bench_workload, scale_from_env};
+use ir_fpga::oracle::FunctionalOracle;
+use ir_fpga::FpgaParams;
+use ir_genome::Chromosome;
+
+fn main() {
+    let generator = bench_workload(scale_from_env());
+    let chromosomes: Vec<Chromosome> = Chromosome::autosomes().collect();
+    let mut serial_s = 0.0f64;
+    let mut iracc_s = 0.0f64;
+    for &chromosome in &chromosomes {
+        let workload = generator.chromosome(chromosome);
+        let t = Instant::now();
+        let mut o = FunctionalOracle::new();
+        o.precompute(&workload.targets, &FpgaParams::serial(), 1);
+        serial_s += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let mut o = FunctionalOracle::new();
+        o.precompute(&workload.targets, &FpgaParams::iracc(), 1);
+        iracc_s += t.elapsed().as_secs_f64();
+    }
+    println!("serial oracle: {serial_s:.2} s");
+    println!("iracc  oracle: {iracc_s:.2} s");
+}

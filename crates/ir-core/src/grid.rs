@@ -2,10 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use ir_genome::{PackedSequence, RealignmentTarget};
+use ir_genome::RealignmentTarget;
 
+use crate::batch::{CandidateBlock, SweepRead};
+use crate::kernel::{self, KernelKind};
 use crate::stats::OpCounts;
-use crate::whd_packed::calc_whd_bounded_packed;
 
 /// The minimum weighted Hamming distance of one (consensus, read) pair,
 /// together with the offset `k` at which it occurred.
@@ -60,52 +61,44 @@ impl MinWhdGrid {
     /// unpruned one. `ops` accumulates the comparisons actually performed
     /// plus, when pruning, the comparisons saved.
     ///
-    /// Internally the evaluations run on the SWAR packed kernel
-    /// ([`calc_whd_bounded_packed`]) — each sequence is packed once and
-    /// reused across every offset. The kernel is bit-for-bit the scalar
-    /// [`crate::calc_whd_bounded`] (same grid, same `OpCounts`); the
-    /// equivalence is pinned by the differential proptests in
-    /// [`crate::whd_packed`].
+    /// Internally the evaluations run on the batched structure-of-arrays
+    /// engine ([`CandidateBlock`]): every consensus is transposed into
+    /// one contiguous code block, each read is prepared once
+    /// ([`SweepRead`]), and one sweep per read produces a whole grid
+    /// column through the runtime-dispatched SIMD fold kernel
+    /// ([`crate::kernel::active`]). Every kernel is bit-for-bit the
+    /// scalar [`crate::calc_whd_bounded`] (same grid, same `OpCounts`);
+    /// the equivalence is pinned by the differential proptests in
+    /// [`crate::whd_packed`] and [`crate::batch`].
     pub fn compute(target: &RealignmentTarget, pruning: bool, ops: &mut OpCounts) -> Self {
+        Self::compute_with_kernel(target, pruning, kernel::active(), ops)
+    }
+
+    /// [`MinWhdGrid::compute`] on an explicitly chosen kernel — what the
+    /// kernel-parity suites use to cross-check every [`KernelKind`] in
+    /// one process.
+    pub fn compute_with_kernel(
+        target: &RealignmentTarget,
+        pruning: bool,
+        kind: KernelKind,
+        ops: &mut OpCounts,
+    ) -> Self {
         let num_consensuses = target.num_consensuses();
         let num_reads = target.num_reads();
-        let mut cells = Vec::with_capacity(num_consensuses * num_reads);
-
-        let packed_reads: Vec<PackedSequence> = (0..num_reads)
-            .map(|j| PackedSequence::from(target.read(j).bases()))
-            .collect();
-
-        for i in 0..num_consensuses {
-            let cons = target.consensus(i);
-            let packed_cons = PackedSequence::from(cons);
-            for (j, packed_read) in packed_reads.iter().enumerate() {
-                let read = target.read(j);
-                let bases = read.bases();
-                let quals = read.quals();
-                let max_k = cons.len() - bases.len();
-
-                let mut min = MinWhd {
-                    whd: u64::MAX,
-                    offset: 0,
-                };
-                for k in 0..=max_k {
-                    let bound = if pruning { min.whd } else { u64::MAX };
-                    ops.whd_evaluations += 1;
-                    let out = calc_whd_bounded_packed(&packed_cons, packed_read, quals, k, bound);
-                    ops.base_comparisons += out.comparisons;
-                    ops.qual_accumulations += out.accumulations;
-                    if out.pruned {
-                        ops.whd_pruned += 1;
-                        ops.comparisons_saved += bases.len() as u64 - out.comparisons;
-                    } else if out.whd < min.whd {
-                        min = MinWhd {
-                            whd: out.whd,
-                            offset: k,
-                        };
-                    }
-                }
-                debug_assert_ne!(min.whd, u64::MAX, "at least offset 0 completes");
-                cells.push(min);
+        let block = CandidateBlock::from_target(target);
+        let mut cells = vec![
+            MinWhd {
+                whd: u64::MAX,
+                offset: 0
+            };
+            num_consensuses * num_reads
+        ];
+        for j in 0..num_reads {
+            let read = target.read(j);
+            let sweep_read = SweepRead::new(read.bases().bases(), read.quals());
+            let column = block.sweep(&sweep_read, pruning, kind, ops);
+            for (i, min) in column.into_iter().enumerate() {
+                cells[i * num_reads + j] = min;
             }
         }
         MinWhdGrid {

@@ -46,12 +46,17 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide; only the `kernel` module may opt in,
+// for the `std::arch` SIMD intrinsics behind runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod complexity;
 pub mod consensus;
 pub mod grid;
+#[allow(unsafe_code)]
+pub mod kernel;
 pub mod realign;
 pub mod score;
 pub mod stats;
@@ -60,8 +65,10 @@ pub mod whd_packed;
 
 mod realigner;
 
+pub use batch::{bounded_whd_codes, CandidateBlock, SweepRead};
 pub use consensus::{consensuses_from_reads, CandidateConsensus, IndelHypothesis};
 pub use grid::{MinWhd, MinWhdGrid};
+pub use kernel::{fold_whd, fold_whd_counted, KernelError, KernelKind};
 pub use realign::{realign_reads, ReadOutcome};
 pub use realigner::{IndelRealigner, PruningMode, RealignmentResult};
 pub use score::{score_consensuses, score_consensuses_with, select_best, SelectionRule};

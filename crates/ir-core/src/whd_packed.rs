@@ -43,6 +43,53 @@ pub fn lane_mask(lanes: usize) -> u64 {
     LANE_BITS >> (4 * (BASES_PER_WORD - lanes))
 }
 
+/// Sum of 8 quality-score bytes (`scores_le`, little-endian) selected by
+/// the low 8 nibble-flags of `mask` — branchless SWAR: spread the flags
+/// to a byte mask, AND, then horizontal-sum the bytes. Flag `i` is bit
+/// `4 * i`; byte sums stay ≤ 8 × 255, so the u16-lane fold cannot carry.
+#[inline]
+fn gather8(mask: u64, scores_le: u64) -> u32 {
+    // Double the spacing of the 8 flags twice: nibble stride → byte
+    // stride, leaving flag i as bit 0 of byte i.
+    let mut y = mask & 0x1111_1111;
+    y = (y | (y << 16)) & 0x0000_FFFF_0000_FFFF;
+    y = (y | (y << 8)) & 0x00FF_00FF_00FF_00FF;
+    y = (y | (y << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    // Per-byte 1 → 0xFF (0 stays 0): x * 255 as a shift-subtract, which
+    // cannot interfere across bytes because each byte is 0 or 1.
+    let mask_bytes = (y << 8).wrapping_sub(y);
+    let x = scores_le & mask_bytes;
+    // Bytes → u16 lanes (each ≤ 510), then one multiply folds the four
+    // lanes into the top 16 bits (≤ 2040, no overflow).
+    let t = (x & 0x00FF_00FF_00FF_00FF) + ((x >> 8) & 0x00FF_00FF_00FF_00FF);
+    (t.wrapping_mul(0x0001_0001_0001_0001) >> 48) as u32
+}
+
+/// Sum of the quality scores selected by `mask` (one bit per 4-bit lane,
+/// lane `i` at bit `4 * i`). Full 8-byte groups go through the branchless
+/// [`gather8`]; a short tail falls back to walking its set bits. Scores
+/// are ≤ 255 and a chunk holds ≤ 16 lanes, so `u32` cannot overflow.
+#[inline]
+pub fn masked_chunk_sum(mask: u64, scores: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    let mut m = mask;
+    let mut chunks = scores.chunks_exact(8);
+    for group in &mut chunks {
+        sum += gather8(
+            m,
+            u64::from_le_bytes(group.try_into().expect("8-byte group")),
+        );
+        m >>= 32;
+    }
+    let tail = chunks.remainder();
+    while m != 0 {
+        let lane = (m.trailing_zeros() / 4) as usize;
+        sum += u32::from(tail[lane]);
+        m &= m - 1;
+    }
+    sum
+}
+
 /// The mismatch bitmask for the 16-base chunk of `read` starting at
 /// `chunk_start` (which must be word-aligned in the read) against the
 /// window of `consensus` starting at `k + chunk_start`, restricted to
@@ -111,12 +158,16 @@ pub fn calc_whd_packed(
 /// [`crate::calc_whd_bounded`] over packed sequences: identical result
 /// *and* identical `comparisons` / `accumulations` / `pruned` accounting.
 ///
-/// The scalar kernel visits bases left to right and stops immediately
-/// after the accumulation that pushes the running sum past `bound`;
-/// iterating a chunk's mismatch bits in ascending lane order performs the
-/// same additions in the same order, so the stop lands on the same base.
-/// `comparisons` counts every base up to and including that one — the
-/// prefix length the hardware's serial design would have executed.
+/// The bound is checked once per 64-bit word, not per accumulation: each
+/// 16-lane chunk's score sum folds branchlessly ([`masked_chunk_sum`]),
+/// and only the word whose sum would cross `bound` is replayed bit by
+/// bit. Scores are non-negative, so the crossing base is the same one the
+/// scalar kernel stops at — the replay performs the same additions in the
+/// same order — and the word-granular short-circuit keeps the bound-check
+/// cost constant per 16 bases instead of growing with the mismatch
+/// density. `comparisons` counts every base up to and including the
+/// crossing one — the prefix length the hardware's serial design would
+/// have executed.
 ///
 /// # Panics
 ///
@@ -137,21 +188,34 @@ pub fn calc_whd_bounded_packed(
     let mut chunk_start = 0usize;
     while chunk_start < n {
         let chunk_len = (n - chunk_start).min(BASES_PER_WORD);
-        let mut mask = chunk_mismatches(consensus, read, k, chunk_start, chunk_len);
-        while mask != 0 {
-            let lane = (mask.trailing_zeros() / 4) as usize;
-            whd += u64::from(scores[chunk_start + lane]);
-            accumulations += 1;
-            if whd > bound {
-                return BoundedWhd {
-                    whd,
-                    comparisons: (chunk_start + lane + 1) as u64,
-                    accumulations,
-                    pruned: true,
-                };
+        let mask = chunk_mismatches(consensus, read, k, chunk_start, chunk_len);
+        let chunk_sum = u64::from(masked_chunk_sum(
+            mask,
+            &scores[chunk_start..chunk_start + chunk_len],
+        ));
+        if whd + chunk_sum > bound {
+            // The crossing base is inside this word: replay its mismatch
+            // bits in ascending lane order to stop exactly where the
+            // scalar kernel does.
+            let mut m = mask;
+            while m != 0 {
+                let lane = (m.trailing_zeros() / 4) as usize;
+                whd += u64::from(scores[chunk_start + lane]);
+                accumulations += 1;
+                if whd > bound {
+                    return BoundedWhd {
+                        whd,
+                        comparisons: (chunk_start + lane + 1) as u64,
+                        accumulations,
+                        pruned: true,
+                    };
+                }
+                m &= m - 1;
             }
-            mask &= mask - 1;
+            unreachable!("a word whose sum crosses the bound stops within it");
         }
+        whd += chunk_sum;
+        accumulations += u64::from(mask.count_ones());
         chunk_start += chunk_len;
     }
     BoundedWhd {
@@ -230,6 +294,61 @@ mod tests {
     fn panics_on_out_of_range_offset() {
         let (cons, read, quals) = fixture();
         let _ = calc_whd_packed(&(&cons).into(), &(&read).into(), &quals, 4);
+    }
+
+    /// The SWAR gather agrees with a naive mask walk on every lane count
+    /// and a spread of mask/score patterns, including max-quality bytes.
+    #[test]
+    fn masked_chunk_sum_matches_naive() {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        assert_eq!(masked_chunk_sum(0, &[]), 0, "empty chunk");
+        for len in 1..=16usize {
+            for _ in 0..200 {
+                let scores: Vec<u8> = (0..len).map(|_| (next() % 256) as u8).collect();
+                let mask = next() & lane_mask(len);
+                let naive: u32 = (0..len)
+                    .filter(|&i| mask >> (4 * i) & 1 == 1)
+                    .map(|i| u32::from(scores[i]))
+                    .sum();
+                assert_eq!(
+                    masked_chunk_sum(mask, &scores),
+                    naive,
+                    "len {len}, mask {mask:#x}, scores {scores:?}"
+                );
+            }
+            // All lanes set at max quality: the largest possible sums.
+            let scores = vec![255u8; len];
+            assert_eq!(masked_chunk_sum(lane_mask(len), &scores), 255 * len as u32);
+        }
+    }
+
+    /// The word-granular short-circuit changes nothing observable: on a
+    /// mismatch-dense scan whose bound is crossed in the second word, the
+    /// early exit lands on the same base with the same accounting as the
+    /// scalar kernel, and the unpruned accumulation totals still match.
+    #[test]
+    fn word_granular_short_circuit_is_exact() {
+        // 40 mismatching bases at quality 3: running sum 3, 6, 9, …
+        let cons: Sequence = "A".repeat(40).parse().unwrap();
+        let read: Sequence = "C".repeat(40).parse().unwrap();
+        let quals = Qual::uniform(3, 40).unwrap();
+        let (pc, pr) = (PackedSequence::from(&cons), PackedSequence::from(&read));
+        // Bound 60 is crossed by the 21st accumulation — base 20, word 2.
+        let out = calc_whd_bounded_packed(&pc, &pr, &quals, 0, 60);
+        assert_eq!(out, calc_whd_bounded(&cons, &read, &quals, 0, 60));
+        assert!(out.pruned);
+        assert_eq!(out.comparisons, 21);
+        assert_eq!(out.accumulations, 21);
+        // Unpruned: every mismatch accumulates, none replayed.
+        let full = calc_whd_bounded_packed(&pc, &pr, &quals, 0, u64::MAX);
+        assert_eq!(full, calc_whd_bounded(&cons, &read, &quals, 0, u64::MAX));
+        assert_eq!(full.accumulations, 40);
     }
 
     mod differential {

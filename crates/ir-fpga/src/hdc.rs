@@ -14,10 +14,18 @@
 //! can stop after any base, the data-parallel design only after each
 //! 32-byte block — one of the accuracy-preserving costs of data
 //! parallelism this model captures.
+//!
+//! [`run_pair`] steps the model cycle by cycle and is the reference. The
+//! fast path ([`run_pair_fast_packed`], [`run_read_sweep`]) jumps the
+//! cycle accounting to each scan's outcome and evaluates the folds on the
+//! runtime-dispatched explicit-SIMD kernels ([`ir_core::kernel`]) over
+//! the structure-of-arrays batch layout ([`ir_core::batch`]) — same
+//! [`PairRun`], bit for bit, for every [`KernelKind`].
 
-use ir_core::whd_packed::{lane_mask, mismatch_mask};
+use ir_core::batch::{CandidateBlock, SweepRead};
+use ir_core::kernel::{self, KernelKind};
 use ir_core::MinWhd;
-use ir_genome::{PackedSequence, Qual, Sequence, BASES_PER_WORD};
+use ir_genome::{PackedSequence, Qual, Sequence};
 
 /// Configuration of the HDC stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -158,9 +166,8 @@ pub fn run_pair(consensus: &Sequence, read: &Sequence, quals: &Qual, cfg: HdcCon
 /// computed without stepping every modeled cycle.
 ///
 /// Packs both sequences (4 bits/base) and delegates to
-/// [`run_pair_fast_packed`]; callers scanning one pair repeatedly (the
-/// unit simulator, the oracle) should pack once and call the packed entry
-/// point directly.
+/// [`run_pair_fast_packed`]; callers scanning many pairs of one target
+/// should build the batch layout once and use [`run_read_sweep`].
 ///
 /// # Panics
 ///
@@ -179,103 +186,10 @@ pub fn run_pair_fast(
     )
 }
 
-/// The mismatch bitmask for up to 16 bases of `read` starting at `pos`
-/// against the `consensus` window at `k + pos`, restricted to `len` lanes.
-/// Unlike the `ir-core` kernel, `pos` need not be word-aligned — the
-/// block-granular scan walks arbitrary lane boundaries.
-#[inline]
-fn window_mismatches(
-    cons: &PackedSequence,
-    read: &PackedSequence,
-    k: usize,
-    pos: usize,
-    len: usize,
-) -> u64 {
-    mismatch_mask(read.window(pos) ^ cons.window(k + pos)) & lane_mask(len)
-}
-
-/// Sum of 8 quality-score bytes (`scores_le`, little-endian) selected by
-/// the low 8 nibble-flags of `mask` — branchless SWAR: spread the flags
-/// to a byte mask, AND, then horizontal-sum the bytes. Flag `i` is bit
-/// `4 * i`; byte sums stay ≤ 8 × 255, so the u16-lane fold cannot carry.
-#[inline]
-fn gather8(mask: u64, scores_le: u64) -> u32 {
-    // Double the spacing of the 8 flags twice: nibble stride → byte
-    // stride, leaving flag i as bit 0 of byte i.
-    let mut y = mask & 0x1111_1111;
-    y = (y | (y << 16)) & 0x0000_FFFF_0000_FFFF;
-    y = (y | (y << 8)) & 0x00FF_00FF_00FF_00FF;
-    y = (y | (y << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
-    // Per-byte 1 → 0xFF (0 stays 0): x * 255 as a shift-subtract, which
-    // cannot interfere across bytes because each byte is 0 or 1.
-    let mask_bytes = (y << 8).wrapping_sub(y);
-    let x = scores_le & mask_bytes;
-    // Bytes → u16 lanes (each ≤ 510), then one multiply folds the four
-    // lanes into the top 16 bits (≤ 2040, no overflow).
-    let t = (x & 0x00FF_00FF_00FF_00FF) + ((x >> 8) & 0x00FF_00FF_00FF_00FF);
-    (t.wrapping_mul(0x0001_0001_0001_0001) >> 48) as u32
-}
-
-/// Sum of the quality scores selected by `mask` (one bit per 4-bit lane,
-/// lane `i` at bit `4 * i`). Full 8-byte groups go through the branchless
-/// [`gather8`]; a short tail falls back to walking its set bits. Scores
-/// are ≤ 255 and a chunk holds ≤ 16 lanes, so `u32` cannot overflow.
-#[inline]
-fn masked_chunk_sum(mask: u64, scores: &[u8]) -> u32 {
-    let mut sum = 0u32;
-    let mut m = mask;
-    let mut chunks = scores.chunks_exact(8);
-    for group in &mut chunks {
-        sum += gather8(
-            m,
-            u64::from_le_bytes(group.try_into().expect("8-byte group")),
-        );
-        m >>= 32;
-    }
-    let tail = chunks.remainder();
-    while m != 0 {
-        let lane = (m.trailing_zeros() / 4) as usize;
-        sum += u32::from(tail[lane]);
-        m &= m - 1;
-    }
-    sum
-}
-
-/// [`run_pair_fast`] over pre-packed sequences — the kernel behind the
-/// event-driven backend. Where the engine jumps the clock to a unit's
-/// completion event, this jumps the *cycle accounting* to the scan's
-/// outcome, comparing 16 bases per word-op (SWAR over the 4-bit packing).
-/// Four shapes cover every configuration:
-///
-/// - **Serial with immediate pruning** (`lanes == 1`,
-///   `prune_latency_blocks == 0`): each 16-base chunk reduces to a
-///   mismatch bitmask in a handful of word-ops, and its score sum folds
-///   branchlessly (a fixed-trip masked multiply-accumulate the compiler
-///   vectorizes). Only the chunk that crosses the running minimum is
-///   replayed bit-by-bit to charge the exact visited count the per-base
-///   scan would.
-/// - **Drain swallows the whole read**
-///   (`nblocks ≤ prune_latency_blocks + 1`): even if block 0 trips the
-///   comparator, every block issues before the stop lands, so the scan
-///   is an unconditional full fold — no early exit at all. Dense folds
-///   with no data-dependent exits vectorize best over bytes, so this
-///   shape unpacks both sides once and runs the same fixed-trip byte
-///   multiply-accumulate the byte-per-base scan uses, amortizing the
-///   unpack across all offsets.
-/// - **No comparator** (`pruning == false`, the HLS-style configs):
-///   the scan never stops early at any offset, so the cycle and
-///   comparison charges are closed-form (`(max_k + 1) · nblocks` and
-///   `(max_k + 1) · n`) and the whole pair reduces to the same dense
-///   unconditional byte fold as the drain-swallowed shape.
-/// - **Everything else**: [`run_pair`]'s block loop verbatim — same
-///   per-block cycle charge, same prune-verdict drain — with the inner
-///   per-base compare loop replaced by the SWAR mismatch reduction. The
-///   control flow being identical, so are the cycle, comparison and
-///   pruned-offset counts.
-///
-/// The equality `run_pair_fast(..) == run_pair(..)` therefore holds
-/// unconditionally (asserted exhaustively by the differential proptest
-/// below).
+/// [`run_pair_fast`] over pre-packed sequences, on the ambient
+/// ([`ir_core::kernel::active`]) kernel. Prepares a one-candidate batch
+/// per call; hot loops should prepare the batch once and use
+/// [`run_read_sweep`] instead.
 ///
 /// # Panics
 ///
@@ -286,13 +200,94 @@ pub fn run_pair_fast_packed(
     quals: &Qual,
     cfg: HdcConfig,
 ) -> PairRun {
-    assert!(cfg.lanes > 0, "HDC must have at least one lane");
-    let scores = quals.scores();
-    assert!(read.len() <= cons.len(), "read longer than consensus");
-    assert!(scores.len() >= read.len(), "missing quality scores");
+    run_pair_fast_packed_with(cons, read, quals, kernel::active(), cfg)
+}
 
+/// [`run_pair_fast_packed`] on an explicitly chosen kernel — what the
+/// kernel-parity suites use to cross-check every [`KernelKind`] in one
+/// process.
+///
+/// # Panics
+///
+/// As [`run_pair`], plus if `kind` cannot run on this CPU.
+pub fn run_pair_fast_packed_with(
+    cons: &PackedSequence,
+    read: &PackedSequence,
+    quals: &Qual,
+    kind: KernelKind,
+    cfg: HdcConfig,
+) -> PairRun {
+    assert!(cfg.lanes > 0, "HDC must have at least one lane");
+    assert!(read.len() <= cons.len(), "read longer than consensus");
+    assert!(quals.scores().len() >= read.len(), "missing quality scores");
+    let block = CandidateBlock::from_packed_rows(std::slice::from_ref(cons));
+    let sweep_read = SweepRead::from_packed(read, quals);
+    run_pair_codes(block.row_padded(0), block.len(0), &sweep_read, kind, cfg)
+}
+
+/// Sweeps one prepared read against every candidate of the batch — the
+/// engine behind [`crate::oracle::FunctionalOracle`]'s
+/// [`crate::unit::simulate_target_fast`] path. Element `i` of the result
+/// is exactly `run_pair(candidate_i, read, …)`.
+///
+/// # Panics
+///
+/// As [`run_pair`], plus if `kind` cannot run on this CPU.
+pub fn run_read_sweep(
+    block: &CandidateBlock,
+    read: &SweepRead,
+    kind: KernelKind,
+    cfg: HdcConfig,
+) -> Vec<PairRun> {
+    (0..block.num_candidates())
+        .map(|i| run_pair_codes(block.row_padded(i), block.len(i), read, kind, cfg))
+        .collect()
+}
+
+/// The jump-to-outcome scan of one (candidate, read) pair over the batch
+/// layout: `row` is the candidate's zero-padded code row, `cons_len` its
+/// real length. Four shapes cover every configuration:
+///
+/// - **Serial with immediate pruning** (`lanes == 1`,
+///   `prune_latency_blocks == 0`): each kernel-width chunk folds its
+///   weighted mismatch sum in one dispatched SIMD pass; only the chunk
+///   that crosses the running minimum is replayed base-by-base to charge
+///   the exact visited count the per-base scan would. The charge is the
+///   crossing base's position, which no chunking can move.
+/// - **Drain swallows the whole read**
+///   (`nblocks ≤ prune_latency_blocks + 1`): even if block 0 trips the
+///   comparator, every block issues before the stop lands, so the scan
+///   is an unconditional full fold — no early exit at all. The fold runs
+///   whole vectors over the pre-padded lane arrays (padding lanes carry
+///   score 0, so they add nothing), with no tail handling in the loop.
+/// - **No comparator** (`pruning == false`, the HLS-style configs): the
+///   scan never stops early at any offset, so the cycle and comparison
+///   charges are closed-form (`(max_k + 1) · nblocks` and
+///   `(max_k + 1) · n`) and the whole pair reduces to the same padded
+///   dense fold.
+/// - **Everything else**: [`run_pair`]'s block loop verbatim — same
+///   per-block cycle charge, same prune-verdict drain — with the inner
+///   per-base compare loop replaced by the dispatched fold. The control
+///   flow being identical, so are the cycle, comparison and
+///   pruned-offset counts.
+///
+/// The equality `run_pair_fast(..) == run_pair(..)` therefore holds
+/// unconditionally for every kernel (asserted exhaustively by the
+/// differential proptest below and the kernel-parity suite).
+fn run_pair_codes(
+    row: &[u8],
+    cons_len: usize,
+    read: &SweepRead,
+    kind: KernelKind,
+    cfg: HdcConfig,
+) -> PairRun {
+    assert!(cfg.lanes > 0, "HDC must have at least one lane");
     let n = read.len();
-    let max_k = cons.len() - n;
+    assert!(n <= cons_len, "read longer than consensus");
+    let rcodes = read.codes();
+    let scores = read.scores();
+
+    let max_k = cons_len - n;
     let mut min = MinWhd {
         whd: u64::MAX,
         offset: 0,
@@ -303,59 +298,31 @@ pub fn run_pair_fast_packed(
 
     let nblocks = n.div_ceil(cfg.lanes) as u64;
     if cfg.pruning && cfg.lanes == 1 && cfg.prune_latency_blocks == 0 {
-        for k in 0..=max_k {
-            let mut whd = 0u64;
-            let mut visited = 0usize;
-            let mut stopped = false;
-            'scan: while visited < n {
-                let chunk_len = (n - visited).min(BASES_PER_WORD);
-                let mask = window_mismatches(cons, read, k, visited, chunk_len);
-                let chunk_sum = masked_chunk_sum(mask, &scores[visited..visited + chunk_len]);
-                if whd + u64::from(chunk_sum) > min.whd {
-                    // The prune point is inside this chunk: walk its
-                    // mismatch bits in order to charge the exact visited
-                    // count, exactly as the per-base scan would.
-                    let mut m = mask;
-                    while m != 0 {
-                        let lane = (m.trailing_zeros() / 4) as usize;
-                        whd += u64::from(scores[visited + lane]);
-                        if whd > min.whd {
-                            visited += lane + 1;
-                            stopped = true;
-                            break 'scan;
-                        }
-                        m &= m - 1;
-                    }
-                    unreachable!("a chunk whose sum crosses the minimum stops within it");
-                }
-                whd += u64::from(chunk_sum);
-                visited += chunk_len;
-            }
-            comparisons += visited as u64;
-            cycles += visited as u64;
-            if stopped {
-                offsets_pruned += 1;
-            } else if whd < min.whd {
-                min = MinWhd { whd, offset: k };
-            }
-        }
+        // The whole offset sweep runs inside the kernel crate so the
+        // per-ISA mismatch compare inlines into the offset loop (one
+        // vector compare per 64-base chunk, scores accumulated bit by
+        // bit in ascending position with the per-base bound check —
+        // exactly the reference scan's pruning semantics).
+        let sweep = kernel::serial_sweep(kind, row, cons_len, rcodes, scores);
+        min = MinWhd {
+            whd: sweep.min_whd,
+            offset: sweep.min_offset,
+        };
+        comparisons += sweep.visited;
+        cycles += sweep.visited;
+        offsets_pruned += sweep.offsets_pruned;
     } else if cfg.pruning && nblocks <= cfg.prune_latency_blocks + 1 {
         // Even if block 0 trips the comparator, `prune_latency_blocks`
         // more blocks issue before the stop lands — which is all of them,
-        // so every offset folds the full read unconditionally. Dense
-        // unconditional folds vectorize better over bytes than over
-        // packed nibbles: unpack each side once (amortized over the
-        // `(max_k + 1) * n` compares that follow) and let the compiler
-        // turn the fixed-trip masked multiply-accumulate into SIMD.
-        let rb = read.unpack_codes();
-        let cb = cons.unpack_codes();
+        // so every offset folds the full read unconditionally. The
+        // padded lane arrays let the fold run whole vectors with no
+        // tail: lanes past the read end compare padding-vs-padding (or
+        // candidate code vs padding) at score 0 and contribute nothing.
+        let rp = read.codes_padded();
+        let sp = read.scores_padded();
+        let n_pad = read.padded_len();
         for k in 0..=max_k {
-            let win = &cb[k..k + n];
-            let mut whd = 0u32;
-            for i in 0..n {
-                whd += u32::from(win[i] != rb[i]) * u32::from(scores[i]);
-            }
-            let whd = u64::from(whd);
+            let whd = kernel::fold_whd(kind, &row[k..k + n_pad], rp, sp);
             comparisons += n as u64;
             cycles += nblocks;
             if whd > min.whd {
@@ -368,17 +335,13 @@ pub fn run_pair_fast_packed(
         // With no prune comparator the block loop has no data-dependent
         // exit at any offset: every scan folds the full read, so the
         // counts are closed-form and only the min-WHD needs computing —
-        // the same dense byte multiply-accumulate as the shape above,
-        // minus the comparator bookkeeping.
-        let rb = read.unpack_codes();
-        let cb = cons.unpack_codes();
+        // the same padded dense fold as the shape above, minus the
+        // comparator bookkeeping.
+        let rp = read.codes_padded();
+        let sp = read.scores_padded();
+        let n_pad = read.padded_len();
         for k in 0..=max_k {
-            let win = &cb[k..k + n];
-            let mut whd = 0u32;
-            for i in 0..n {
-                whd += u32::from(win[i] != rb[i]) * u32::from(scores[i]);
-            }
-            let whd = u64::from(whd);
+            let whd = kernel::fold_whd(kind, &row[k..k + n_pad], rp, sp);
             if whd < min.whd {
                 min = MinWhd { whd, offset: k };
             }
@@ -387,9 +350,10 @@ pub fn run_pair_fast_packed(
         cycles += (max_k as u64 + 1) * nblocks;
     } else {
         // run_pair's block loop with the per-base compare replaced by the
-        // SWAR reduction; covers data-parallel, unpruned and deep-drain
+        // dispatched fold; covers data-parallel, deep-drain and odd lane
         // configurations alike.
         for k in 0..=max_k {
+            let win = &row[k..k + n];
             let mut whd = 0u64;
             let mut pruned = false;
             let mut block_start = 0usize;
@@ -398,16 +362,12 @@ pub fn run_pair_fast_packed(
                 let block_end = (block_start + cfg.lanes).min(n);
                 cycles += 1;
                 comparisons += (block_end - block_start) as u64;
-                let mut pos = block_start;
-                while pos < block_end {
-                    let chunk_len = (block_end - pos).min(BASES_PER_WORD);
-                    let mut mask = window_mismatches(cons, read, k, pos, chunk_len);
-                    while mask != 0 {
-                        whd += u64::from(scores[pos + (mask.trailing_zeros() / 4) as usize]);
-                        mask &= mask - 1;
-                    }
-                    pos += chunk_len;
-                }
+                whd += kernel::fold_whd(
+                    kind,
+                    &win[block_start..block_end],
+                    &rcodes[block_start..block_end],
+                    &scores[block_start..block_end],
+                );
                 if let Some(remaining) = drain.as_mut() {
                     *remaining -= 1;
                     if *remaining == 0 {
@@ -457,38 +417,6 @@ mod tests {
         let (cons, read, quals) = fixture();
         let run = run_pair(&cons, &read, &quals, HdcConfig::serial());
         assert_eq!(run.min, MinWhd { whd: 30, offset: 2 });
-    }
-
-    /// The SWAR gather agrees with a naive mask walk on every lane count
-    /// and a spread of mask/score patterns, including max-quality bytes.
-    #[test]
-    fn masked_chunk_sum_matches_naive() {
-        let mut state = 0x2545F4914F6CDD1Du64;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        assert_eq!(masked_chunk_sum(0, &[]), 0, "empty chunk");
-        for len in 1..=16usize {
-            for _ in 0..200 {
-                let scores: Vec<u8> = (0..len).map(|_| (next() % 256) as u8).collect();
-                let mask = next() & lane_mask(len);
-                let naive: u32 = (0..len)
-                    .filter(|&i| mask >> (4 * i) & 1 == 1)
-                    .map(|i| u32::from(scores[i]))
-                    .sum();
-                assert_eq!(
-                    masked_chunk_sum(mask, &scores),
-                    naive,
-                    "len {len}, mask {mask:#x}, scores {scores:?}"
-                );
-            }
-            // All lanes set at max quality: the largest possible sums.
-            let scores = vec![255u8; len];
-            assert_eq!(masked_chunk_sum(lane_mask(len), &scores), 255 * len as u32);
-        }
     }
 
     #[test]
@@ -634,10 +562,11 @@ mod tests {
     fn fast_path_matches_on_block_granular_shapes() {
         // lanes=32 with a long read (nblocks > drain+1), a no-pruning
         // config and a non-word-aligned lane count all take the
-        // block-granular SWAR path; results must still match.
+        // block-granular path; results must still match on every kernel.
         let cons: Sequence = "ACGT".repeat(80).parse().unwrap();
         let read: Sequence = "TTGCA".repeat(30).parse().unwrap();
         let quals = Qual::uniform(22, read.len()).unwrap();
+        let (pc, pr) = (PackedSequence::from(&cons), PackedSequence::from(&read));
         for cfg in [
             HdcConfig::data_parallel(),
             HdcConfig {
@@ -650,11 +579,66 @@ mod tests {
                 ..HdcConfig::serial()
             },
         ] {
-            assert_eq!(
-                run_pair_fast(&cons, &read, &quals, cfg),
-                run_pair(&cons, &read, &quals, cfg),
-                "cfg {cfg:?}"
+            let want = run_pair(&cons, &read, &quals, cfg);
+            for kind in KernelKind::available() {
+                assert_eq!(
+                    run_pair_fast_packed_with(&pc, &pr, &quals, kind, cfg),
+                    want,
+                    "cfg {cfg:?} kernel {kind}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn read_sweep_matches_per_pair_runs() {
+        let cands: Vec<Sequence> = [
+            "CCTTAGA",
+            "ACCTGAA",
+            "TCTGCCTTCTGCCTAGGACCT", // ragged: longer row
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let read: Sequence = "TGAA".parse().unwrap();
+        let quals = Qual::from_raw_scores(&[10, 20, 45, 10]).unwrap();
+        let base_rows: Vec<&[ir_genome::Base]> = cands.iter().map(|c| c.bases()).collect();
+        let block = CandidateBlock::from_bases_rows(&base_rows);
+        let sweep_read = SweepRead::new(read.bases(), &quals);
+        for cfg in [HdcConfig::serial(), HdcConfig::data_parallel()] {
+            let want: Vec<PairRun> = cands
+                .iter()
+                .map(|c| run_pair(c, &read, &quals, cfg))
+                .collect();
+            for kind in KernelKind::available() {
+                assert_eq!(
+                    run_read_sweep(&block, &sweep_read, kind, cfg),
+                    want,
+                    "cfg {cfg:?} kernel {kind}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_read_sweeps_cleanly() {
+        let cons: Sequence = "ACGTACGT".parse().unwrap();
+        let block = CandidateBlock::from_bases_rows(&[cons.bases()]);
+        let empty = SweepRead::new(&[], &Qual::uniform(0, 0).unwrap());
+        for cfg in [HdcConfig::serial(), HdcConfig::data_parallel()] {
+            let want = run_pair(
+                &cons,
+                &"".parse().unwrap(),
+                &Qual::uniform(0, 0).unwrap(),
+                cfg,
             );
+            for kind in KernelKind::available() {
+                assert_eq!(
+                    run_read_sweep(&block, &empty, kind, cfg),
+                    vec![want],
+                    "cfg {cfg:?} kernel {kind}"
+                );
+            }
         }
     }
 
@@ -698,10 +682,16 @@ mod tests {
                     pair_overhead_cycles: 2,
                     prune_latency_blocks: latency,
                 };
-                prop_assert_eq!(
-                    run_pair_fast(&cons, &read, &quals, cfg),
-                    run_pair(&cons, &read, &quals, cfg)
-                );
+                let want = run_pair(&cons, &read, &quals, cfg);
+                let (pc, pr) = (PackedSequence::from(&cons), PackedSequence::from(&read));
+                for kind in KernelKind::available() {
+                    prop_assert_eq!(
+                        run_pair_fast_packed_with(&pc, &pr, &quals, kind, cfg),
+                        want,
+                        "kernel {}",
+                        kind
+                    );
+                }
             }
         }
     }

@@ -90,6 +90,7 @@ mod params;
 pub use driver::{DriverRun, HostDriver, ResiliencePolicy, ResilienceReport};
 pub use error::FpgaError;
 pub use fault::{FaultCounts, FaultPlan, FaultRateError, FaultRates};
+pub use ir_core::{KernelError, KernelKind};
 pub use ir_telemetry::{BottleneckReport, PerfCounters, Telemetry, TelemetrySnapshot};
 pub use isa::{BufferIndex, IrCommand};
 pub use oracle::FunctionalOracle;

@@ -6,17 +6,18 @@
 //! Consensus Selector run, and the MemWriters drain the two output
 //! buffers.
 
+use ir_core::batch::{CandidateBlock, SweepRead};
+use ir_core::kernel::{self, KernelKind};
 use ir_core::{MinWhd, MinWhdGrid, ReadOutcome};
 use ir_genome::{RealignmentTarget, TargetShape};
 
 use crate::fault::FaultPlan;
-use crate::hdc::{run_pair, run_pair_fast_packed, HdcConfig, PairRun};
+use crate::hdc::{run_pair, run_read_sweep, HdcConfig, PairRun};
 use crate::isa::{BufferIndex, IrCommand};
 use crate::mem;
 use crate::params::FpgaParams;
 use crate::selector::run_selector;
 use crate::FpgaError;
-use ir_genome::PackedSequence;
 
 /// Per-phase cycle counts for one target on one unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -325,26 +326,69 @@ pub fn simulate_target(target: &RealignmentTarget, params: &FpgaParams) -> UnitR
     })
 }
 
-/// [`simulate_target`] through the equivalence-preserving fast HDC kernel
-/// ([`run_pair_fast_packed`]): every consensus and read is packed once (4
-/// bits/base) and the SWAR kernel scans 16 bases per word-op. Returns a
-/// bitwise-identical [`UnitRun`]; only host wall-clock differs.
+/// [`simulate_target`] through the equivalence-preserving fast HDC engine
+/// on the ambient ([`ir_core::kernel::active`]) kernel: the target's
+/// consensuses are transposed once into the structure-of-arrays batch
+/// layout ([`CandidateBlock`]), each read is prepared once
+/// ([`SweepRead`]), and one [`run_read_sweep`] per read produces a whole
+/// grid column through the runtime-dispatched explicit-SIMD fold. Returns
+/// a bitwise-identical [`UnitRun`]; only host wall-clock differs. This is
+/// the path the event-driven backend, the `IR_THREADS` parallel sweeps,
+/// the functional oracle and the serve shards all execute.
 pub fn simulate_target_fast(target: &RealignmentTarget, params: &FpgaParams) -> UnitRun {
+    simulate_target_fast_with(target, params, kernel::active())
+}
+
+/// [`simulate_target_fast`] on an explicitly chosen kernel — what the
+/// kernel-parity suites use to cross-check every [`KernelKind`] in one
+/// process.
+///
+/// # Panics
+///
+/// Panics if `kind` cannot run on this CPU.
+pub fn simulate_target_fast_with(
+    target: &RealignmentTarget,
+    params: &FpgaParams,
+    kind: KernelKind,
+) -> UnitRun {
     let shape = target.shape();
-    let packed_cons: Vec<PackedSequence> = (0..shape.num_consensuses)
-        .map(|i| PackedSequence::from(target.consensus(i)))
-        .collect();
-    let packed_reads: Vec<PackedSequence> = (0..shape.num_reads)
-        .map(|j| PackedSequence::from(target.read(j).bases()))
-        .collect();
-    simulate_with(target, params, |i, j, cfg| {
-        run_pair_fast_packed(
-            &packed_cons[i],
-            &packed_reads[j],
-            target.read(j).quals(),
-            cfg,
-        )
-    })
+    let hdc_cfg = hdc_config(params);
+    let block = CandidateBlock::from_target(target);
+    let mut cells = vec![MinWhd { whd: 0, offset: 0 }; shape.num_consensuses * shape.num_reads];
+    let mut hdc_cycles = 0u64;
+    let mut comparisons = 0u64;
+    let mut offsets_pruned = 0u64;
+    for j in 0..shape.num_reads {
+        let read = target.read(j);
+        let sweep_read = SweepRead::new(read.bases().bases(), read.quals());
+        for (i, pair) in run_read_sweep(&block, &sweep_read, kind, hdc_cfg)
+            .into_iter()
+            .enumerate()
+        {
+            hdc_cycles += pair.cycles;
+            comparisons += pair.comparisons;
+            offsets_pruned += pair.offsets_pruned;
+            cells[i * shape.num_reads + j] = pair.min;
+        }
+    }
+    finish_run(
+        target,
+        params,
+        &shape,
+        cells,
+        hdc_cycles,
+        comparisons,
+        offsets_pruned,
+    )
+}
+
+fn hdc_config(params: &FpgaParams) -> HdcConfig {
+    HdcConfig {
+        lanes: params.lanes,
+        pruning: params.pruning,
+        pair_overhead_cycles: params.pair_overhead_cycles,
+        prune_latency_blocks: if params.lanes > 1 { 2 } else { 0 },
+    }
 }
 
 fn simulate_with(
@@ -353,12 +397,7 @@ fn simulate_with(
     mut pair_fn: impl FnMut(usize, usize, HdcConfig) -> PairRun,
 ) -> UnitRun {
     let shape = target.shape();
-    let hdc_cfg = HdcConfig {
-        lanes: params.lanes,
-        pruning: params.pruning,
-        pair_overhead_cycles: params.pair_overhead_cycles,
-        prune_latency_blocks: if params.lanes > 1 { 2 } else { 0 },
-    };
+    let hdc_cfg = hdc_config(params);
 
     let mut cells = Vec::with_capacity(shape.num_consensuses * shape.num_reads);
     let mut hdc_cycles = 0u64;
@@ -376,6 +415,26 @@ fn simulate_with(
             });
         }
     }
+    finish_run(
+        target,
+        params,
+        &shape,
+        cells,
+        hdc_cycles,
+        comparisons,
+        offsets_pruned,
+    )
+}
+
+fn finish_run(
+    target: &RealignmentTarget,
+    params: &FpgaParams,
+    shape: &TargetShape,
+    cells: Vec<MinWhd>,
+    hdc_cycles: u64,
+    comparisons: u64,
+    offsets_pruned: u64,
+) -> UnitRun {
     let grid = MinWhdGrid::from_cells(shape.num_consensuses, shape.num_reads, cells);
     let sel = run_selector(&grid, target.start_pos());
 
@@ -384,10 +443,10 @@ fn simulate_with(
     let overhead = params.compute_overhead;
     let scaled = |cycles: u64| (cycles as f64 * overhead).round() as u64;
     let cycles = UnitCycles {
-        load: mem::load_cycles(&shape, params.bus_bytes),
+        load: mem::load_cycles(shape, params.bus_bytes),
         hdc: scaled(hdc_cycles),
         selector: scaled(sel.cycles),
-        drain: mem::drain_cycles(&shape, params.bus_bytes),
+        drain: mem::drain_cycles(shape, params.bus_bytes),
     };
     UnitRun {
         grid,
@@ -579,10 +638,15 @@ mod tests {
     fn fast_simulation_is_bitwise_identical() {
         let target = figure4_target();
         for params in [FpgaParams::serial(), FpgaParams::iracc()] {
-            assert_eq!(
-                simulate_target_fast(&target, &params),
-                simulate_target(&target, &params)
-            );
+            let want = simulate_target(&target, &params);
+            assert_eq!(simulate_target_fast(&target, &params), want);
+            for kind in KernelKind::available() {
+                assert_eq!(
+                    simulate_target_fast_with(&target, &params, kind),
+                    want,
+                    "kernel {kind}"
+                );
+            }
         }
     }
 

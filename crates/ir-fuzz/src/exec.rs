@@ -6,8 +6,12 @@
 //! loop:
 //!
 //! - **kernel** — [`ir_fpga::hdc::run_pair`] (scalar reference) vs
-//!   [`ir_fpga::hdc::run_pair_fast_packed`] (SWAR path) on every
-//!   (consensus, read) pair.
+//!   [`ir_fpga::hdc::run_pair_fast_packed`] (the dispatched fast path) on
+//!   every (consensus, read) pair, plus every available explicit-SIMD
+//!   [`KernelKind`] (AVX2/AVX-512/NEON) differenced against the portable
+//!   SWAR kernel on the same pair. The extra backend pairs only add
+//!   mismatch checks — the corpus fingerprint hashes the scalar result
+//!   exactly as before, so every persisted case replays bitwise-unchanged.
 //! - **engine** — the event-driven core vs the legacy cycle stepper,
 //!   bitwise across the full [`SystemRun`] including telemetry; plus the
 //!   telemetry-transparency contract (enabling telemetry changes no
@@ -25,8 +29,8 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use ir_fpga::hdc::{run_pair, run_pair_fast_packed, HdcConfig, PairRun};
-use ir_fpga::{AcceleratedSystem, FaultPlan, ResiliencePolicy, SimBackend, SystemRun};
+use ir_fpga::hdc::{run_pair, run_pair_fast_packed, run_pair_fast_packed_with, HdcConfig, PairRun};
+use ir_fpga::{AcceleratedSystem, FaultPlan, KernelKind, ResiliencePolicy, SimBackend, SystemRun};
 use ir_genome::PackedSequence;
 use ir_serve::{FaultInjection, RealignService, Request, ServeConfig, ServiceReport};
 use ir_telemetry::PerfCounters;
@@ -137,9 +141,14 @@ fn hash_report(h: &mut Fnv, report: &ServiceReport) {
     }
 }
 
-/// Stage 1: scalar reference kernel vs the packed SWAR kernel, every
-/// (consensus, read) pair of every target.
+/// Stage 1: scalar reference kernel vs the dispatched packed kernel on
+/// every (consensus, read) pair of every target, plus each explicit-SIMD
+/// kernel vs the portable SWAR kernel on the same pair.
 fn kernel_stage(input: &FuzzInput, h: &mut Fnv, out: &mut Vec<Mismatch>) {
+    let simd_kinds: Vec<KernelKind> = KernelKind::available()
+        .into_iter()
+        .filter(|k| !matches!(k, KernelKind::Scalar | KernelKind::Swar))
+        .collect();
     let cfg = HdcConfig {
         lanes: input.params.lanes,
         pruning: input.params.pruning,
@@ -180,6 +189,45 @@ fn kernel_stage(input: &FuzzInput, h: &mut Fnv, out: &mut Vec<Mismatch>) {
                             "target {ti} consensus {ci} read {ri}: scalar {slow:?} vs packed {fast:?}"
                         ),
                     });
+                }
+                // SIMD-vs-SWAR backend pairs: extra checks only — the
+                // fingerprint below still hashes the scalar result alone.
+                if !simd_kinds.is_empty() {
+                    let packed_read = PackedSequence::from_sequence(read.bases());
+                    let swar = guarded("kernel", out, |_| {
+                        run_pair_fast_packed_with(
+                            &packed_cons,
+                            &packed_read,
+                            read.quals(),
+                            KernelKind::Swar,
+                            cfg,
+                        )
+                    });
+                    if let Some(swar) = swar {
+                        for &kind in &simd_kinds {
+                            let simd = guarded("kernel", out, |_| {
+                                run_pair_fast_packed_with(
+                                    &packed_cons,
+                                    &packed_read,
+                                    read.quals(),
+                                    kind,
+                                    cfg,
+                                )
+                            });
+                            if let Some(simd) = simd {
+                                if simd != swar {
+                                    out.push(Mismatch {
+                                        stage: "kernel",
+                                        signature: format!("kernel/simd-vs-swar/{kind}"),
+                                        detail: format!(
+                                            "target {ti} consensus {ci} read {ri}: \
+                                             {kind} {simd:?} vs swar {swar:?}"
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                    }
                 }
                 hash_pair_run(h, &slow);
             }

@@ -50,7 +50,7 @@ pub mod tio;
 pub use base::Base;
 pub use cigar::{Cigar, CigarOp};
 pub use error::GenomeError;
-pub use packed::{PackedSequence, BASES_PER_WORD};
+pub use packed::{base_code, PackedSequence, BASES_PER_WORD};
 pub use position::{Chromosome, GenomicPos, GRCH37_CHROMOSOME_LENGTHS};
 pub use qual::{Qual, MAX_PHRED_SCORE, PHRED_ASCII_OFFSET};
 pub use read::Read;

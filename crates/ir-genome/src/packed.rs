@@ -23,8 +23,15 @@ pub const BASES_PER_WORD: usize = 16;
 /// Bits per packed base.
 const NIBBLE_BITS: usize = 4;
 
-/// The non-zero nibble code for a base (`A=1 … N=5`; `0` is padding).
-const fn code(base: Base) -> u64 {
+/// The non-zero code for a base (`A=1 … N=5`; `0` is padding) — the nibble
+/// value [`PackedSequence`] stores and the byte value
+/// [`PackedSequence::unpack_codes`] emits.
+///
+/// The mapping is injective over `{A, C, G, T, N}`, so comparing codes for
+/// equality reproduces the hardware's literal byte compare, and reserving
+/// `0` lets batch layouts pad rows with bytes that can never collide with
+/// a real base.
+pub const fn base_code(base: Base) -> u8 {
     match base {
         Base::A => 1,
         Base::C => 2,
@@ -32,6 +39,11 @@ const fn code(base: Base) -> u64 {
         Base::T => 4,
         Base::N => 5,
     }
+}
+
+/// [`base_code`] widened to the nibble the packed words store.
+const fn code(base: Base) -> u64 {
+    base_code(base) as u64
 }
 
 /// Decodes a nibble produced by [`code`].

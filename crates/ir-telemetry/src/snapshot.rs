@@ -21,8 +21,10 @@
 //! | `speedup/*`             | higher is better | −10%      |
 //!
 //! Host wall clocks are additionally only comparable between runs of the
-//! same configuration: when `ir_scale` or `ir_threads` differ, `wall_ms`
-//! comparisons are skipped with a note instead of judged. A metric
+//! same configuration: when `ir_scale`, `ir_threads` or the dispatched
+//! WHD `kernel` differ (a snapshot from an AVX-512 host against one from
+//! a NEON host, say), `wall_ms` comparisons are skipped with a note
+//! instead of judged. A metric
 //! present in the old snapshot but missing from the new one is always a
 //! regression (a bench silently dropping out of the suite must fail the
 //! gate); a metric only present in the new snapshot is informational.
@@ -46,6 +48,10 @@ pub struct BenchSnapshot {
     pub ir_scale: f64,
     /// Host threads the suite ran with.
     pub ir_threads: u64,
+    /// The WHD kernel the suite dispatched to (`scalar`, `swar`, `avx2`,
+    /// `avx512`, `neon`) — wall clocks are not comparable across ISAs.
+    /// Snapshots predating the field parse as `"unknown"`.
+    pub kernel: String,
     /// Flat metric map, keys namespaced `wall_ms/*`, `serve/*`,
     /// `speedup/*`. A `BTreeMap` keeps serialization diff-stable.
     pub metrics: BTreeMap<String, f64>,
@@ -59,8 +65,15 @@ impl BenchSnapshot {
             git_rev: git_rev.to_string(),
             ir_scale,
             ir_threads,
+            kernel: "unknown".to_string(),
             metrics: BTreeMap::new(),
         }
+    }
+
+    /// Records the dispatched WHD kernel the run used.
+    pub fn with_kernel(mut self, kernel: &str) -> Self {
+        self.kernel = kernel.to_string();
+        self
     }
 
     /// Serializes to the canonical two-space-indented JSON document
@@ -73,6 +86,7 @@ impl BenchSnapshot {
         let _ = writeln!(out, "  \"git_rev\": {},", escape_json_string(&self.git_rev));
         let _ = writeln!(out, "  \"ir_scale\": {},", fmt_f64(self.ir_scale));
         let _ = writeln!(out, "  \"ir_threads\": {},", self.ir_threads);
+        let _ = writeln!(out, "  \"kernel\": {},", escape_json_string(&self.kernel));
         out.push_str("  \"metrics\": {");
         let mut first = true;
         for (k, v) in &self.metrics {
@@ -113,6 +127,12 @@ impl BenchSnapshot {
             .get("ir_threads")
             .and_then(JsonValue::as_f64)
             .ok_or("missing ir_threads")? as u64;
+        // Additive field: snapshots predating kernel dispatch lack it.
+        let kernel = doc
+            .get("kernel")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown")
+            .to_string();
         let mut metrics = BTreeMap::new();
         for (k, v) in doc
             .get("metrics")
@@ -129,6 +149,7 @@ impl BenchSnapshot {
             git_rev,
             ir_scale,
             ir_threads,
+            kernel,
             metrics,
         })
     }
@@ -136,7 +157,9 @@ impl BenchSnapshot {
     /// Diffs `self` (the committed baseline) against `new`, applying the
     /// per-namespace tolerance bands described in the module docs.
     pub fn diff(&self, new: &BenchSnapshot) -> SnapshotDiff {
-        let config_mismatch = self.ir_scale != new.ir_scale || self.ir_threads != new.ir_threads;
+        let config_mismatch = self.ir_scale != new.ir_scale
+            || self.ir_threads != new.ir_threads
+            || self.kernel != new.kernel;
         let mut deltas = Vec::new();
         for (key, &old_v) in &self.metrics {
             let delta = match new.metrics.get(key) {
@@ -214,7 +237,8 @@ pub struct MetricDelta {
 /// The result of diffing two snapshots.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotDiff {
-    /// Whether `ir_scale`/`ir_threads` differed (wall comparisons skipped).
+    /// Whether `ir_scale`/`ir_threads`/`kernel` differed (wall
+    /// comparisons skipped).
     pub config_mismatch: bool,
     /// Per-metric verdicts, baseline keys first (in key order), then
     /// new-only keys.
@@ -234,7 +258,8 @@ impl SnapshotDiff {
         let mut out = String::new();
         if self.config_mismatch {
             out.push_str(
-                "note: ir_scale/ir_threads differ between snapshots; wall_ms comparisons skipped\n",
+                "note: ir_scale/ir_threads/kernel differ between snapshots; \
+                 wall_ms comparisons skipped\n",
             );
         }
         let key_w = self
@@ -332,7 +357,7 @@ fn judge(key: &str, old: f64, new: f64, config_mismatch: bool) -> MetricDelta {
     if policy.is_wall_clock && config_mismatch {
         return base(
             DeltaStatus::Skipped,
-            "wall clock not comparable across ir_scale/ir_threads".to_string(),
+            "wall clock not comparable across ir_scale/ir_threads/kernel".to_string(),
         );
     }
     if old == 0.0 {
@@ -370,7 +395,7 @@ mod tests {
     use super::*;
 
     fn sample() -> BenchSnapshot {
-        let mut s = BenchSnapshot::new("abc1234", 5e-3, 4);
+        let mut s = BenchSnapshot::new("abc1234", 5e-3, 4).with_kernel("avx512");
         s.metrics.insert("wall_ms/fig9_speedup".into(), 9000.0);
         s.metrics.insert("serve/throughput_rps".into(), 120000.0);
         s.metrics.insert("serve/p99_us".into(), 850.5);
@@ -388,6 +413,7 @@ mod tests {
                       \x20 \"git_rev\": \"abc1234\",\n\
                       \x20 \"ir_scale\": 0.005,\n\
                       \x20 \"ir_threads\": 4,\n\
+                      \x20 \"kernel\": \"avx512\",\n\
                       \x20 \"metrics\": {\n\
                       \x20   \"serve/p99_us\": 850.5,\n\
                       \x20   \"serve/slo_attainment\": 0.998,\n\
@@ -505,6 +531,40 @@ mod tests {
         assert_eq!(status("serve/throughput_rps"), DeltaStatus::Regressed);
         assert!(diff.has_regressions());
         assert!(diff.render().contains("wall_ms comparisons skipped"));
+    }
+
+    /// Snapshots written before kernel dispatch existed (no `kernel`
+    /// field) must keep parsing, as `"unknown"`.
+    #[test]
+    fn missing_kernel_field_parses_as_unknown() {
+        let legacy = sample()
+            .to_json()
+            .replace("  \"kernel\": \"avx512\",\n", "");
+        let snap = BenchSnapshot::from_json(&legacy).expect("legacy snapshot parses");
+        assert_eq!(snap.kernel, "unknown");
+    }
+
+    /// A kernel (ISA) mismatch alone skips wall-clock judgement — host
+    /// wall times measured on different SIMD widths are not comparable —
+    /// while simulated metrics are still judged.
+    #[test]
+    fn diff_skips_wall_clocks_across_kernels() {
+        let old = sample();
+        let mut new = sample().with_kernel("neon");
+        new.metrics = old.metrics.clone();
+        new.metrics.insert("wall_ms/fig9_speedup".into(), 90000.0); // 10×: skipped
+        new.metrics.insert("speedup/fig9_taskp_gmean".into(), 2.0); // −83%: judged
+        let diff = old.diff(&new);
+        assert!(diff.config_mismatch);
+        let status = |k: &str| {
+            diff.deltas
+                .iter()
+                .find(|d| d.key == k)
+                .map(|d| d.status)
+                .unwrap()
+        };
+        assert_eq!(status("wall_ms/fig9_speedup"), DeltaStatus::Skipped);
+        assert_eq!(status("speedup/fig9_taskp_gmean"), DeltaStatus::Regressed);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 # Outputs: results/<name>.log (full console text) plus the
 # results/<name>.csv + results/<name>.txt pairs every table emits,
 # results/bench_summary.json mapping each binary to its wall-clock ms,
-# and a perf-trajectory snapshot (default BENCH_8.json at the repo root,
+# and a perf-trajectory snapshot (default BENCH_9.json at the repo root,
 # override with IR_BENCH_SNAPSHOT) assembled by `ir-cli bench-snapshot`.
 # Diff two snapshots with `ir-cli bench-diff <old> <new>`.
 #
@@ -18,7 +18,9 @@
 #   IR_ORACLE_CACHE    oracle disk-cache directory (default:
 #                      results/.oracle-cache, wiped at start; set to the
 #                      empty string to disable caching)
-#   IR_BENCH_SNAPSHOT  snapshot output path (default: BENCH_8.json)
+#   IR_BENCH_SNAPSHOT  snapshot output path (default: BENCH_9.json)
+#   IR_KERNEL          force a WHD kernel (scalar|swar|avx2|avx512|neon);
+#                      unset auto-detects the widest ISA
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,7 +31,7 @@ export IR_SCALE="$SCALE"
 # binaries read IR_THREADS themselves, so it must be exported.
 export IR_THREADS="${IR_THREADS:-$(nproc 2>/dev/null || echo 1)}"
 GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
-SNAPSHOT="${IR_BENCH_SNAPSHOT:-BENCH_8.json}"
+SNAPSHOT="${IR_BENCH_SNAPSHOT:-BENCH_9.json}"
 mkdir -p results
 
 # Cross-binary oracle disk cache: binaries sharing a workload and timing
@@ -50,11 +52,17 @@ fi
 cargo build --release -p ir-bench
 cargo build --release --bin ir-cli
 
-echo "rev $GIT_REV, scale $SCALE, $IR_THREADS thread(s), oracle cache ${IR_ORACLE_CACHE:-off}"
+# The WHD kernel every figure binary will dispatch to (IR_KERNEL, or the
+# widest ISA the host supports) — recorded in the summary and snapshot so
+# bench-diff skips wall-clock comparisons across ISAs.
+KERNEL="$(./target/release/ir-cli kernel --format name)"
+./target/release/ir-cli kernel | tee results/kernel.log
+
+echo "rev $GIT_REV, scale $SCALE, $IR_THREADS thread(s), kernel $KERNEL, oracle cache ${IR_ORACLE_CACHE:-off}"
 echo
 
 SUMMARY="results/bench_summary.json"
-printf '{\n  "ir_scale": %s,\n  "threads": %s,\n  "wall_ms": {\n' "$SCALE" "$IR_THREADS" > "$SUMMARY"
+printf '{\n  "ir_scale": %s,\n  "threads": %s,\n  "kernel": "%s",\n  "wall_ms": {\n' "$SCALE" "$IR_THREADS" "$KERNEL" > "$SUMMARY"
 FIRST=1
 
 run() {
@@ -73,6 +81,7 @@ run() {
 }
 
 # Background figures (cheap, analytic).
+run kernel_microbench
 run fig2_pipeline_breakdown
 run table1_isa
 run table2_machines

@@ -12,6 +12,7 @@
 //!                          [--family F] [--pool hetero] [--tenants N]
 //!                          [--tenant-quota Q]
 //! ir-cli fuzz [--seed S] [--iters N] [--corpus DIR]
+//! ir-cli kernel [--format table|name]
 //! ir-cli bench-snapshot [--results DIR] [--rev REV] [--out FILE]
 //! ir-cli bench-diff <OLD.json> <NEW.json>
 //! ```
@@ -29,7 +30,11 @@
 //! Perfetto trace); `fuzz` runs the differential greybox fuzzer across
 //! every backend pair, persisting minimized divergence reproducers
 //! under the corpus directory, and exits nonzero if any divergence was
-//! found; `bench-snapshot` assembles the perf-trajectory snapshot
+//! found; `kernel` prints the WHD kernel dispatch table — which
+//! `std::arch` kernels this CPU can run, which one `IR_KERNEL`/auto
+//! detection selected, and the typed fallback diagnostic when the
+//! request could not be honored (always exit 0: dispatch degrades, it
+//! never fails); `bench-snapshot` assembles the perf-trajectory snapshot
 //! (`BENCH_<n>.json`) from a results directory produced by
 //! `scripts/run_all_figures.sh`; `bench-diff` compares two snapshots
 //! under the per-metric tolerance bands and exits nonzero on any
@@ -60,6 +65,7 @@ usage:
                [--json FILE] [--trace FILE] [--family F] [--pool hetero]
                [--tenants N] [--tenant-quota Q]
   ir-cli fuzz [--seed S] [--iters N] [--corpus DIR]
+  ir-cli kernel [--format table|name]
   ir-cli bench-snapshot [--results DIR] [--rev REV] [--out FILE]
   ir-cli bench-diff <OLD.json> <NEW.json>
 ";
@@ -439,6 +445,43 @@ fn slugify(header: &str) -> String {
     out.trim_end_matches('-').to_string()
 }
 
+fn cmd_kernel(args: &Args) -> Result<(), String> {
+    use ir_system::core::kernel;
+    use ir_system::core::KernelKind;
+
+    let active = kernel::active();
+    match args.flag("format").unwrap_or("table") {
+        "name" => {
+            println!("{active}");
+            return Ok(());
+        }
+        "table" => {}
+        other => return Err(format!("bad --format '{other}' (expected table or name)")),
+    }
+
+    println!("WHD kernel dispatch");
+    println!("  kernel   available  block  note");
+    for kind in KernelKind::ALL {
+        println!(
+            "  {:<8} {:<10} {:>5}  {}",
+            kind.name(),
+            if kind.is_available() { "yes" } else { "no" },
+            kind.preferred_block(),
+            if kind == active { "<- active" } else { "" }
+        );
+    }
+    match std::env::var("IR_KERNEL") {
+        Ok(v) if !v.trim().is_empty() => println!("IR_KERNEL={v}"),
+        _ => println!("IR_KERNEL unset (auto-detected widest ISA)"),
+    }
+    // A request that could not be honored degrades to the widest runnable
+    // kernel with a typed diagnostic — report it, but still exit 0.
+    if let Some(diag) = kernel::active_diagnostic() {
+        println!("diagnostic: {diag}");
+    }
+    Ok(())
+}
+
 fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
     use ir_system::telemetry::json::{parse_json, JsonValue};
     use ir_system::telemetry::BenchSnapshot;
@@ -461,7 +504,14 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
         .get("threads")
         .and_then(JsonValue::as_f64)
         .ok_or("bench_summary.json missing threads")? as u64;
-    let mut snap = BenchSnapshot::new(rev, ir_scale, ir_threads);
+    // The kernel the figure binaries dispatched to, recorded by
+    // run_all_figures.sh; older summaries lack the field.
+    let kernel = summary
+        .get("kernel")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let mut snap = BenchSnapshot::new(rev, ir_scale, ir_threads).with_kernel(&kernel);
     for (name, wall) in summary
         .get("wall_ms")
         .and_then(JsonValue::as_object)
@@ -549,7 +599,8 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
     BenchSnapshot::from_json(&json).map_err(|e| format!("snapshot failed self-check: {e}"))?;
     std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
-        "wrote {} metrics (rev {rev}, scale {ir_scale}, {ir_threads} thread(s)) to {out}",
+        "wrote {} metrics (rev {rev}, scale {ir_scale}, {ir_threads} thread(s), kernel {kernel}) \
+         to {out}",
         snap.metrics.len()
     );
     Ok(())
@@ -637,6 +688,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args),
         Some("serve") => cmd_serve(&args),
         Some("fuzz") => cmd_fuzz(&args),
+        Some("kernel") => cmd_kernel(&args),
         Some("bench-snapshot") => cmd_bench_snapshot(&args),
         Some("bench-diff") => cmd_bench_diff(&args),
         _ => Err("missing or unknown subcommand".to_string()),

@@ -8,8 +8,8 @@
 //!   (which rejects trailing commas, trailing content and non-finite
 //!   numbers — exactly the failure modes of the shell-side printf
 //!   emitter),
-//! - carry the three required top-level keys (`ir_scale`, `threads`,
-//!   `wall_ms`),
+//! - carry the four required top-level keys (`ir_scale`, `threads`,
+//!   `kernel`, `wall_ms`),
 //! - record one wall-clock entry per benchmark binary in
 //!   `crates/ir-bench/src/bin/` — enumerated from the filesystem, so a
 //!   new binary that isn't wired into the figures script fails here.
@@ -59,7 +59,7 @@ fn summary_is_strictly_valid_json() {
 #[test]
 fn summary_has_required_top_level_keys() {
     let text = summary_text();
-    for key in ["\"ir_scale\"", "\"threads\"", "\"wall_ms\""] {
+    for key in ["\"ir_scale\"", "\"threads\"", "\"kernel\"", "\"wall_ms\""] {
         assert!(text.contains(key), "missing required key {key}");
     }
 }
@@ -79,24 +79,28 @@ fn every_bench_binary_has_a_wall_clock_entry() {
     }
 }
 
-/// The checked-in perf-trajectory snapshot (`BENCH_8.json`, emitted by
+/// The checked-in perf-trajectory snapshot (`BENCH_9.json`, emitted by
 /// `ir-cli bench-snapshot` at the end of `scripts/run_all_figures.sh`)
 /// must parse under the versioned schema and carry one `wall_ms/<name>`
 /// metric per benchmark binary plus the serve and speedup families the
 /// CI regression gate diffs.
 #[test]
 fn checked_in_snapshot_parses_and_covers_the_suite() {
-    let path = repo_root().join("BENCH_8.json");
+    let path = repo_root().join("BENCH_9.json");
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
-    validate_json(&text).expect("BENCH_8.json must satisfy the strict validator");
-    let snapshot = BenchSnapshot::from_json(&text).expect("BENCH_8.json parses as a snapshot");
+    validate_json(&text).expect("BENCH_9.json must satisfy the strict validator");
+    let snapshot = BenchSnapshot::from_json(&text).expect("BENCH_9.json parses as a snapshot");
     assert!(
         !snapshot.git_rev.is_empty(),
         "snapshot must record a git rev"
     );
     assert!(snapshot.ir_scale > 0.0);
     assert!(snapshot.ir_threads >= 1);
+    assert_ne!(
+        snapshot.kernel, "unknown",
+        "snapshot must record the dispatched WHD kernel"
+    );
     for name in bench_binaries() {
         let key = format!("wall_ms/{name}");
         assert!(
@@ -128,7 +132,7 @@ fn checked_in_snapshot_parses_and_covers_the_suite() {
 /// degenerate case the CI gate relies on.
 #[test]
 fn checked_in_snapshot_self_diff_is_clean() {
-    let text = std::fs::read_to_string(repo_root().join("BENCH_8.json")).expect("snapshot");
+    let text = std::fs::read_to_string(repo_root().join("BENCH_9.json")).expect("snapshot");
     let snapshot = BenchSnapshot::from_json(&text).expect("snapshot parses");
     let diff = snapshot.diff(&snapshot);
     assert!(
