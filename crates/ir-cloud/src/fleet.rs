@@ -227,6 +227,61 @@ impl SpotRun {
     }
 }
 
+/// One seeded stream of spot-interruption interarrival gaps.
+///
+/// Both the fleet cost replay here and the serving fleet in `ir-serve`
+/// consume spot interruptions; this model is the single source of those
+/// draws so the two simulations can never diverge on sampling details.
+/// Gaps are exponential with the market's per-second rate, drawn by
+/// inverse-CDF from a [`StdRng`] — the same scheme `ir-workloads` uses
+/// for Poisson arrivals. A zero rate yields [`f64::INFINITY`] without
+/// consuming a draw, so a calm stream stays bit-compatible with code
+/// that never sampled at all.
+#[derive(Debug, Clone)]
+pub struct InterruptionModel {
+    rng: StdRng,
+    rate_per_s: f64,
+}
+
+impl InterruptionModel {
+    /// A stream drawing exponential gaps at `interruptions_per_hour`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative or non-finite.
+    pub fn new(seed: u64, interruptions_per_hour: f64) -> Self {
+        assert!(
+            interruptions_per_hour >= 0.0 && interruptions_per_hour.is_finite(),
+            "interruption rate must be non-negative and finite"
+        );
+        InterruptionModel {
+            rng: StdRng::seed_from_u64(seed),
+            rate_per_s: interruptions_per_hour / 3600.0,
+        }
+    }
+
+    /// A stream matching `market`'s interruption rate.
+    pub fn from_market(seed: u64, market: &SpotMarket) -> Self {
+        InterruptionModel::new(seed, market.interruptions_per_hour)
+    }
+
+    /// The stream's rate in interruptions per second.
+    pub fn rate_per_s(&self) -> f64 {
+        self.rate_per_s
+    }
+
+    /// Seconds until the next interruption. [`f64::INFINITY`] (with no
+    /// RNG draw) when the rate is zero.
+    pub fn next_gap_s(&mut self) -> f64 {
+        if self.rate_per_s > 0.0 {
+            let u: f64 = self.rng.random();
+            -(1.0 - u).ln() / self.rate_per_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
 /// Spot-replay events on one instance's [`EventQueue`]. A job completion
 /// scheduled for the same instant as an interruption wins the tie
 /// (checkpoint-then-interrupt), which the queue encodes as a lower
@@ -292,18 +347,16 @@ pub fn simulate_spot_schedule_traced(
         durations_s.len(),
         "schedule does not cover the job list"
     );
-    assert!(
-        market.interruptions_per_hour >= 0.0,
-        "interruption rate must be non-negative"
-    );
     let instances = schedule.instance_busy_s.len();
     assert!(
         schedule.assignments.iter().all(|&i| i < instances),
         "assignment indexes past the instance count"
     );
 
-    let lambda = market.interruptions_per_hour / 3600.0;
-    let mut rng = StdRng::seed_from_u64(seed);
+    // One shared stream across the whole fleet: instance `i+1` continues
+    // where instance `i`'s draws left off, exactly as the pre-model code
+    // sampled from its single RNG.
+    let mut model = InterruptionModel::from_market(seed, market);
     let mut interruptions = 0u64;
     let mut lost_work_s = 0.0f64;
     let mut overhead_s = 0.0f64;
@@ -322,12 +375,7 @@ pub fn simulate_spot_schedule_traced(
         queue.sort_by(|a, b| b.1.total_cmp(&a.1));
 
         let mut clock = 0.0f64;
-        let mut next_interrupt = if lambda > 0.0 {
-            let u: f64 = rng.random();
-            -(1.0 - u).ln() / lambda
-        } else {
-            f64::INFINITY
-        };
+        let mut next_interrupt = model.next_gap_s();
         let mut job = 0usize;
         let mut done_since_restart = 0.0f64;
         // Without checkpoints, a market whose mean interarrival is far
@@ -432,8 +480,7 @@ pub fn simulate_spot_schedule_traced(
                         "overhead_ms",
                         (market.restart_overhead_s * 1e3).round() as u64,
                     );
-                    let u: f64 = rng.random();
-                    next_interrupt = clock + -(1.0 - u).ln() / lambda;
+                    next_interrupt = clock + model.next_gap_s();
                     epoch += 1;
                     if restarts_here >= RESTART_CAP {
                         clock = f64::INFINITY;
@@ -531,6 +578,44 @@ mod tests {
     fn healthy_schedules_are_not_degenerate() {
         assert!(!schedule_jobs(&[1.0, 2.0], 2).is_degenerate());
         assert!(!schedule_jobs(&[], 2).is_degenerate());
+    }
+
+    #[test]
+    fn interruption_model_reproduces_and_skips_zero_rate_draws() {
+        // Same seed, same gaps.
+        let mut a = InterruptionModel::new(7, 20.0);
+        let mut b = InterruptionModel::from_market(
+            7,
+            &SpotMarket {
+                interruptions_per_hour: 20.0,
+                ..SpotMarket::volatile()
+            },
+        );
+        for _ in 0..32 {
+            let (ga, gb) = (a.next_gap_s(), b.next_gap_s());
+            assert_eq!(ga.to_bits(), gb.to_bits());
+            assert!(ga > 0.0 && ga.is_finite());
+        }
+        // The model pins the exact inverse-CDF draw the pre-model code
+        // made inline: -(ln(1 - u)) / lambda on a shared StdRng.
+        let mut model = InterruptionModel::new(11, 20.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let lambda = 20.0 / 3600.0;
+        for _ in 0..8 {
+            let u: f64 = rng.random();
+            let inline = -(1.0 - u).ln() / lambda;
+            assert_eq!(model.next_gap_s().to_bits(), inline.to_bits());
+        }
+        // Zero rate: infinite gap, no RNG consumption.
+        let mut calm = InterruptionModel::new(3, 0.0);
+        assert!(calm.next_gap_s().is_infinite());
+        assert_eq!(calm.rate_per_s(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_interruption_rate_panics() {
+        let _ = InterruptionModel::new(0, -1.0);
     }
 
     #[test]

@@ -27,6 +27,6 @@ mod instances;
 pub use cost::{cost_efficiency_ratio, gpu_speedup_needed, run_cost_usd, CostedRun};
 pub use fleet::{
     schedule_jobs, simulate_spot_schedule, simulate_spot_schedule_traced, CheckpointPolicy,
-    FleetPlan, FleetSizing, JobSchedule, SpotMarket, SpotRun,
+    FleetPlan, FleetSizing, InterruptionModel, JobSchedule, SpotMarket, SpotRun,
 };
 pub use instances::{Accelerator, Instance};

@@ -23,6 +23,10 @@
 //! - **serve** — the batched service vs the direct backend per response,
 //!   thread-count invariance (1 vs 2 oracle threads), and the `serve/*`
 //!   counter contract.
+//! - **fleet** — a 1-node zero-hop fleet vs the single-pool service
+//!   byte for byte, plus routing conservation and per-request payload
+//!   invariance at the input's node count (only for inputs carrying a
+//!   `fleet` line, so the pre-fleet corpus keeps its fingerprints).
 //!
 //! Every stage also feeds a deterministic FNV-1a fingerprint; the fuzz
 //! loop uses it as the novelty signal for corpus growth.
@@ -32,7 +36,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use ir_fpga::hdc::{run_pair, run_pair_fast_packed, run_pair_fast_packed_with, HdcConfig, PairRun};
 use ir_fpga::{AcceleratedSystem, FaultPlan, KernelKind, ResiliencePolicy, SimBackend, SystemRun};
 use ir_genome::PackedSequence;
-use ir_serve::{FaultInjection, RealignService, Request, ServeConfig, ServiceReport};
+use ir_serve::{
+    FaultInjection, FleetConfig, FleetReport, FleetService, RealignService, Request, ServeConfig,
+    ServiceReport,
+};
 use ir_telemetry::PerfCounters;
 
 use crate::input::{FuzzInput, ServeSpec};
@@ -42,7 +49,7 @@ use crate::Fnv;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mismatch {
     /// Pipeline stage that diverged (`kernel`, `engine`, `invariant`,
-    /// `serve`).
+    /// `serve`, `fleet`).
     pub stage: &'static str,
     /// Deduplication key: stage plus the specific contract that broke,
     /// free of case-specific values so re-discoveries collapse.
@@ -510,11 +517,17 @@ fn requests(input: &FuzzInput, spec: &ServeSpec) -> Vec<Request> {
         .collect()
 }
 
-fn diff_reports(a: &ServiceReport, b: &ServiceReport, contract: &str, out: &mut Vec<Mismatch>) {
+fn diff_reports_for(
+    stage: &'static str,
+    a: &ServiceReport,
+    b: &ServiceReport,
+    contract: &str,
+    out: &mut Vec<Mismatch>,
+) {
     let mut push = |field: &str, detail: String| {
         out.push(Mismatch {
-            stage: "serve",
-            signature: format!("serve/{contract}/{field}"),
+            stage,
+            signature: format!("{stage}/{contract}/{field}"),
             detail,
         });
     };
@@ -619,7 +632,7 @@ fn serve_stage(input: &FuzzInput, h: &mut Fnv, out: &mut Vec<Mismatch>) {
             return;
         }
     };
-    diff_reports(&one, &two, "threads-1-vs-2", out);
+    diff_reports_for("serve", &one, &two, "threads-1-vs-2", out);
     serve_invariants(&one, input.fault.is_some(), out);
 
     // Functional parity: every completed response equals the direct
@@ -651,6 +664,150 @@ fn serve_stage(input: &FuzzInput, h: &mut Fnv, out: &mut Vec<Mismatch>) {
     hash_report(h, &one);
 }
 
+/// Stage 5: the fleet against the single pool. A 1-node zero-hop fleet
+/// must be *byte-identical* to [`RealignService`]; at the spec's node
+/// count the fleet must conserve the request stream (served ∪ shed
+/// partitions the offered ids) and keep every response's functional
+/// payload equal to the single pool's answer for that id. Fleet data is
+/// only hashed for inputs carrying a `fleet` line, so every pre-fleet
+/// corpus case keeps its fingerprint.
+fn fleet_stage(input: &FuzzInput, h: &mut Fnv, out: &mut Vec<Mismatch>) {
+    let Some(fspec) = &input.fleet else { return };
+    let Some(spec) = &input.serve else { return };
+    let run_fleet = |nodes: usize, hop_s: f64| -> Result<FleetReport, ir_serve::ServeError> {
+        let mut fleet = FleetService::new(FleetConfig {
+            nodes,
+            node: serve_config(input, spec, 1),
+            hop_latency_s: hop_s,
+            vnodes: fspec.vnodes,
+            autoscale: None,
+            spot: None,
+        })?;
+        fleet.run(requests(input, spec))
+    };
+    let single = guarded("fleet", out, |_| {
+        RealignService::new(serve_config(input, spec, 1))?.run(requests(input, spec))
+    });
+    let parity = guarded("fleet", out, |_| run_fleet(1, 0.0));
+    let (Some(single), Some(parity)) = (single, parity) else {
+        return;
+    };
+    let (single, parity) = match (single, parity) {
+        (Ok(s), Ok(p)) => (s, p),
+        (Err(e), _) | (_, Err(e)) => {
+            out.push(Mismatch {
+                stage: "fleet",
+                signature: format!("fleet/typed-error/{}", error_tag(&e)),
+                detail: e.to_string(),
+            });
+            return;
+        }
+    };
+    diff_reports_for(
+        "fleet",
+        &parity.node_reports[0],
+        &single,
+        "1node-vs-single",
+        out,
+    );
+
+    let offered = requests(input, spec).len() as u64;
+    let routed = if fspec.nodes > 1 {
+        match guarded("fleet", out, |_| {
+            run_fleet(fspec.nodes, fspec.hop_ns as f64 * 1e-9)
+        }) {
+            Some(Ok(r)) => Some(r),
+            Some(Err(e)) => {
+                out.push(Mismatch {
+                    stage: "fleet",
+                    signature: format!("fleet/typed-error/{}", error_tag(&e)),
+                    detail: e.to_string(),
+                });
+                None
+            }
+            None => None,
+        }
+    } else {
+        None
+    };
+    if let Some(routed) = &routed {
+        // Conservation: served ∪ shed partitions the offered id range.
+        let mut ids: Vec<u64> = routed
+            .responses_by_id()
+            .iter()
+            .map(|r| r.id)
+            .chain(
+                routed
+                    .node_reports
+                    .iter()
+                    .flat_map(|r| r.rejections.iter().map(|x| x.id)),
+            )
+            .collect();
+        ids.sort_unstable();
+        let want: Vec<u64> = (0..offered).collect();
+        if ids != want {
+            out.push(Mismatch {
+                stage: "fleet",
+                signature: "fleet/routing-conservation".to_string(),
+                detail: format!(
+                    "{} nodes: served+shed ids {:?} != offered 0..{}",
+                    fspec.nodes, ids, offered
+                ),
+            });
+        }
+        // Functional routing-invariance: whichever node served a
+        // request, the payload matches the single pool's answer.
+        for r in routed.responses_by_id() {
+            let Some(golden) = single.responses.iter().find(|s| s.id == r.id) else {
+                continue; // single pool shed it (admission is topology-local)
+            };
+            if r.best_consensus != golden.best_consensus || r.realigned != golden.realigned {
+                out.push(Mismatch {
+                    stage: "fleet",
+                    signature: "fleet/routing-functional-divergence".to_string(),
+                    detail: format!(
+                        "request {}: fleet ({}, {}) vs single ({}, {})",
+                        r.id,
+                        r.best_consensus,
+                        r.realigned,
+                        golden.best_consensus,
+                        golden.realigned
+                    ),
+                });
+                break;
+            }
+        }
+        // With nothing shed on either side, the response multiset is
+        // independent of the node count.
+        if single.rejections.is_empty() && routed.rejected() == 0 {
+            let fleet_ids: Vec<u64> = routed.responses_by_id().iter().map(|r| r.id).collect();
+            let single_ids: Vec<u64> = single.responses_by_id().iter().map(|r| r.id).collect();
+            if fleet_ids != single_ids {
+                out.push(Mismatch {
+                    stage: "fleet",
+                    signature: "fleet/routing-multiset-divergence".to_string(),
+                    detail: format!(
+                        "{} nodes served {:?} but the single pool served {:?}",
+                        fspec.nodes, fleet_ids, single_ids
+                    ),
+                });
+            }
+        }
+    }
+
+    hash_report(h, &parity.node_reports[0]);
+    if let Some(routed) = &routed {
+        h.u64(routed.completed());
+        h.u64(routed.rejected());
+        h.u64(routed.batches());
+        h.u64(routed.makespan_s.to_bits());
+        for (k, v) in routed.counters.counters() {
+            h.str(k);
+            h.u64(v);
+        }
+    }
+}
+
 fn error_tag(e: &ir_serve::ServeError) -> &'static str {
     use ir_serve::ServeError::*;
     match e {
@@ -664,6 +821,7 @@ fn error_tag(e: &ir_serve::ServeError) -> &'static str {
         PercentileOutOfRange { .. } => "percentile-out-of-range",
         UndrainedQueue { .. } => "undrained-queue",
         UnknownTenant { .. } => "unknown-tenant",
+        NoActiveNodes => "no-active-nodes",
         _ => "other",
     }
 }
@@ -676,6 +834,7 @@ pub fn execute(input: &FuzzInput) -> Outcome {
     kernel_stage(input, &mut h, &mut mismatches);
     engine_stage(input, &mut h, &mut mismatches);
     serve_stage(input, &mut h, &mut mismatches);
+    fleet_stage(input, &mut h, &mut mismatches);
     Outcome {
         fingerprint: h.finish(),
         mismatches,

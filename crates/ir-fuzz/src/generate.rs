@@ -19,7 +19,7 @@ use ir_workloads::{ShapeFamily, WorkloadConfig};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::input::{FaultSpec, FuzzInput, ParamsSpec, ServeSpec};
+use crate::input::{FaultSpec, FleetSpec, FuzzInput, ParamsSpec, ServeSpec};
 
 /// Cap on a case's summed worst-case comparisons, keeping single-case
 /// execution in the low milliseconds.
@@ -209,6 +209,22 @@ fn serve(rng: &mut StdRng, requests: usize) -> Option<ServeSpec> {
     })
 }
 
+/// Fleet topologies only make sense riding on a serve scenario; callers
+/// pass `None` for serve-less cases so the RNG draw count stays aligned
+/// with what the encoding can express.
+fn fleet(rng: &mut StdRng, has_serve: bool) -> Option<FleetSpec> {
+    if !has_serve || rng.random_bool(0.6) {
+        return None;
+    }
+    Some(FleetSpec {
+        nodes: rng.random_range(1..5),
+        vnodes: [1, 4, 16][rng.random_range(0..3usize)],
+        // Zero keeps the inline-ingest parity path hot; positive hops
+        // exercise the delayed-delivery reroute path.
+        hop_ns: [0, 500, 20_000][rng.random_range(0..3usize)],
+    })
+}
+
 /// A scaled-down realistic generator config for `family`: the family's
 /// own error/coverage/consensus statistics, but with the dimensions
 /// shrunk far below the shape envelope so a case stays inside the
@@ -284,13 +300,17 @@ pub fn generate(rng: &mut StdRng) -> FuzzInput {
     };
     enforce_budget(&mut targets);
     let requests = targets.len();
+    let fault = fault(rng);
+    let serve = serve(rng, requests);
+    let fleet = fleet(rng, serve.is_some());
     FuzzInput {
         params: params(rng),
         scheduling: SCHEDULINGS[rng.random_range(0..SCHEDULINGS.len())],
         prune_latency_blocks: [0, 1, 2, 5][rng.random_range(0..4usize)],
         family,
-        fault: fault(rng),
-        serve: serve(rng, requests),
+        fault,
+        serve,
+        fleet,
         targets,
     }
 }
@@ -299,12 +319,18 @@ pub fn generate(rng: &mut StdRng) -> FuzzInput {
 /// call, always yielding a valid executable input.
 pub fn mutate(input: &FuzzInput, rng: &mut StdRng) -> FuzzInput {
     let mut out = input.clone();
-    match rng.random_range(0..9u32) {
+    match rng.random_range(0..10u32) {
         0 => out.params = params(rng),
         1 => out.scheduling = SCHEDULINGS[rng.random_range(0..SCHEDULINGS.len())],
         2 => out.prune_latency_blocks = [0, 1, 2, 5][rng.random_range(0..4usize)],
         3 => out.fault = fault(rng),
-        4 => out.serve = serve(rng, out.targets.len()),
+        4 => {
+            out.serve = serve(rng, out.targets.len());
+            if out.serve.is_none() {
+                out.fleet = None; // topology cannot outlive its traffic
+            }
+        }
+        9 => out.fleet = fleet(rng, out.serve.is_some()),
         8 => {
             // Re-tag the family the serve router sees (targets are
             // unchanged: routing is by tag, not by shape inspection).

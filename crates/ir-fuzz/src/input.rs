@@ -13,13 +13,15 @@
 //! family long-read
 //! fault seed=7 rates=3f50624dd2f1a9fc ... (6 hex f64 bit patterns)
 //! serve shards=2 max_batch=32 watermark=256 deadline_ns=500000 arrivals=0,1250,2500
+//! fleet nodes=3 vnodes=16 hop_ns=2000
 //! ---
 //! <ir_genome::tio target payload>
 //! ```
 //!
-//! `family`, `fault` and `serve` lines are optional (an absent `family`
-//! means the default short-read germline regime, which keeps every
-//! pre-family corpus case byte-stable). Every `f64` travels as the hex of
+//! `family`, `fault`, `serve` and `fleet` lines are optional (an absent
+//! `family` means the default short-read germline regime, and absent
+//! `fleet` skips the fleet differential stage, which keeps every older
+//! corpus case byte-stable). Every `f64` travels as the hex of
 //! its bit pattern and every arrival as integer nanoseconds, so decode ∘
 //! encode is the identity and no parse ever goes through a lossy decimal
 //! round-trip.
@@ -128,6 +130,21 @@ pub struct ServeSpec {
     pub arrival_ns: Vec<u64>,
 }
 
+/// A fleet-layer scenario on top of a [`ServeSpec`]: topology for the
+/// fleet-vs-single-pool differential stage. Only meaningful when the
+/// input also carries a serve scenario (the stage is skipped otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Node count for the routing-invariance run (1 exercises only the
+    /// byte-parity check).
+    pub nodes: usize,
+    /// Virtual ring points per node.
+    pub vnodes: usize,
+    /// Inter-node hop latency in nanoseconds for the multi-node run (the
+    /// 1-node parity run always uses zero).
+    pub hop_ns: u64,
+}
+
 /// One complete fuzz case.
 #[derive(Debug, Clone)]
 pub struct FuzzInput {
@@ -146,6 +163,8 @@ pub struct FuzzInput {
     pub fault: Option<FaultSpec>,
     /// Optional serve-layer scenario.
     pub serve: Option<ServeSpec>,
+    /// Optional fleet topology riding on the serve scenario.
+    pub fleet: Option<FleetSpec>,
     /// The realignment targets (always at least one).
     pub targets: Vec<RealignmentTarget>,
 }
@@ -248,6 +267,13 @@ impl FuzzInput {
                 arrivals.join(","),
             );
         }
+        if let Some(fl) = &self.fleet {
+            let _ = writeln!(
+                out,
+                "fleet nodes={} vnodes={} hop_ns={}",
+                fl.nodes, fl.vnodes, fl.hop_ns,
+            );
+        }
         out.push_str("---\n");
         let mut payload = Vec::new();
         tio::write_targets(&mut payload, &self.targets).expect("Vec<u8> writes are infallible");
@@ -274,6 +300,7 @@ impl FuzzInput {
         let mut family = None;
         let mut fault = None;
         let mut serve = None;
+        let mut fleet = None;
         let mut header_len = "irfuzz v1\n".len();
         for line in lines {
             header_len += line.len() + 1;
@@ -358,6 +385,18 @@ impl FuzzInput {
                         arrival_ns,
                     });
                 }
+                Some("fleet") => {
+                    let nodes: usize = parse(field(&tokens, "nodes")?, "nodes")?;
+                    let vnodes: usize = parse(field(&tokens, "vnodes")?, "vnodes")?;
+                    if nodes == 0 || vnodes == 0 {
+                        return Err(DecodeError("fleet needs nodes >= 1 and vnodes >= 1".into()));
+                    }
+                    fleet = Some(FleetSpec {
+                        nodes,
+                        vnodes,
+                        hop_ns: parse(field(&tokens, "hop_ns")?, "hop_ns")?,
+                    });
+                }
                 Some(other) => {
                     return Err(DecodeError(format!("unknown header line {other:?}")));
                 }
@@ -379,6 +418,7 @@ impl FuzzInput {
             family,
             fault,
             serve,
+            fleet,
             targets,
         })
     }
@@ -427,6 +467,11 @@ mod tests {
                 flush_deadline_ns: 250_000,
                 arrival_ns: vec![0, 1_000, 2_500],
             }),
+            fleet: Some(FleetSpec {
+                nodes: 3,
+                vnodes: 8,
+                hop_ns: 2_000,
+            }),
             targets: vec![tiny_target(), tiny_target()],
         }
     }
@@ -442,6 +487,7 @@ mod tests {
         assert_eq!(back.family, input.family);
         assert_eq!(back.fault, input.fault);
         assert_eq!(back.serve, input.serve);
+        assert_eq!(back.fleet, input.fleet);
         assert_eq!(back.targets, input.targets);
     }
 
@@ -451,12 +497,23 @@ mod tests {
         input.family = None;
         input.fault = None;
         input.serve = None;
+        input.fleet = None;
         let text = input.encode();
         assert!(!text.contains("\nfamily "));
         assert!(!text.contains("\nfault "));
         assert!(!text.contains("\nserve "));
+        assert!(!text.contains("\nfleet "));
         let back = FuzzInput::decode(&text).unwrap();
         assert!(back.family.is_none() && back.fault.is_none() && back.serve.is_none());
+        assert!(back.fleet.is_none());
+    }
+
+    #[test]
+    fn degenerate_fleet_topologies_are_rejected() {
+        let zero_nodes = sample().encode().replace("fleet nodes=3", "fleet nodes=0");
+        assert!(FuzzInput::decode(&zero_nodes).is_err());
+        let zero_vnodes = sample().encode().replace("vnodes=8", "vnodes=0");
+        assert!(FuzzInput::decode(&zero_vnodes).is_err());
     }
 
     #[test]

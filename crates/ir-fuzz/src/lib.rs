@@ -47,7 +47,7 @@ pub mod minimize;
 
 pub use exec::{execute, Mismatch, Outcome};
 pub use generate::{generate, mutate};
-pub use input::{FaultSpec, FuzzInput, ParamsPreset, ParamsSpec, ServeSpec};
+pub use input::{FaultSpec, FleetSpec, FuzzInput, ParamsPreset, ParamsSpec, ServeSpec};
 pub use minimize::minimize_with;
 
 /// FNV-1a 64-bit: the fingerprint hash. `std`'s default hasher is

@@ -159,10 +159,19 @@ where
         best.targets = targets;
     }
 
-    // 2. Optional sections.
+    // 2. Optional sections. The fleet topology goes first (it rides on
+    // serve); dropping serve always drops fleet with it.
+    if best.fleet.is_some() {
+        let mut candidate = best.clone();
+        candidate.fleet = None;
+        if budget.check(&candidate) {
+            best = candidate;
+        }
+    }
     if best.serve.is_some() {
         let mut candidate = best.clone();
         candidate.serve = None;
+        candidate.fleet = None;
         if budget.check(&candidate) {
             best = candidate;
         }
@@ -247,6 +256,7 @@ mod tests {
         let min = minimize_with(&input, |_| true, 500);
         assert_eq!(min.targets.len(), 1, "everything droppable was dropped");
         assert!(min.serve.is_none());
+        assert!(min.fleet.is_none());
         assert!(min.fault.is_none());
         assert_eq!(min.targets[0].num_reads(), 1);
         assert_eq!(min.targets[0].num_consensuses(), 1);

@@ -58,6 +58,10 @@ pub enum ServeError {
         /// Requests left in the queue.
         depth: usize,
     },
+    /// The fleet router found no active node to place a request on (a
+    /// lifecycle bug: drains and interruptions must always leave at
+    /// least one active node).
+    NoActiveNodes,
     /// A request named a tenant index outside the configured quota table
     /// (a stream/config mismatch, not load shedding).
     UnknownTenant {
@@ -93,6 +97,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::UndrainedQueue { depth } => {
                 write!(f, "event loop finished with {depth} requests still queued")
+            }
+            ServeError::NoActiveNodes => {
+                write!(f, "no active fleet node available for routing")
             }
             ServeError::UnknownTenant { tenant, tenants } => {
                 write!(

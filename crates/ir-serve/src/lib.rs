@@ -94,6 +94,7 @@
 mod batcher;
 mod config;
 mod error;
+mod fleet;
 mod queue;
 mod request;
 mod service;
@@ -102,6 +103,10 @@ mod shard;
 pub use batcher::{BatchPolicy, FlushVerdict};
 pub use config::{FaultInjection, ServeConfig, ShardSpec, TenantQuota};
 pub use error::ServeError;
+pub use fleet::{
+    Autoscaler, AutoscalerConfig, FleetConfig, FleetReport, FleetService, ScaleDecision,
+    SpotProfile,
+};
 pub use queue::{Admission, SubmissionQueue};
 pub use request::{Rejection, Request, Response};
 pub use service::{RealignService, ServiceReport};

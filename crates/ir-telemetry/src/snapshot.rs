@@ -325,7 +325,11 @@ fn policy_for(key: &str) -> Option<Policy> {
             is_wall_clock: true,
         });
     }
-    if key == "serve/throughput_rps" || key == "serve/slo_attainment" || key.starts_with("speedup/")
+    if key == "serve/throughput_rps"
+        || key == "serve/slo_attainment"
+        || key == "fleet/throughput_rps"
+        || key == "fleet/slo_attainment"
+        || key.starts_with("speedup/")
     {
         return Some(Policy {
             higher_is_better: true,
@@ -333,7 +337,12 @@ fn policy_for(key: &str) -> Option<Policy> {
             is_wall_clock: false,
         });
     }
-    if key == "serve/p50_us" || key == "serve/p95_us" || key == "serve/p99_us" {
+    if key == "serve/p50_us"
+        || key == "serve/p95_us"
+        || key == "serve/p99_us"
+        || key == "fleet/p99_us"
+        || key == "fleet/cost_per_mtargets_usd"
+    {
         return Some(Policy {
             higher_is_better: false,
             tolerance: 0.25,

@@ -17,12 +17,22 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// How inter-arrival gaps are drawn.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Kind {
     /// Exponential gaps: a Poisson process.
     Poisson,
     /// Constant gaps: one request every `1/rate` seconds.
     Uniform,
+    /// Rate-modulated Poisson: the instantaneous rate swings
+    /// sinusoidally between the base rate (trough, at `t = 0`) and
+    /// `peak_rate_per_s` once per `period_s` — a day of million-user
+    /// traffic compressed onto the virtual clock.
+    Diurnal {
+        /// Rate at the top of the cycle.
+        peak_rate_per_s: f64,
+        /// Seconds per trough-to-trough cycle.
+        period_s: f64,
+    },
 }
 
 /// A seeded generator of request arrival timestamps at a fixed offered
@@ -79,9 +89,52 @@ impl ArrivalProcess {
         p
     }
 
-    /// The offered rate in requests per second.
+    /// A diurnal process: Poisson arrivals whose instantaneous rate
+    /// swings sinusoidally from `base_rate_per_s` (the trough, at
+    /// `t = 0`) up to `peak_rate_per_s` and back once every `period_s`
+    /// seconds. This is the open-loop shape a planet-scale user
+    /// population offers a serving fleet — the autoscaler's natural prey.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base_rate_per_s`, `peak_rate_per_s` and `period_s`
+    /// are positive and finite, and `peak_rate_per_s >= base_rate_per_s`.
+    pub fn diurnal(seed: u64, base_rate_per_s: f64, peak_rate_per_s: f64, period_s: f64) -> Self {
+        let mut p = Self::poisson(seed, base_rate_per_s);
+        assert!(
+            peak_rate_per_s >= base_rate_per_s && peak_rate_per_s.is_finite(),
+            "peak rate must be finite and at least the base rate"
+        );
+        assert!(
+            period_s > 0.0 && period_s.is_finite(),
+            "period must be positive and finite"
+        );
+        p.kind = Kind::Diurnal {
+            peak_rate_per_s,
+            period_s,
+        };
+        p
+    }
+
+    /// The offered rate in requests per second (the base/trough rate for
+    /// a diurnal process).
     pub fn rate_per_s(&self) -> f64 {
         self.rate_per_s
+    }
+
+    /// The instantaneous offered rate at absolute time `t_s`.
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        match self.kind {
+            Kind::Poisson | Kind::Uniform => self.rate_per_s,
+            Kind::Diurnal {
+                peak_rate_per_s,
+                period_s,
+            } => {
+                // Trough at t = 0, peak at t = period/2.
+                let phase = (1.0 - (2.0 * std::f64::consts::PI * t_s / period_s).cos()) / 2.0;
+                self.rate_per_s + (peak_rate_per_s - self.rate_per_s) * phase
+            }
+        }
     }
 
     /// Draws the next inter-arrival gap in seconds (always positive).
@@ -94,6 +147,15 @@ impl ArrivalProcess {
                 -(1.0 - u).ln() / self.rate_per_s
             }
             Kind::Uniform => 1.0 / self.rate_per_s,
+            // Scale a unit-rate exponential draw by the instantaneous
+            // rate at the current clock: λ(t) ≥ base > 0 keeps every gap
+            // positive and finite, and the draw count per arrival stays
+            // fixed at one, so streams with different shapes but the
+            // same seed consume the RNG identically.
+            Kind::Diurnal { .. } => {
+                let u: f64 = self.rng.random();
+                -(1.0 - u).ln() / self.rate_at(self.now_s)
+            }
         }
     }
 
@@ -146,5 +208,45 @@ mod tests {
     #[should_panic(expected = "positive and finite")]
     fn zero_rate_panics() {
         let _ = ArrivalProcess::poisson(0, 0.0);
+    }
+
+    #[test]
+    fn diurnal_rate_swings_between_base_and_peak() {
+        let p = ArrivalProcess::diurnal(0, 100.0, 1000.0, 60.0);
+        assert!((p.rate_at(0.0) - 100.0).abs() < 1e-9, "trough at t=0");
+        assert!(
+            (p.rate_at(30.0) - 1000.0).abs() < 1e-9,
+            "peak at half-period"
+        );
+        assert!((p.rate_at(60.0) - 100.0).abs() < 1e-9, "back to trough");
+        for t in [5.0, 12.0, 47.0] {
+            let r = p.rate_at(t);
+            assert!((100.0..=1000.0).contains(&r), "rate {r} at t={t}");
+        }
+    }
+
+    #[test]
+    fn diurnal_stream_is_reproducible_and_densest_at_the_peak() {
+        // ~3250 arrivals fill one 100 s cycle at these rates; 3000 stay
+        // just inside it.
+        let a = ArrivalProcess::diurnal(9, 5.0, 60.0, 100.0).times(3000);
+        let b = ArrivalProcess::diurnal(9, 5.0, 60.0, 100.0).times(3000);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        // Count arrivals in the trough-centered vs peak-centered halves
+        // of the first full cycle: the peak half must dominate.
+        let quarter = |lo: f64, hi: f64| a.iter().filter(|&&t| t >= lo && t < hi).count();
+        let trough_side = quarter(0.0, 25.0) + quarter(75.0, 100.0);
+        let peak_side = quarter(25.0, 75.0);
+        assert!(
+            peak_side > 2 * trough_side,
+            "peak half {peak_side} vs trough half {trough_side}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the base rate")]
+    fn diurnal_peak_below_base_panics() {
+        let _ = ArrivalProcess::diurnal(0, 100.0, 50.0, 60.0);
     }
 }

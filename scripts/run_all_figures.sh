@@ -8,7 +8,7 @@
 # Outputs: results/<name>.log (full console text) plus the
 # results/<name>.csv + results/<name>.txt pairs every table emits,
 # results/bench_summary.json mapping each binary to its wall-clock ms,
-# and a perf-trajectory snapshot (default BENCH_9.json at the repo root,
+# and a perf-trajectory snapshot (default BENCH_10.json at the repo root,
 # override with IR_BENCH_SNAPSHOT) assembled by `ir-cli bench-snapshot`.
 # Diff two snapshots with `ir-cli bench-diff <old> <new>`.
 #
@@ -18,7 +18,7 @@
 #   IR_ORACLE_CACHE    oracle disk-cache directory (default:
 #                      results/.oracle-cache, wiped at start; set to the
 #                      empty string to disable caching)
-#   IR_BENCH_SNAPSHOT  snapshot output path (default: BENCH_9.json)
+#   IR_BENCH_SNAPSHOT  snapshot output path (default: BENCH_10.json)
 #   IR_KERNEL          force a WHD kernel (scalar|swar|avx2|avx512|neon);
 #                      unset auto-detects the widest ISA
 
@@ -31,7 +31,7 @@ export IR_SCALE="$SCALE"
 # binaries read IR_THREADS themselves, so it must be exported.
 export IR_THREADS="${IR_THREADS:-$(nproc 2>/dev/null || echo 1)}"
 GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
-SNAPSHOT="${IR_BENCH_SNAPSHOT:-BENCH_9.json}"
+SNAPSHOT="${IR_BENCH_SNAPSHOT:-BENCH_10.json}"
 mkdir -p results
 
 # Cross-binary oracle disk cache: binaries sharing a workload and timing
@@ -117,6 +117,7 @@ run workload_atlas
 
 # Serving layer.
 run serve_load
+run serve_fleet
 
 # Evaluation headliners.
 run fig3_ir_fraction

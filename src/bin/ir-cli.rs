@@ -10,7 +10,9 @@
 //!                          [--rate R] [--seed S] [--faults 0|1] [--threads N]
 //!                          [--slo-ms S] [--json FILE] [--trace FILE]
 //!                          [--family F] [--pool hetero] [--tenants N]
-//!                          [--tenant-quota Q]
+//!                          [--tenant-quota Q] [--fleet N] [--hop-us H]
+//!                          [--autoscale 0|1] [--spot-rate PER_HOUR]
+//!                          [--parity 0|1]
 //! ir-cli fuzz [--seed S] [--iters N] [--corpus DIR]
 //! ir-cli kernel [--format table|name]
 //! ir-cli bench-snapshot [--results DIR] [--rev REV] [--out FILE]
@@ -49,7 +51,8 @@ use ir_system::fuzz::{iters_from_env, FuzzConfig};
 use ir_system::genome::tio;
 use ir_system::genome::{Chromosome, RealignmentTarget};
 use ir_system::serve::{
-    FaultInjection, RealignService, Request, ServeConfig, ShardSpec, TenantQuota,
+    AutoscalerConfig, FaultInjection, FleetConfig, FleetService, RealignService, Request,
+    ServeConfig, ShardSpec, SpotProfile, TenantQuota,
 };
 use ir_system::workloads::{ArrivalProcess, ShapeFamily, WorkloadConfig, WorkloadGenerator};
 
@@ -64,6 +67,8 @@ usage:
                [--seed S] [--faults 0|1] [--threads N] [--slo-ms S]
                [--json FILE] [--trace FILE] [--family F] [--pool hetero]
                [--tenants N] [--tenant-quota Q]
+               [--fleet N] [--hop-us H] [--autoscale 0|1]
+               [--spot-rate PER_HOUR] [--parity 0|1]
   ir-cli fuzz [--seed S] [--iters N] [--corpus DIR]
   ir-cli kernel [--format table|name]
   ir-cli bench-snapshot [--results DIR] [--rev REV] [--out FILE]
@@ -337,6 +342,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         })
         .collect();
 
+    let fleet_nodes: usize = args.flag_parse("fleet", 0)?;
+    if fleet_nodes > 0 {
+        return cmd_serve_fleet(args, config, requests, fleet_nodes, seed, slo_ms);
+    }
+
     let mut service = RealignService::new(config).map_err(|e| e.to_string())?;
     let report = service.run(requests).map_err(|e| e.to_string())?;
     println!(
@@ -419,6 +429,119 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             r.fallbacks,
             r.quarantined_units.len()
         );
+    }
+    Ok(())
+}
+
+/// `ir-cli serve --fleet N`: run the request stream against a multi-node
+/// fleet (consistent-hash router, optional SLO autoscaler and spot
+/// interruptions). `--parity 1` additionally replays the same stream
+/// through the single-pool service and fails unless the 1-node fleet is
+/// bitwise identical — the same gate `tests/fleet.rs` and CI enforce.
+fn cmd_serve_fleet(
+    args: &Args,
+    node: ServeConfig,
+    requests: Vec<Request>,
+    nodes: usize,
+    seed: u64,
+    slo_ms: f64,
+) -> Result<(), String> {
+    let hop_us: f64 = args.flag_parse("hop-us", 2.0)?;
+    let autoscale: u8 = args.flag_parse("autoscale", 0)?;
+    let spot_rate: f64 = args.flag_parse("spot-rate", 0.0)?;
+    let parity: u8 = args.flag_parse("parity", 0)?;
+    let config = FleetConfig {
+        nodes,
+        node: node.clone(),
+        hop_latency_s: hop_us * 1e-6,
+        autoscale: (autoscale != 0).then(|| AutoscalerConfig {
+            p99_slo_s: slo_ms * 1e-3,
+            ..AutoscalerConfig::default()
+        }),
+        spot: (spot_rate > 0.0).then_some(SpotProfile {
+            seed,
+            interruptions_per_hour: spot_rate,
+            drain_grace_s: 300e-6,
+        }),
+        ..FleetConfig::default()
+    };
+    let mut fleet = FleetService::new(config).map_err(|e| e.to_string())?;
+    let report = fleet.run(requests.clone()).map_err(|e| e.to_string())?;
+    println!(
+        "fleet of {nodes} node(s) (peak {}), hop {hop_us} µs, autoscale {}, spot rate {spot_rate}/h",
+        report.peak_nodes,
+        if autoscale != 0 { "on" } else { "off" },
+    );
+    println!(
+        "completed {}/{} ({} rejected with retry-after), {} batches over {:.6} s of virtual time",
+        report.completed(),
+        report.offered(),
+        report.rejected(),
+        report.batches(),
+        report.makespan_s
+    );
+    if report.completed() > 0 {
+        let pctl = |p| {
+            report
+                .latency_percentile_s(p)
+                .map(|s| s * 1e3)
+                .map_err(|e| e.to_string())
+        };
+        println!(
+            "throughput {:.0} req/s, latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+            report.throughput_rps(),
+            pctl(50.0)?,
+            pctl(95.0)?,
+            pctl(99.0)?
+        );
+        println!(
+            "SLO attainment {:.4} at a {slo_ms} ms deadline",
+            report.slo_attainment()
+        );
+    }
+    println!(
+        "cost: {:.6} node-seconds, {:.6} USD ({:.4} USD per million targets)",
+        report.node_seconds(),
+        report.cost_usd(),
+        report.cost_per_million_targets_usd()
+    );
+    if spot_rate > 0.0 {
+        println!(
+            "spot: {} interruption(s), {} drained, {} rerouted, {} ms of lost work",
+            report.counters.counter("fleet/interruptions"),
+            report.counters.counter("fleet/drained"),
+            report.counters.counter("fleet/rerouted"),
+            report.counters.counter("fleet/lost_work_ms")
+        );
+    }
+    if autoscale != 0 {
+        println!(
+            "autoscaler: {} scale-up(s), {} scale-down(s), peak {} node(s)",
+            report.counters.counter("fleet/scale_ups"),
+            report.counters.counter("fleet/scale_downs"),
+            report.peak_nodes
+        );
+    }
+    if let Some(path) = args.flag("json") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("structured fleet report -> {path}");
+    }
+    if parity != 0 {
+        if nodes != 1 || autoscale != 0 || spot_rate > 0.0 || hop_us != 0.0 {
+            return Err(
+                "--parity 1 requires --fleet 1 --hop-us 0 without --autoscale/--spot-rate"
+                    .to_string(),
+            );
+        }
+        let mut single = RealignService::new(node).map_err(|e| e.to_string())?;
+        let golden = single.run(requests).map_err(|e| e.to_string())?;
+        let node_report = &report.node_reports[0];
+        if node_report.to_json() != golden.to_json()
+            || report.makespan_s.to_bits() != golden.makespan_s.to_bits()
+        {
+            return Err("1-node fleet diverged from the single-pool service".to_string());
+        }
+        println!("parity: 1-node fleet bitwise-identical to the single-pool service");
     }
     Ok(())
 }
@@ -540,6 +663,29 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
                 .get(source)
                 .and_then(JsonValue::as_f64)
                 .ok_or_else(|| format!("serve_report.json missing {source}"))?;
+            snap.metrics.insert(metric.to_string(), v);
+        }
+    }
+
+    // Optional: the fleet's structured report (serve_fleet writes it for
+    // the 4-node topology).
+    let fleet_path = results.join("fleet_report.json");
+    if let Ok(text) = std::fs::read_to_string(&fleet_path) {
+        let report =
+            parse_json(&text).map_err(|e| format!("parsing {}: {e}", fleet_path.display()))?;
+        for (metric, source) in [
+            ("fleet/throughput_rps", "throughput_rps"),
+            ("fleet/p99_us", "latency_p99_us"),
+            ("fleet/slo_attainment", "slo_attainment"),
+            (
+                "fleet/cost_per_mtargets_usd",
+                "cost_per_million_targets_usd",
+            ),
+        ] {
+            let v = report
+                .get(source)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("fleet_report.json missing {source}"))?;
             snap.metrics.insert(metric.to_string(), v);
         }
     }

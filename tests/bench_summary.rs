@@ -79,18 +79,18 @@ fn every_bench_binary_has_a_wall_clock_entry() {
     }
 }
 
-/// The checked-in perf-trajectory snapshot (`BENCH_9.json`, emitted by
+/// The checked-in perf-trajectory snapshot (`BENCH_10.json`, emitted by
 /// `ir-cli bench-snapshot` at the end of `scripts/run_all_figures.sh`)
 /// must parse under the versioned schema and carry one `wall_ms/<name>`
 /// metric per benchmark binary plus the serve and speedup families the
 /// CI regression gate diffs.
 #[test]
 fn checked_in_snapshot_parses_and_covers_the_suite() {
-    let path = repo_root().join("BENCH_9.json");
+    let path = repo_root().join("BENCH_10.json");
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
-    validate_json(&text).expect("BENCH_9.json must satisfy the strict validator");
-    let snapshot = BenchSnapshot::from_json(&text).expect("BENCH_9.json parses as a snapshot");
+    validate_json(&text).expect("BENCH_10.json must satisfy the strict validator");
+    let snapshot = BenchSnapshot::from_json(&text).expect("BENCH_10.json parses as a snapshot");
     assert!(
         !snapshot.git_rev.is_empty(),
         "snapshot must record a git rev"
@@ -112,10 +112,14 @@ fn checked_in_snapshot_parses_and_covers_the_suite() {
         "serve/throughput_rps",
         "serve/p99_us",
         "serve/slo_attainment",
+        "fleet/throughput_rps",
+        "fleet/p99_us",
+        "fleet/slo_attainment",
+        "fleet/cost_per_mtargets_usd",
     ] {
         assert!(
             snapshot.metrics.contains_key(family),
-            "snapshot misses the serve metric {family}"
+            "snapshot misses the serve/fleet metric {family}"
         );
     }
     assert!(
@@ -132,7 +136,7 @@ fn checked_in_snapshot_parses_and_covers_the_suite() {
 /// degenerate case the CI gate relies on.
 #[test]
 fn checked_in_snapshot_self_diff_is_clean() {
-    let text = std::fs::read_to_string(repo_root().join("BENCH_9.json")).expect("snapshot");
+    let text = std::fs::read_to_string(repo_root().join("BENCH_10.json")).expect("snapshot");
     let snapshot = BenchSnapshot::from_json(&text).expect("snapshot parses");
     let diff = snapshot.diff(&snapshot);
     assert!(
